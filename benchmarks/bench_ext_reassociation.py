@@ -1,0 +1,64 @@
+"""EXT-F — reassociation of accumulation chains (extension).
+
+§VII: "Existing graph transformations need to be optimized and more
+transformations will be added."  The most profitable addition for the
+FPFA is reassociation: complete unrolling leaves accumulations as
+*serial* chains whose depth bounds the schedule regardless of ALU
+count; balancing them into trees shortens the critical path, which
+the level scheduler then converts into fewer cycles.
+
+Asserted shape: balancing never hurts, helps every unrolled
+accumulation kernel, and correctly leaves true recurrences (Horner)
+untouched.  All balanced mappings are verified on the simulator.
+"""
+
+from conftest import write_result
+
+from repro.core.pipeline import map_source, verify_mapping
+from repro.eval.kernels import KERNELS, get_kernel
+from repro.eval.report import render_table
+
+
+def rows_for_suite():
+    rows = []
+    for kernel in KERNELS:
+        chain = map_source(kernel.source)
+        tree = map_source(kernel.source, balance=True)
+        verify_mapping(tree, kernel.initial_state(0))
+        rows.append({
+            "kernel": kernel.name,
+            "critpath_chain": chain.schedule.critical_path,
+            "critpath_tree": tree.schedule.critical_path,
+            "cycles_chain": chain.n_cycles,
+            "cycles_tree": tree.n_cycles,
+            "speedup_chain": round(chain.speedup_vs_serial, 2),
+            "speedup_tree": round(tree.speedup_vs_serial, 2),
+        })
+    return rows
+
+
+def test_ext_f_reassociation(benchmark):
+    kernel = get_kernel("fir16")
+    benchmark(map_source, kernel.source, balance=True)
+
+    rows = rows_for_suite()
+    by_name = {row["kernel"]: row for row in rows}
+    for row in rows:
+        assert row["critpath_tree"] <= row["critpath_chain"], row
+        assert row["cycles_tree"] <= row["cycles_chain"] + 1, row
+
+    # accumulation kernels gain clearly
+    for name in ("fir16", "dot8", "corr8"):
+        assert by_name[name]["cycles_tree"] < \
+            by_name[name]["cycles_chain"], by_name[name]
+    # a true recurrence cannot be balanced
+    assert by_name["horner6"]["cycles_tree"] == \
+        by_name["horner6"]["cycles_chain"]
+
+    gains = [1 - row["cycles_tree"] / row["cycles_chain"]
+             for row in rows]
+    mean_gain = sum(gains) / len(gains)
+    table = render_table(rows, title="EXT-F — accumulation-chain "
+                                     "reassociation (chain vs tree)")
+    write_result("ext_f_reassociation",
+                 table + f"\n\nmean cycle reduction: {mean_gain:.0%}")

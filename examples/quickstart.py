@@ -1,0 +1,48 @@
+"""Quickstart: map the paper's FIR filter onto an FPFA tile.
+
+Runs the complete flow of the paper on its own §V example — translate
+to a CDFG, minimise, cluster, schedule, allocate — then executes the
+resulting per-cycle program on the tile simulator and checks it
+against the reference interpreter.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import StateSpace, map_source, verify_mapping
+
+FIR = """
+void main() {
+  sum = 0; i = 0;
+  while (i < 5) {
+    sum = sum + a[i] * c[i]; i = i + 1;
+  }
+}
+"""
+
+
+def main() -> None:
+    report = map_source(FIR)
+
+    print("== mapping summary ==")
+    print(report.summary())
+
+    print("\n== level schedule (paper Fig. 4 style) ==")
+    print(report.schedule.table())
+
+    print("\n== per-cycle tile program (paper Fig. 5 output) ==")
+    print(report.program.listing())
+
+    # Execute on the cycle-level simulator and compare with the
+    # interpreter's result for concrete input data.
+    state = (StateSpace()
+             .store_array("a", [1, 2, 3, 4, 5])
+             .store_array("c", [5, 4, 3, 2, 1]))
+    final = verify_mapping(report, state)
+    print("\n== verified execution ==")
+    print(f"sum = {final.fetch('sum')}   (expected "
+          f"{sum(x * y for x, y in zip([1,2,3,4,5], [5,4,3,2,1]))})")
+    print(f"i   = {final.fetch('i')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy-install shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; with this shim ``pip install -e .`` falls back
+to ``setup.py develop``, which works without network access.  All
+project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""repro — reproduction of "Mapping Applications to an FPFA Tile".
+
+Rosien, Guo, Smit, Krol — DATE 2003.
+
+A transformational design flow mapping C-subset programs onto one tile
+of the FPFA word-level reconfigurable architecture:
+
+1. translation to a Control Data Flow Graph (:mod:`repro.lang`,
+   :mod:`repro.cdfg`);
+2. behaviour-preserving minimisation — complete loop unrolling and
+   full simplification (:mod:`repro.transforms`);
+3. three-phase mapping — clustering on ALU data-paths, level
+   scheduling on the 5 ALUs, heuristic resource allocation
+   (:mod:`repro.core`);
+4. execution of the resulting per-cycle tile program on a cycle-level
+   simulator of the tile (:mod:`repro.arch`).
+
+Quickstart::
+
+    from repro import map_source, verify_mapping, StateSpace
+
+    report = map_source('''
+        void main() {
+          sum = 0; i = 0;
+          while (i < 5) { sum = sum + a[i] * c[i]; i = i + 1; }
+        }
+    ''')
+    print(report.summary())
+    state = StateSpace().store_array("a", [1, 2, 3, 4, 5]) \\
+                        .store_array("c", [5, 4, 3, 2, 1])
+    final = verify_mapping(report, state)
+    print(final.fetch("sum"))
+"""
+
+from repro.arch import (
+    EnergyModel,
+    TemplateLibrary,
+    TileParams,
+    TileProgram,
+    measure_energy,
+    simulate,
+)
+from repro.cdfg import (
+    Address,
+    Graph,
+    OpKind,
+    StateSpace,
+    build_main_cdfg,
+    run_graph,
+    run_main,
+    to_dot,
+    validate,
+)
+from repro.core import (
+    MappingError,
+    MappingReport,
+    TaskGraph,
+    map_graph,
+    map_source,
+    verify_mapping,
+)
+from repro.lang import parse_program
+from repro.transforms import simplify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Address",
+    "EnergyModel",
+    "Graph",
+    "MappingError",
+    "MappingReport",
+    "OpKind",
+    "StateSpace",
+    "TaskGraph",
+    "TemplateLibrary",
+    "TileParams",
+    "TileProgram",
+    "__version__",
+    "build_main_cdfg",
+    "map_graph",
+    "map_source",
+    "measure_energy",
+    "parse_program",
+    "run_graph",
+    "run_main",
+    "simplify",
+    "simulate",
+    "to_dot",
+    "validate",
+    "verify_mapping",
+]

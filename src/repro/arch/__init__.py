@@ -1,0 +1,58 @@
+"""FPFA tile architecture model (paper §II, Fig. 1).
+
+One FPFA processor tile has five identical Processing Parts (PPs)
+sharing a control unit.  Each PP contains an ALU with four inputs fed
+by four input register banks (Ra..Rd, four registers each) and two
+local memories of 512 words; a crossbar lets any ALU write its result
+to any register or memory in the tile.
+
+This package models the tile as *data* (:class:`TileParams`), the ALU
+data-path capability as a :class:`TemplateLibrary`, configured
+execution as a :class:`TileProgram` of per-cycle control words, plus
+an access-cost energy model and a cycle-level functional simulator
+that executes tile programs (the verification oracle for the mapper's
+output).
+"""
+
+from repro.arch.params import TileParams
+from repro.arch.templates import ClusterShape, TemplateLibrary
+from repro.arch.control import (
+    AluConfig,
+    Cycle,
+    Dest,
+    ImmSource,
+    MemLoc,
+    Move,
+    RegLoc,
+    Source,
+    TileProgram,
+)
+from repro.arch.energy import EnergyModel, EnergyReport, measure_energy
+from repro.arch.simulator import (
+    SimulationError,
+    TileSimulator,
+    op_arity,
+    simulate,
+)
+
+__all__ = [
+    "AluConfig",
+    "ClusterShape",
+    "Cycle",
+    "Dest",
+    "EnergyModel",
+    "EnergyReport",
+    "ImmSource",
+    "MemLoc",
+    "Move",
+    "RegLoc",
+    "SimulationError",
+    "Source",
+    "TemplateLibrary",
+    "TileParams",
+    "TileProgram",
+    "TileSimulator",
+    "measure_energy",
+    "op_arity",
+    "simulate",
+]

@@ -1,0 +1,111 @@
+"""Architecture parameters of one FPFA tile.
+
+Defaults are the numbers printed in the paper (§II / Fig. 1): 5 PPs,
+four input register banks of four registers per PP, two 512-word
+memories per PP, and a crossbar that can route any ALU result to any
+register or memory in the tile.
+
+Quantities the paper names as constraints but does not number — "the
+number of buses of the crossbar and the number of reading and writing
+ports of memories and register banks" (§VI-C) — are reconstructed as
+explicit parameters with conservative defaults (one read and one
+write port per memory, one write port per register bank, ten
+concurrently-driven crossbar buses) and are swept by the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class TileParams:
+    """All architecture constants of an FPFA tile."""
+
+    #: Processing Parts (= ALUs) per tile.  Paper: five.
+    n_pps: int = 5
+    #: Input register banks per PP (Ra, Rb, Rc, Rd) — one per ALU input.
+    banks_per_pp: int = 4
+    #: Registers per input bank.  Paper: four.
+    regs_per_bank: int = 4
+    #: Local memories per PP (MEM1, MEM2).  Paper: two.
+    memories_per_pp: int = 2
+    #: Words per memory.  Paper: 512 entries.
+    memory_words: int = 512
+    #: Distinct values the crossbar can carry per cycle (reconstruction;
+    #: one bus broadcasts one value to any number of latching ports).
+    n_buses: int = 10
+    #: Read ports per memory per cycle (reconstruction).
+    mem_read_ports: int = 1
+    #: Write ports per memory per cycle (reconstruction).
+    mem_write_ports: int = 1
+    #: Write ports per register bank per cycle (reconstruction).
+    bank_write_ports: int = 1
+    #: Fig. 5: inputs are staged into registers up to this many clock
+    #: cycles before the consuming ALU cycle ("four steps before").
+    max_stage_ahead: int = 4
+    #: Data-path width in bits (FPFA is a 16-bit word-level fabric);
+    #: None leaves simulator arithmetic unbounded to match the
+    #: interpreter's default semantics.
+    width: int | None = None
+
+    def __post_init__(self):
+        positive = {
+            "n_pps": self.n_pps,
+            "banks_per_pp": self.banks_per_pp,
+            "regs_per_bank": self.regs_per_bank,
+            "memories_per_pp": self.memories_per_pp,
+            "memory_words": self.memory_words,
+            "n_buses": self.n_buses,
+            "mem_read_ports": self.mem_read_ports,
+            "mem_write_ports": self.mem_write_ports,
+            "bank_write_ports": self.bank_write_ports,
+            "max_stage_ahead": self.max_stage_ahead,
+        }
+        for name, value in positive.items():
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        if self.width is not None and self.width < 2:
+            raise ValueError(f"width must be >= 2 bits, got {self.width}")
+
+    # -- derived ------------------------------------------------------
+
+    @property
+    def alu_inputs(self) -> int:
+        """ALU operand ports — one per register bank (a, b, c, d)."""
+        return self.banks_per_pp
+
+    @property
+    def total_memory_words(self) -> int:
+        return self.n_pps * self.memories_per_pp * self.memory_words
+
+    @property
+    def total_registers(self) -> int:
+        return self.n_pps * self.banks_per_pp * self.regs_per_bank
+
+    def with_(self, **changes) -> "TileParams":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Multi-line inventory used by the Fig. 1 experiment."""
+        return "\n".join([
+            f"FPFA tile: {self.n_pps} processing parts (PPs), "
+            f"shared control unit",
+            f"  per PP: 1 ALU with {self.alu_inputs} inputs, "
+            f"{self.banks_per_pp} register banks x "
+            f"{self.regs_per_bank} registers, "
+            f"{self.memories_per_pp} memories x {self.memory_words} words",
+            f"  crossbar: {self.n_buses} buses/cycle, any ALU can write "
+            f"any register or memory",
+            f"  ports/cycle: memory {self.mem_read_ports}R/"
+            f"{self.mem_write_ports}W, register bank "
+            f"{self.bank_write_ports}W",
+            f"  totals: {self.total_registers} registers, "
+            f"{self.total_memory_words} memory words",
+        ])
+
+
+#: The tile exactly as printed in the paper.
+PAPER_TILE = TileParams()

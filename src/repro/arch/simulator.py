@@ -1,0 +1,323 @@
+"""Cycle-level functional simulator of one FPFA tile.
+
+Executes a :class:`~repro.arch.control.TileProgram` against the timing
+model documented in :mod:`repro.arch.control`:
+
+* reads (ALU operand fetches from register banks, move sources) see
+  the state at the *start* of the cycle;
+* writes (move destinations, ALU results latched into registers or
+  stored into memories) commit at the *end* of the cycle;
+* resource limits — crossbar buses, memory read/write ports, register
+  bank write ports, register/memory capacities — are enforced every
+  cycle unless ``check_limits=False``.
+
+The simulator is the end-to-end oracle: a mapped program must leave
+the same values at its output addresses as the CDFG interpreter
+computes for the original program.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.arch.control import (
+    AluConfig,
+    Cycle,
+    ImmSource,
+    MemLoc,
+    Move,
+    RegLoc,
+    TileProgram,
+)
+from repro.arch.templates import ClusterShape
+from repro.cdfg.ops import Address, OpKind, eval_op, wrap_value
+from repro.cdfg.statespace import StateSpace
+
+
+class SimulationError(Exception):
+    """Raised on a malformed program or resource violation."""
+
+
+def op_arity(kind: OpKind) -> int:
+    """Operand count of an ALU operation."""
+    if kind in (OpKind.NEG, OpKind.NOT, OpKind.LNOT, OpKind.ABS):
+        return 1
+    if kind is OpKind.MUX:
+        return 3
+    return 2
+
+
+_wrap = wrap_value
+
+
+@dataclass
+class SimulationTrace:
+    """Optional per-cycle observations collected during a run."""
+
+    alu_results: list[dict[int, int]] = field(default_factory=list)
+    bus_usage: list[int] = field(default_factory=list)
+
+
+class TileSimulator:
+    """Executes tile programs cycle by cycle."""
+
+    def __init__(self, program: TileProgram,
+                 initial_state: StateSpace | None = None, *,
+                 check_limits: bool = True):
+        self.program = program
+        self.params = program.params
+        self.check_limits = check_limits
+        self.registers: dict[RegLoc, int] = {}
+        self.memories: dict[tuple[int, int], dict[Address, int]] = {}
+        self.trace = SimulationTrace()
+        self._load_memories(initial_state or StateSpace())
+
+    # -- setup ---------------------------------------------------------
+
+    def _load_memories(self, initial_state: StateSpace) -> None:
+        for pp in range(self.params.n_pps):
+            for mem in range(self.params.memories_per_pp):
+                self.memories[(pp, mem)] = {}
+        for address, loc in self.program.data_layout.items():
+            self._check_memloc(loc)
+            value = initial_state.fetch(address)
+            if not isinstance(value, int):
+                raise SimulationError(
+                    f"initial data at {address} is not an integer: "
+                    f"{value!r}")
+            self.memories[(loc.pp, loc.mem)][address] = value
+        if self.check_limits:
+            for (pp, mem), words in self.memories.items():
+                if len(words) > self.params.memory_words:
+                    raise SimulationError(
+                        f"PP{pp}.MEM{mem + 1} holds {len(words)} words, "
+                        f"capacity {self.params.memory_words}")
+
+    def _check_memloc(self, loc: MemLoc) -> None:
+        if not (0 <= loc.pp < self.params.n_pps
+                and 0 <= loc.mem < self.params.memories_per_pp):
+            raise SimulationError(f"no such memory: {loc}")
+
+    def _check_regloc(self, loc: RegLoc) -> None:
+        if not (0 <= loc.pp < self.params.n_pps
+                and 0 <= loc.bank < self.params.banks_per_pp
+                and 0 <= loc.slot < self.params.regs_per_bank):
+            raise SimulationError(f"no such register: {loc}")
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> StateSpace:
+        """Execute all cycles; return the output statespace overlay.
+
+        The returned statespace is the *initial* statespace with every
+        output address overwritten by the value found at its mapped
+        memory location — directly comparable with the interpreter's
+        final state.
+        """
+        for index, cycle in enumerate(self.program.cycles):
+            self._run_cycle(index, cycle)
+        return self._collect_outputs()
+
+    def _run_cycle(self, index: int, cycle: Cycle) -> None:
+        # 1. Start-of-cycle reads.
+        alu_results: dict[int, int] = {}
+        seen_pps: set[int] = set()
+        for config in cycle.alu_configs:
+            if config.pp in seen_pps:
+                raise SimulationError(
+                    f"cycle {index}: PP{config.pp} configured twice")
+            seen_pps.add(config.pp)
+            alu_results[config.pp] = self._execute_alu(index, config)
+        move_values: list[int] = [self._read_source(index, move.source)
+                                  for move in cycle.moves]
+        if self.check_limits:
+            self._check_resources(index, cycle)
+        # 2. End-of-cycle commits.
+        writes: list[tuple] = []
+        for config in cycle.alu_configs:
+            for dest in config.dests:
+                writes.append((dest, alu_results[config.pp]))
+        for move, value in zip(cycle.moves, move_values):
+            writes.append((move.dest, value))
+        self._commit(index, writes)
+        self.trace.alu_results.append(alu_results)
+        self.trace.bus_usage.append(len(cycle.bus_sources()))
+
+    def _execute_alu(self, index: int, config: AluConfig) -> int:
+        values = []
+        for loc in config.operands:
+            self._check_regloc(loc)
+            if loc.pp != config.pp:
+                raise SimulationError(
+                    f"cycle {index}: PP{config.pp} reads foreign "
+                    f"register {loc}")
+            if loc not in self.registers:
+                raise SimulationError(
+                    f"cycle {index}: PP{config.pp} reads register {loc} "
+                    f"before any write")
+            values.append(self.registers[loc])
+        result = self._eval_tree(index, config, values)
+        return _wrap(result, self.params.width)
+
+    def _eval_tree(self, index: int, config: AluConfig,
+                   values: list[int]) -> int:
+        shape = config.shape
+        ops = config.ops
+        # wrap at every data-path level: the level-1 outputs are as
+        # width-bounded as the final result, and the interpreter (which
+        # wraps per node) is the reference
+        width = self.params.width
+        try:
+            if shape is ClusterShape.SINGLE:
+                (root,) = ops
+                self._expect_operands(index, config, op_arity(root),
+                                      values)
+                return eval_op(root, *values, width=width)
+            if shape is ClusterShape.CHAIN:
+                root, child = ops
+                child_arity = op_arity(child)
+                expected = child_arity + op_arity(root) - 1
+                self._expect_operands(index, config, expected, values)
+                inner = eval_op(child, *values[:child_arity],
+                                width=width)
+                return eval_op(root, inner, *values[child_arity:],
+                               width=width)
+            root, left, right = ops
+            left_arity = op_arity(left)
+            right_arity = op_arity(right)
+            self._expect_operands(index, config,
+                                  left_arity + right_arity, values)
+            left_value = eval_op(left, *values[:left_arity], width=width)
+            right_value = eval_op(right, *values[left_arity:],
+                                  width=width)
+            return eval_op(root, left_value, right_value, width=width)
+        except (TypeError, ValueError) as error:
+            raise SimulationError(
+                f"cycle {index}: bad ALU configuration on "
+                f"PP{config.pp}: {error}") from None
+
+    @staticmethod
+    def _expect_operands(index: int, config: AluConfig, expected: int,
+                         values: list[int]) -> None:
+        if len(values) != expected:
+            raise SimulationError(
+                f"cycle {index}: PP{config.pp} {config.shape.value} "
+                f"{'/'.join(map(str, config.ops))} needs {expected} "
+                f"operands, got {len(values)}")
+
+    def _read_source(self, index: int, source) -> int:
+        if isinstance(source, ImmSource):
+            return _wrap(source.value, self.params.width)
+        if isinstance(source, RegLoc):
+            self._check_regloc(source)
+            if source not in self.registers:
+                raise SimulationError(
+                    f"cycle {index}: move reads register {source} "
+                    f"before any write")
+            return self.registers[source]
+        if isinstance(source, MemLoc):
+            self._check_memloc(source)
+            words = self.memories[(source.pp, source.mem)]
+            if source.addr not in words:
+                raise SimulationError(
+                    f"cycle {index}: move reads uninitialised word "
+                    f"{source}")
+            return words[source.addr]
+        raise SimulationError(f"cycle {index}: bad source {source!r}")
+
+    def _check_resources(self, index: int, cycle: Cycle) -> None:
+        params = self.params
+        buses = cycle.bus_sources()
+        if len(buses) > params.n_buses:
+            raise SimulationError(
+                f"cycle {index}: {len(buses)} crossbar values exceed "
+                f"{params.n_buses} buses")
+        mem_reads: Counter = Counter()
+        for move in cycle.moves:
+            if isinstance(move.source, MemLoc):
+                mem_reads[(move.source.pp, move.source.mem,
+                           move.source.addr)] = 1
+        per_mem_reads: Counter = Counter()
+        for (pp, mem, __), __count in mem_reads.items():
+            per_mem_reads[(pp, mem)] += 1
+        for (pp, mem), count in per_mem_reads.items():
+            if count > params.mem_read_ports:
+                raise SimulationError(
+                    f"cycle {index}: PP{pp}.MEM{mem + 1} serves {count} "
+                    f"reads, has {params.mem_read_ports} port(s)")
+        mem_writes: Counter = Counter()
+        bank_writes: Counter = Counter()
+        reg_dest_seen: set[RegLoc] = set()
+        mem_dest_seen: set[MemLoc] = set()
+        dests = [dest for config in cycle.alu_configs
+                 for dest in config.dests]
+        dests.extend(move.dest for move in cycle.moves)
+        for dest in dests:
+            if isinstance(dest, RegLoc):
+                if dest in reg_dest_seen:
+                    raise SimulationError(
+                        f"cycle {index}: register {dest} written twice")
+                reg_dest_seen.add(dest)
+                bank_writes[(dest.pp, dest.bank)] += 1
+            else:
+                if dest in mem_dest_seen:
+                    raise SimulationError(
+                        f"cycle {index}: memory word {dest} written "
+                        f"twice")
+                mem_dest_seen.add(dest)
+                mem_writes[(dest.pp, dest.mem)] += 1
+        for (pp, bank), count in bank_writes.items():
+            if count > params.bank_write_ports:
+                raise SimulationError(
+                    f"cycle {index}: PP{pp} bank {bank} takes {count} "
+                    f"writes, has {params.bank_write_ports} port(s)")
+        for (pp, mem), count in mem_writes.items():
+            if count > params.mem_write_ports:
+                raise SimulationError(
+                    f"cycle {index}: PP{pp}.MEM{mem + 1} takes {count} "
+                    f"writes, has {params.mem_write_ports} port(s)")
+
+    def _commit(self, index: int, writes: list[tuple]) -> None:
+        for dest, value in writes:
+            if isinstance(dest, RegLoc):
+                self._check_regloc(dest)
+                self.registers[dest] = value
+            elif isinstance(dest, MemLoc):
+                self._check_memloc(dest)
+                words = self.memories[(dest.pp, dest.mem)]
+                words[dest.addr] = value
+                if self.check_limits and \
+                        len(words) > self.params.memory_words:
+                    raise SimulationError(
+                        f"cycle {index}: {dest} overflows "
+                        f"{self.params.memory_words}-word memory")
+            else:
+                raise SimulationError(
+                    f"cycle {index}: bad destination {dest!r}")
+
+    def _collect_outputs(self) -> StateSpace:
+        state = StateSpace()
+        for address, loc in self.program.output_layout.items():
+            # loc.addr is the physical word (it may be a shadow word
+            # when the logical address also holds live input data);
+            # the result is reported at the logical address.
+            words = self.memories[(loc.pp, loc.mem)]
+            if loc.addr not in words:
+                raise SimulationError(
+                    f"program ended without writing output {loc}")
+            state = state.store(address, words[loc.addr])
+        return state
+
+
+def simulate(program: TileProgram,
+             initial_state: StateSpace | None = None, *,
+             check_limits: bool = True) -> StateSpace:
+    """Run *program*; return *initial_state* overlaid with the outputs."""
+    simulator = TileSimulator(program, initial_state,
+                              check_limits=check_limits)
+    outputs = simulator.run()
+    merged = initial_state or StateSpace()
+    for address, value in outputs.items():
+        merged = merged.store(address, value)
+    return merged

@@ -1,0 +1,124 @@
+"""ALU data-path templates: what one cluster may contain.
+
+Paper §VI-A: "this clustering and mapping scheme is based on the ALU
+data-path of our FPFA".  The FPFA ALU (described in the companion
+papers the text cites) has four inputs and a two-level internal
+structure, so a single ALU can evaluate a small expression tree in one
+clock cycle.  We model that capability as a *template library*: the
+clustering phase may only form clusters whose operation tree matches
+one of the enabled shapes.
+
+Shapes
+------
+``SINGLE``
+    One operation: ``op(x, ...)`` — always legal for any ALU op.
+``CHAIN``
+    A level-2 op fed by one level-1 op: ``op2(op1(x, y), z)`` — e.g.
+    the multiply-add ``(x*y)+z``.
+``DUAL``
+    A level-2 op combining two level-1 ops:
+    ``op2(op1(x, y), op1'(z, w))`` — e.g. ``(x*y)+(z*w)``, the
+    butterfly/MAC form.  Uses all four ALU inputs.
+
+Three stock libraries are provided: ``single_op()`` (the no-clustering
+baseline), ``two_level()`` (the default, matching the two-level ALU)
+and ``mac()`` (adds DUAL).  The template ablation experiment (EXT-D)
+sweeps these.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cdfg.ops import ALU_OPS, OpKind
+
+
+class ClusterShape(enum.Enum):
+    """The matched data-path pattern of a cluster."""
+
+    SINGLE = "single"
+    CHAIN = "chain"
+    DUAL = "dual"
+
+
+#: Operations the first (inner) data-path level can perform.
+DEFAULT_LEVEL1 = frozenset({
+    OpKind.MUL, OpKind.ADD, OpKind.SUB, OpKind.AND, OpKind.OR,
+    OpKind.XOR, OpKind.SHL, OpKind.SHR, OpKind.NEG, OpKind.NOT,
+    OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE, OpKind.EQ, OpKind.NE,
+    OpKind.MIN, OpKind.MAX, OpKind.ABS,
+})
+
+#: Operations the second (outer, combining) level can perform.  No
+#: multiplier at level 2 — the FPFA ALU has a single multiplier stage.
+DEFAULT_LEVEL2 = frozenset({
+    OpKind.ADD, OpKind.SUB, OpKind.AND, OpKind.OR, OpKind.XOR,
+    OpKind.MIN, OpKind.MAX, OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE,
+    OpKind.EQ, OpKind.NE, OpKind.MUX,
+})
+
+
+@dataclass(frozen=True)
+class TemplateLibrary:
+    """The set of expression shapes one ALU executes in one cycle."""
+
+    name: str = "two-level"
+    level1_ops: frozenset = DEFAULT_LEVEL1
+    level2_ops: frozenset = DEFAULT_LEVEL2
+    enable_chain: bool = True
+    enable_dual: bool = False
+    max_inputs: int = 4
+
+    # -- stock libraries ------------------------------------------------
+
+    @classmethod
+    def single_op(cls) -> "TemplateLibrary":
+        """One operation per cluster — the no-clustering baseline."""
+        return cls(name="single-op", enable_chain=False,
+                   enable_dual=False)
+
+    @classmethod
+    def two_level(cls) -> "TemplateLibrary":
+        """The default FPFA ALU: chained two-level data-path."""
+        return cls(name="two-level", enable_chain=True, enable_dual=False)
+
+    @classmethod
+    def mac(cls) -> "TemplateLibrary":
+        """Two-level plus the four-input DUAL (multiply-accumulate)."""
+        return cls(name="mac", enable_chain=True, enable_dual=True)
+
+    @classmethod
+    def stock(cls) -> dict[str, "TemplateLibrary"]:
+        """All stock libraries keyed by name (for sweeps)."""
+        libraries = [cls.single_op(), cls.two_level(), cls.mac()]
+        return {library.name: library for library in libraries}
+
+    # -- legality -------------------------------------------------------
+
+    def single_legal(self, kind: OpKind) -> bool:
+        """Any ALU-executable op can stand alone."""
+        return kind in ALU_OPS
+
+    def chain_legal(self, root: OpKind, child: OpKind,
+                    n_inputs: int) -> bool:
+        """``root(child(...), ...)`` in one cycle?"""
+        return (self.enable_chain and root in self.level2_ops
+                and child in self.level1_ops
+                and n_inputs <= self.max_inputs)
+
+    def dual_legal(self, root: OpKind, left: OpKind, right: OpKind,
+                   n_inputs: int) -> bool:
+        """``root(left(...), right(...))`` in one cycle?"""
+        return (self.enable_dual and root in self.level2_ops
+                and left in self.level1_ops and right in self.level1_ops
+                and n_inputs <= self.max_inputs)
+
+    def describe(self) -> str:
+        shapes = ["single"]
+        if self.enable_chain:
+            shapes.append("chain")
+        if self.enable_dual:
+            shapes.append("dual")
+        return (f"{self.name}: shapes={'+'.join(shapes)}, "
+                f"max {self.max_inputs} inputs")

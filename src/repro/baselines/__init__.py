@@ -1,0 +1,32 @@
+"""Comparator algorithms for the evaluation harness.
+
+The paper positions its three-phase decomposition against classic
+multiprocessor scheduling:
+
+* :mod:`repro.baselines.list_scheduler` — resource-constrained list
+  scheduling of individual operations (no clustering, idealised
+  operand delivery): the classical HLS baseline and a lower bound on
+  compute cycles for a 5-ALU tile with single-op ALUs;
+* :mod:`repro.baselines.sarkar` — Sarkar's original two-phase
+  internalization clustering followed by cluster list scheduling, the
+  method §VI explicitly extends;
+* :mod:`repro.baselines.naive_alloc` — the Fig. 5 allocator with
+  locality features disabled (no register reuse, no direct
+  write-back): isolates the paper's locality-of-reference claim.
+"""
+
+from repro.baselines.list_scheduler import (
+    ListScheduleResult,
+    list_schedule,
+)
+from repro.baselines.sarkar import SarkarResult, sarkar_cluster_and_schedule
+from repro.baselines.naive_alloc import map_source_naive, naive_options
+
+__all__ = [
+    "ListScheduleResult",
+    "SarkarResult",
+    "list_schedule",
+    "map_source_naive",
+    "naive_options",
+    "sarkar_cluster_and_schedule",
+]

@@ -1,0 +1,79 @@
+"""Operation-level list scheduling (classic HLS baseline).
+
+Schedules the *unclustered* task graph onto ``n_alus`` single-operation
+ALUs, one operation per cycle, with idealised operand delivery (any
+result is usable the next cycle, memory traffic is free).  Priority is
+the standard critical-path heuristic (longest path to a sink first).
+
+This gives the strongest possible comparison point for compute cycles:
+whatever the three-phase mapper achieves must be judged against what
+plain list scheduling would do on the same five ALUs *without* the
+FPFA's multi-operation data-paths or any staging constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.taskgraph import TaskGraph
+
+
+@dataclass
+class ListScheduleResult:
+    """Outcome of list scheduling one task graph."""
+
+    #: cycles[t] = task ids issued in cycle t.
+    cycles: list[list[int]] = field(default_factory=list)
+    #: task id -> issue cycle.
+    issue_cycle: dict[int, int] = field(default_factory=dict)
+    critical_path: int = 0
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.cycles)
+
+    def utilisation(self, n_alus: int) -> float:
+        if not self.cycles:
+            return 0.0
+        issued = sum(len(cycle) for cycle in self.cycles)
+        return issued / (n_alus * len(self.cycles))
+
+
+def list_schedule(taskgraph: TaskGraph, n_alus: int = 5
+                  ) -> ListScheduleResult:
+    """Critical-path list scheduling of individual operations."""
+    order = taskgraph.topo_order()
+    consumers = taskgraph.consumers()
+
+    # Height = longest path to any sink (priority, larger first).
+    height: dict[int, int] = {}
+    for task in reversed(order):
+        succ_heights = [height[c] for c in consumers[task.id]]
+        height[task.id] = 1 + (max(succ_heights) if succ_heights else 0)
+
+    result = ListScheduleResult(
+        critical_path=max(height.values(), default=0))
+    pending = {task.id: len(set(task.predecessor_ids()))
+               for task in order}
+    ready = sorted((task.id for task in order if pending[task.id] == 0),
+                   key=lambda tid: (-height[tid], tid))
+    cycle = 0
+    scheduled: set[int] = set()
+    while ready or len(scheduled) < taskgraph.n_tasks:
+        issue = ready[:n_alus]
+        ready = ready[n_alus:]
+        result.cycles.append(issue)
+        newly_ready: list[int] = []
+        for task_id in issue:
+            scheduled.add(task_id)
+            result.issue_cycle[task_id] = cycle
+            for consumer in set(consumers[task_id]):
+                pending[consumer] -= 1
+                if pending[consumer] == 0:
+                    newly_ready.append(consumer)
+        ready = sorted(ready + newly_ready,
+                       key=lambda tid: (-height[tid], tid))
+        cycle += 1
+        if cycle > 4 * (taskgraph.n_tasks + 1):
+            raise RuntimeError("list scheduler failed to make progress")
+    return result

@@ -1,0 +1,36 @@
+"""Memory-only operand staging: the locality ablation baseline.
+
+The paper claims low power comes from *locality of reference*
+(§VI-C/§VII).  This baseline runs the identical clustering and
+scheduling but cripples the allocator's locality features:
+
+* no register **reuse** — an operand already sitting in the right
+  bank is reloaded from memory anyway;
+* no direct **write-back** — a producing ALU never latches its result
+  into a consumer's register; every value goes through a memory.
+
+Every operand therefore costs a memory read plus a crossbar transfer,
+and dependent levels need extra stall cycles (a result is only
+loadable the cycle after it was stored).  Comparing energy reports of
+the two allocations quantifies the locality claim (experiment EXT-C).
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import TileParams
+from repro.arch.templates import TemplateLibrary
+from repro.core.pipeline import MappingReport, map_source
+
+
+def naive_options() -> dict:
+    """Allocator options that disable all locality features."""
+    return {"enable_bypass": False, "enable_reuse": False}
+
+
+def map_source_naive(source: str, params: TileParams | None = None,
+                     library: TemplateLibrary | None = None,
+                     **kwargs) -> MappingReport:
+    """Map C source with the memory-only staging allocator."""
+    options = dict(kwargs)
+    options.update(naive_options())
+    return map_source(source, params, library, **options)

@@ -1,0 +1,47 @@
+"""Control Data Flow Graph (CDFG) intermediate representation.
+
+The paper (§III) defines a CDFG as a hypergraph of operations (C
+operators, function calls) plus the dataflow between them, including
+the *statespace* — the mathematical abstraction of the C memory model
+(§IV) — and the control information steering MUXes.
+
+This package provides:
+
+* :mod:`repro.cdfg.ops` — the operation vocabulary and its scalar
+  semantics;
+* :mod:`repro.cdfg.statespace` — the (ad, da) tuple-set memory model
+  with the three primitive operations ST / FE / DEL of paper Fig. 2;
+* :mod:`repro.cdfg.graph` — the graph data structure itself;
+* :mod:`repro.cdfg.builder` — translation from the C-subset AST;
+* :mod:`repro.cdfg.interp` — a reference interpreter used as the
+  behaviour-preservation oracle throughout the test-suite;
+* :mod:`repro.cdfg.validate` — structural invariants;
+* :mod:`repro.cdfg.dot` — Graphviz export.
+"""
+
+from repro.cdfg.graph import Graph, Node, ValueRef
+from repro.cdfg.ops import Address, OpKind, PortType
+from repro.cdfg.statespace import StateSpace
+from repro.cdfg.builder import CdfgBuilder, build_cdfg, build_main_cdfg
+from repro.cdfg.interp import InterpreterError, run_graph, run_main
+from repro.cdfg.validate import ValidationError, validate
+from repro.cdfg.dot import to_dot
+
+__all__ = [
+    "Address",
+    "CdfgBuilder",
+    "Graph",
+    "InterpreterError",
+    "Node",
+    "OpKind",
+    "PortType",
+    "StateSpace",
+    "ValidationError",
+    "ValueRef",
+    "build_cdfg",
+    "build_main_cdfg",
+    "run_graph",
+    "run_main",
+    "to_dot",
+    "validate",
+]

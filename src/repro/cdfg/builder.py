@@ -1,0 +1,508 @@
+"""Translation of the C-subset AST into a CDFG (paper step 1).
+
+The builder performs a symbolic execution of the function body:
+
+* **declared scalars** live in an environment mapping names to value
+  references (pure dataflow);
+* **globals** — names used without declaration, like ``sum``, ``i``,
+  ``a``, ``c`` in the paper's FIR example — live in the statespace:
+  global scalars are fetched (``FE``) on first read, kept in the
+  environment while the function runs, and stored back (``ST``) once at
+  the end; arrays always go through ``FE``/``ST`` element-wise;
+* **loops and branches** become compound ``LOOP``/``BRANCH`` nodes
+  holding sub-graphs, with loop-carried/live values (including the
+  statespace itself) threaded through explicit slots.  This is the
+  "control information which is used to control MUXes which in turn
+  control the iteration and selection statements" of paper §III.
+
+The translation is deliberately literal — no simplification happens
+here.  Minimisation is the job of :mod:`repro.transforms`, mirroring
+the paper's separation between translation and transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.errors import SemanticError, SourceLocation
+from repro.lang.parser import parse_program
+from repro.lang.sema import FunctionInfo, ProgramInfo, analyze
+from repro.cdfg.graph import COND_SLOT, Graph, ValueRef
+from repro.cdfg.ops import (
+    Address,
+    BINOP_FROM_C,
+    INTRINSIC_FROM_C,
+    OpKind,
+    UNARYOP_FROM_C,
+)
+
+#: Pseudo-variable name used to thread the statespace through compound
+#: control nodes.  Deliberately not a valid C identifier.
+STATE_NAME = "$state"
+
+
+class BuildError(SemanticError):
+    """Raised when a construct cannot be translated (paper future work)."""
+
+
+@dataclass
+class _Scan:
+    """Names touched by a statement subtree (drives live sets)."""
+
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+    touches_state: bool = False
+
+    def union(self, other: "_Scan") -> "_Scan":
+        return _Scan(self.reads | other.reads, self.writes | other.writes,
+                     self.touches_state or other.touches_state)
+
+
+class CdfgBuilder:
+    """Builds the CDFG of one function of a parsed program."""
+
+    def __init__(self, program: ast.Program, function: str = "main",
+                 info: ProgramInfo | None = None):
+        self._program = program
+        self._function = program.function(function)
+        info = info or analyze(program)
+        self._info: FunctionInfo = info.function(function)
+        self.graph = Graph(name=function)
+        self._env: dict[str, ValueRef] = {}
+        self._state: ValueRef | None = None
+        self._finished = False
+
+    # -- public -------------------------------------------------------
+
+    def build(self) -> Graph:
+        """Translate the function and return its CDFG."""
+        graph = self.graph
+        self._state = graph.add(OpKind.SS_IN).out()
+        for param in self._function.params:
+            node = graph.add(OpKind.INPUT, value=param, name=param)
+            self._env[param] = node.out()
+        statements = self._function.body.statements
+        for index, statement in enumerate(statements):
+            if isinstance(statement, ast.ReturnStmt):
+                if index != len(statements) - 1:
+                    raise self._error(
+                        "'return' is only supported as the last statement",
+                        statement.location)
+                if statement.value is not None:
+                    value = self._expr(statement.value)
+                    graph.add(OpKind.OUTPUT, inputs=[value], value="return",
+                              name="return")
+                continue
+            self._stmt(statement)
+        self._store_globals_back()
+        graph.add(OpKind.SS_OUT, inputs=[self._state])
+        self._finished = True
+        return graph
+
+    # -- helpers ------------------------------------------------------
+
+    def _error(self, message: str, location: SourceLocation) -> BuildError:
+        return BuildError(message, location, self._program.source)
+
+    def _symbol(self, name: str):
+        return self._info.symbols[name]
+
+    def _is_array(self, name: str) -> bool:
+        return self._symbol(name).is_array
+
+    def _is_global(self, name: str) -> bool:
+        return self._symbol(name).is_global
+
+    def _store_globals_back(self) -> None:
+        """Emit the final ST for every written global scalar (paper
+        Fig. 3: the minimised FIR graph ends with STs of sum and i)."""
+        for symbol in sorted(self._info.global_scalars,
+                             key=lambda s: s.name):
+            if not symbol.is_written:
+                continue
+            if symbol.name not in self._env:  # written only in dead code
+                continue
+            address = self.graph.addr(Address(symbol.name))
+            store = self.graph.add(
+                OpKind.ST,
+                inputs=[self._state, address.out(),
+                        self._env[symbol.name]],
+                name=symbol.name)
+            self._state = store.out()
+
+    # -- scalar environment --------------------------------------------
+
+    def _read_scalar(self, name: str, location: SourceLocation) -> ValueRef:
+        if name in self._env:
+            return self._env[name]
+        if self._is_global(name):
+            address = self.graph.addr(Address(name))
+            fetch = self.graph.add(OpKind.FE,
+                                   inputs=[self._state, address.out()],
+                                   name=name)
+            self._env[name] = fetch.out()
+            return fetch.out()
+        # Declared local read before any write: C leaves it undefined;
+        # we totalise to 0 so transformations stay behaviour-preserving.
+        zero = self.graph.const(0)
+        self._env[name] = zero.out()
+        return zero.out()
+
+    def _prefetch(self, names: set[str]) -> None:
+        """Materialise every scalar in *names* into the environment so
+        compound bodies can receive them through INPUT slots."""
+        for name in sorted(names):
+            if name in self._env or self._is_array(name):
+                continue
+            if self._is_global(name):
+                address = self.graph.addr(Address(name))
+                fetch = self.graph.add(OpKind.FE,
+                                       inputs=[self._state, address.out()],
+                                       name=name)
+                self._env[name] = fetch.out()
+            else:
+                self._env[name] = self.graph.const(0).out()
+
+    # -- addresses -------------------------------------------------------
+
+    def _address_of(self, ref: ast.ArrayRef) -> ValueRef:
+        """Build the address of ``name[index]``.
+
+        Constant indices become constant addresses directly (the
+        ``a##0`` style locations of paper Fig. 3); dynamic indices go
+        through ADDR_ADD so the address computation is explicit
+        dataflow.
+        """
+        assert ref.index is not None
+        if isinstance(ref.index, ast.IntLit):
+            return self.graph.addr(Address(ref.name, ref.index.value)).out()
+        base = self.graph.addr(Address(ref.name, 0))
+        index = self._expr(ref.index)
+        summed = self.graph.add(OpKind.ADDR_ADD,
+                                inputs=[base.out(), index], name=ref.name)
+        return summed.out()
+
+    # -- statements --------------------------------------------------------
+
+    def _stmt(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Block):
+            for inner in statement.statements:
+                self._stmt(inner)
+        elif isinstance(statement, ast.VarDecl):
+            self._decl(statement)
+        elif isinstance(statement, ast.Assign):
+            self._assign(statement)
+        elif isinstance(statement, ast.ExprStmt):
+            if statement.expr is not None:
+                self._expr(statement.expr)
+        elif isinstance(statement, ast.IfStmt):
+            self._if(statement)
+        elif isinstance(statement, ast.WhileStmt):
+            self._while(statement.cond, statement.body, statement.location)
+        elif isinstance(statement, ast.DoWhileStmt):
+            # do { B } while (c)  ==  B; while (c) { B }
+            assert statement.body is not None
+            self._stmt(statement.body)
+            self._while(statement.cond, statement.body, statement.location)
+        elif isinstance(statement, ast.ForStmt):
+            self._for(statement)
+        elif isinstance(statement, ast.ReturnStmt):
+            raise self._error(
+                "'return' is only supported as the last statement",
+                statement.location)
+        elif isinstance(statement, (ast.BreakStmt, ast.ContinueStmt)):
+            raise self._error(
+                "'break'/'continue' are not supported (richer control "
+                "flow is listed as future work in the paper)",
+                statement.location)
+        else:  # pragma: no cover - defensive
+            raise self._error(
+                f"unhandled statement {type(statement).__name__}",
+                statement.location)
+
+    def _decl(self, decl: ast.VarDecl) -> None:
+        if decl.is_array:
+            if decl.array_init is not None:
+                for offset, expr in enumerate(decl.array_init):
+                    value = self._expr(expr)
+                    address = self.graph.addr(Address(decl.name, offset))
+                    store = self.graph.add(
+                        OpKind.ST,
+                        inputs=[self._state, address.out(), value],
+                        name=decl.name)
+                    self._state = store.out()
+            return
+        if decl.init is not None:
+            self._env[decl.name] = self._expr(decl.init)
+
+    def _assign(self, assign: ast.Assign) -> None:
+        assert assign.target is not None and assign.value is not None
+        value = self._expr(assign.value)
+        target = assign.target
+        if isinstance(target, ast.Ident):
+            self._env[target.name] = value
+            return
+        address = self._address_of(target)
+        store = self.graph.add(OpKind.ST,
+                               inputs=[self._state, address, value],
+                               name=target.name)
+        self._state = store.out()
+
+    # -- compound control ---------------------------------------------------
+
+    def _scan_expr(self, expr: ast.Expr, scan: _Scan) -> None:
+        if isinstance(expr, ast.Ident):
+            scan.reads.add(expr.name)
+        elif isinstance(expr, ast.ArrayRef):
+            scan.touches_state = True
+            assert expr.index is not None
+            self._scan_expr(expr.index, scan)
+        else:
+            for child in expr.children():
+                self._scan_expr(child, scan)
+
+    def _scan_stmt(self, statement: ast.Stmt | None, scan: _Scan) -> None:
+        if statement is None:
+            return
+        if isinstance(statement, ast.Block):
+            for inner in statement.statements:
+                self._scan_stmt(inner, scan)
+        elif isinstance(statement, ast.VarDecl):
+            if statement.init is not None:
+                self._scan_expr(statement.init, scan)
+                scan.writes.add(statement.name)
+            if statement.array_init is not None:
+                scan.touches_state = True
+                for expr in statement.array_init:
+                    self._scan_expr(expr, scan)
+        elif isinstance(statement, ast.Assign):
+            assert statement.target and statement.value
+            self._scan_expr(statement.value, scan)
+            if isinstance(statement.target, ast.Ident):
+                scan.writes.add(statement.target.name)
+            else:
+                scan.touches_state = True
+                assert statement.target.index is not None
+                self._scan_expr(statement.target.index, scan)
+        elif isinstance(statement, ast.ExprStmt):
+            if statement.expr is not None:
+                self._scan_expr(statement.expr, scan)
+        elif isinstance(statement, ast.IfStmt):
+            assert statement.cond is not None
+            self._scan_expr(statement.cond, scan)
+            self._scan_stmt(statement.then, scan)
+            self._scan_stmt(statement.otherwise, scan)
+        elif isinstance(statement, (ast.WhileStmt, ast.DoWhileStmt)):
+            assert statement.cond is not None
+            self._scan_expr(statement.cond, scan)
+            self._scan_stmt(statement.body, scan)
+        elif isinstance(statement, ast.ForStmt):
+            self._scan_stmt(statement.init, scan)
+            if statement.cond is not None:
+                self._scan_expr(statement.cond, scan)
+            self._scan_stmt(statement.step, scan)
+            self._scan_stmt(statement.body, scan)
+        elif isinstance(statement, ast.ReturnStmt):
+            if statement.value is not None:
+                self._scan_expr(statement.value, scan)
+
+    def _scalar_names(self, scan: _Scan) -> list[str]:
+        names = {name for name in scan.reads | scan.writes
+                 if not self._is_array(name)}
+        return sorted(names)
+
+    def _if(self, statement: ast.IfStmt) -> None:
+        assert statement.cond is not None and statement.then is not None
+        scan = _Scan()
+        self._scan_expr(statement.cond, scan)
+        cond = self._expr(statement.cond)
+        arm_scan = _Scan()
+        self._scan_stmt(statement.then, arm_scan)
+        self._scan_stmt(statement.otherwise, arm_scan)
+        # Reads need their current value; writes need one too, because
+        # the arm that does not write a name passes its old value
+        # through (for globals that old value comes from an FE).
+        self._prefetch({name for name in arm_scan.reads | arm_scan.writes
+                        if not self._is_array(name)})
+        carried = self._scalar_names(arm_scan)
+        live_ins = list(carried)
+        live_outs = sorted({name for name in arm_scan.writes
+                            if not self._is_array(name)})
+        if arm_scan.touches_state:
+            live_ins.append(STATE_NAME)
+            live_outs.append(STATE_NAME)
+        then_body = self._build_arm(statement.then, live_ins, live_outs,
+                                    "then")
+        else_body = self._build_arm(statement.otherwise, live_ins,
+                                    live_outs, "else")
+        inputs = [cond] + [self._slot_ref(name) for name in live_ins]
+        branch = self.graph.add(OpKind.BRANCH, inputs=inputs,
+                                value=(tuple(live_ins), tuple(live_outs)),
+                                bodies=(then_body, else_body),
+                                n_outputs=len(live_outs))
+        for index, name in enumerate(live_outs):
+            self._slot_assign(name, branch.out(index))
+
+    def _build_arm(self, statement: ast.Stmt | None, live_ins: list[str],
+                   live_outs: list[str], label: str) -> Graph:
+        """Build one arm of a BRANCH as a sub-graph."""
+        body = Graph(name=label)
+        saved_graph, saved_env, saved_state = (self.graph, self._env,
+                                               self._state)
+        self.graph = body
+        self._env = {}
+        self._state = None
+        for name in live_ins:
+            node = body.add(OpKind.INPUT, value=name, name=name)
+            if name == STATE_NAME:
+                self._state = node.out()
+            else:
+                self._env[name] = node.out()
+        if statement is not None:
+            self._stmt(statement)
+        for name in live_outs:
+            if name == STATE_NAME:
+                source = self._state
+            elif name in self._env:
+                source = self._env[name]
+            else:
+                # Written in the other arm only: pass through this arm's
+                # input if it exists, else the totalised 0.
+                source = None
+            if source is None:
+                source = body.const(0).out()
+            body.add(OpKind.OUTPUT, inputs=[source], value=name, name=name)
+        self.graph, self._env, self._state = (saved_graph, saved_env,
+                                              saved_state)
+        return body
+
+    def _while(self, cond: ast.Expr | None, body_stmt: ast.Stmt | None,
+               location: SourceLocation) -> None:
+        assert cond is not None and body_stmt is not None
+        scan = _Scan()
+        self._scan_expr(cond, scan)
+        self._scan_stmt(body_stmt, scan)
+        # Every carried scalar needs an initial value: globals fetch
+        # their statespace value (kept if the loop runs zero times),
+        # undefined locals start at the totalised 0.
+        self._prefetch({name for name in scan.reads | scan.writes
+                        if not self._is_array(name)})
+        carried = self._scalar_names(scan)
+        if scan.touches_state:
+            carried = carried + [STATE_NAME]
+        body = Graph(name="loop")
+        saved_graph, saved_env, saved_state = (self.graph, self._env,
+                                               self._state)
+        self.graph = body
+        self._env = {}
+        self._state = None
+        for name in carried:
+            node = body.add(OpKind.INPUT, value=name, name=name)
+            if name == STATE_NAME:
+                self._state = node.out()
+            else:
+                self._env[name] = node.out()
+        cond_ref = self._expr(cond)
+        body.add(OpKind.OUTPUT, inputs=[cond_ref], value=COND_SLOT,
+                 name=COND_SLOT)
+        self._stmt(body_stmt)
+        for name in carried:
+            source = self._state if name == STATE_NAME else self._env[name]
+            assert source is not None
+            body.add(OpKind.OUTPUT, inputs=[source], value=name, name=name)
+        self.graph, self._env, self._state = (saved_graph, saved_env,
+                                              saved_state)
+        inputs = [self._slot_ref(name) for name in carried]
+        loop = self.graph.add(OpKind.LOOP, inputs=inputs,
+                              value=tuple(carried), bodies=(body,),
+                              n_outputs=len(carried))
+        for index, name in enumerate(carried):
+            self._slot_assign(name, loop.out(index))
+
+    def _for(self, statement: ast.ForStmt) -> None:
+        if statement.init is not None:
+            self._stmt(statement.init)
+        assert statement.body is not None
+        cond = statement.cond
+        if cond is None:
+            raise self._error(
+                "'for' without a condition never terminates and cannot "
+                "be mapped", statement.location)
+        body = statement.body
+        if statement.step is not None:
+            body = ast.Block(location=statement.location,
+                             statements=[statement.body, statement.step])
+        self._while(cond, body, statement.location)
+
+    def _slot_ref(self, name: str) -> ValueRef:
+        if name == STATE_NAME:
+            assert self._state is not None
+            return self._state
+        return self._env[name]
+
+    def _slot_assign(self, name: str, ref: ValueRef) -> None:
+        if name == STATE_NAME:
+            self._state = ref
+        else:
+            self._env[name] = ref
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> ValueRef:
+        if isinstance(expr, ast.IntLit):
+            return self.graph.const(expr.value).out()
+        if isinstance(expr, ast.Ident):
+            return self._read_scalar(expr.name, expr.location)
+        if isinstance(expr, ast.ArrayRef):
+            address = self._address_of(expr)
+            assert self._state is not None
+            fetch = self.graph.add(OpKind.FE,
+                                   inputs=[self._state, address],
+                                   name=expr.name)
+            return fetch.out()
+        if isinstance(expr, ast.BinOp):
+            kind = BINOP_FROM_C[expr.op]
+            assert expr.lhs is not None and expr.rhs is not None
+            lhs = self._expr(expr.lhs)
+            rhs = self._expr(expr.rhs)
+            return self.graph.add(kind, inputs=[lhs, rhs]).out()
+        if isinstance(expr, ast.UnaryOp):
+            kind = UNARYOP_FROM_C[expr.op]
+            assert expr.operand is not None
+            operand = self._expr(expr.operand)
+            return self.graph.add(kind, inputs=[operand]).out()
+        if isinstance(expr, ast.CondExpr):
+            assert expr.cond and expr.then and expr.otherwise
+            cond = self._expr(expr.cond)
+            then = self._expr(expr.then)
+            otherwise = self._expr(expr.otherwise)
+            return self.graph.add(OpKind.MUX,
+                                  inputs=[cond, then, otherwise]).out()
+        if isinstance(expr, ast.Call):
+            kind = INTRINSIC_FROM_C[expr.name]
+            args = [self._expr(arg) for arg in expr.args]
+            return self.graph.add(kind, inputs=args).out()
+        raise self._error(f"unhandled expression {type(expr).__name__}",
+                          expr.location)
+
+
+def build_cdfg(program: ast.Program, function: str = "main",
+               info: ProgramInfo | None = None) -> Graph:
+    """Translate one function of a parsed *program* into a CDFG.
+
+    Calls to user-defined functions are inlined first (paper §III
+    counts function calls among the CDFG operations; the tile has no
+    call mechanism, so call-free code is what gets mapped).
+    """
+    from repro.lang.inline import has_user_calls, inline_calls
+    if has_user_calls(program, function):
+        program = inline_calls(program, function)
+        info = None  # names changed; re-analyze
+    return CdfgBuilder(program, function, info).build()
+
+
+def build_main_cdfg(source: str, filename: str = "<input>") -> Graph:
+    """Parse C *source* and translate its ``main`` into a CDFG."""
+    program = parse_program(source, filename)
+    return build_cdfg(program)

@@ -1,0 +1,81 @@
+"""Graphviz (DOT) export of CDFGs.
+
+Renders graphs in the visual style of the paper's figures: operation
+nodes as boxes labelled with the C operator, statespace primitives
+(ST/FE/DEL) highlighted, state edges drawn dashed, and compound
+LOOP/BRANCH nodes as clustered sub-graphs.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.graph import Graph, Node
+from repro.cdfg.ops import OpKind, PortType, signature
+
+_STATE_STYLE = ' style=dashed color="#3366aa"'
+_PRIMITIVE_COLOR = "#ffdd99"
+_CONST_COLOR = "#e8e8e8"
+_COMPOUND_COLOR = "#ddeeff"
+
+
+def _node_label(node: Node) -> str:
+    label = node.describe()
+    return label.replace('"', '\\"')
+
+
+def _node_attrs(node: Node) -> str:
+    if node.kind in (OpKind.ST, OpKind.FE, OpKind.DEL):
+        return f'shape=box style=filled fillcolor="{_PRIMITIVE_COLOR}"'
+    if node.kind in (OpKind.CONST, OpKind.ADDR):
+        return f'shape=ellipse style=filled fillcolor="{_CONST_COLOR}"'
+    if node.kind in (OpKind.SS_IN, OpKind.SS_OUT):
+        return "shape=plaintext"
+    if node.kind in (OpKind.INPUT, OpKind.OUTPUT):
+        return "shape=invhouse" if node.kind is OpKind.INPUT \
+            else "shape=house"
+    return "shape=box"
+
+
+def _edge_is_state(graph: Graph, node: Node, slot: int) -> bool:
+    sig = signature(node.kind)
+    if sig is not None and slot < len(sig[0]):
+        return sig[0][slot] is PortType.STATE
+    return False
+
+
+def _emit_graph(graph: Graph, lines: list[str], prefix: str) -> None:
+    for node in graph.sorted_nodes():
+        identity = f"{prefix}n{node.id}"
+        if node.is_compound:
+            lines.append(f'subgraph cluster_{identity} {{')
+            lines.append(f'  label="{node.kind}" style=filled '
+                         f'fillcolor="{_COMPOUND_COLOR}"')
+            lines.append(f'  {identity} [label="{_node_label(node)}" '
+                         f'shape=box]')
+            for body_index, body in enumerate(node.bodies):
+                lines.append(f'  subgraph cluster_{identity}_'
+                             f'b{body_index} {{')
+                lines.append(f'    label="{body.name}"')
+                _emit_graph(body, lines,
+                            prefix=f"{identity}_b{body_index}_")
+                lines.append("  }")
+            lines.append("}")
+        else:
+            lines.append(f'{identity} [label="{_node_label(node)}" '
+                         f'{_node_attrs(node)}]')
+    for node in graph.sorted_nodes():
+        identity = f"{prefix}n{node.id}"
+        for slot, ref in enumerate(node.inputs):
+            source = f"{prefix}n{ref[0]}"
+            style = _STATE_STYLE if _edge_is_state(graph, node, slot) \
+                else ""
+            lines.append(f"{source} -> {identity} [{style.strip()}]"
+                         if style else f"{source} -> {identity}")
+
+
+def to_dot(graph: Graph, title: str | None = None) -> str:
+    """Render *graph* as Graphviz DOT text."""
+    lines = [f'digraph "{title or graph.name}" {{',
+             "rankdir=TB", 'node [fontname="Helvetica"]']
+    _emit_graph(graph, lines, prefix="")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,384 @@
+"""The CDFG graph data structure.
+
+A :class:`Graph` is a set of :class:`Node` objects connected by value
+references.  A :class:`ValueRef` names one output of one node as the
+pair ``(node_id, output_index)``; node inputs are ordered lists of such
+references, which encodes the hyperedges of the paper's hypergraph
+model (one producer output fanning out to many consumer ports is one
+hyperedge).
+
+Compound control (paper §III: "control information ... which in turn
+control the iteration and selection statements") is represented by
+``LOOP`` and ``BRANCH`` nodes carrying nested sub-graphs:
+
+* A ``LOOP`` node has ``k`` inputs (initial values of the loop-carried
+  variables) and ``k`` outputs (their final values).  Its single body
+  graph uses ``INPUT`` nodes with slots ``0..k-1`` for the current
+  carried values, an ``OUTPUT`` node with slot ``COND_SLOT`` for the
+  continue-condition, and ``OUTPUT`` nodes with slots ``0..k-1`` for
+  the next-iteration values.
+* A ``BRANCH`` node has ``1 + k`` inputs (condition plus live-ins) and
+  ``k`` outputs (merged live-outs).  Each of its two bodies maps INPUT
+  slots ``0..k-1`` to OUTPUT slots ``0..k-1``.
+
+The statespace, when touched inside a loop/branch, is threaded through
+as just another carried value — its port type is STATE.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.cdfg.ops import Address, OpKind, PortType, signature
+
+#: One output of one node: (node id, output index).
+ValueRef = tuple[int, int]
+
+#: OUTPUT slot used for a LOOP body's continue-condition.
+COND_SLOT = "cond"
+
+
+class GraphError(Exception):
+    """Raised on malformed graph manipulation."""
+
+
+@dataclass
+class Node:
+    """One operation in a CDFG.
+
+    Attributes
+    ----------
+    id:
+        Unique (per graph) integer identity.
+    kind:
+        The operation.
+    inputs:
+        Ordered input references.
+    value:
+        Payload: ``int`` for CONST, :class:`Address` for ADDR, a slot
+        index or :data:`COND_SLOT` for INPUT/OUTPUT nodes.
+    name:
+        Optional human-readable label (variable name etc.).
+    bodies:
+        Nested sub-graphs: ``(body,)`` for LOOP and
+        ``(then_body, else_body)`` for BRANCH; empty otherwise.
+    n_outputs:
+        Number of output ports.
+    """
+
+    id: int
+    kind: OpKind
+    inputs: list[ValueRef] = field(default_factory=list)
+    value: Any = None
+    name: str | None = None
+    bodies: tuple["Graph", ...] = ()
+    n_outputs: int = 1
+
+    def out(self, index: int = 0) -> ValueRef:
+        """The reference naming this node's *index*-th output."""
+        if not 0 <= index < self.n_outputs:
+            raise GraphError(
+                f"node {self.id} ({self.kind}) has {self.n_outputs} "
+                f"output(s); no output {index}")
+        return (self.id, index)
+
+    @property
+    def is_compound(self) -> bool:
+        return self.kind in (OpKind.LOOP, OpKind.BRANCH)
+
+    def describe(self) -> str:
+        """Short human-readable description used in errors and DOT."""
+        if self.kind is OpKind.CONST:
+            return str(self.value)
+        if self.kind is OpKind.ADDR:
+            return f"&{self.value}"
+        label = str(self.kind)
+        if self.name:
+            label += f" {self.name}"
+        return label
+
+    def __repr__(self) -> str:
+        return f"<Node {self.id} {self.describe()}>"
+
+
+class Graph:
+    """A mutable CDFG.
+
+    Nodes are created with :meth:`add` (or one of the typed helpers)
+    and wired by passing producer references as inputs.  The graph
+    offers the navigation and surgery primitives that the transform
+    passes and the mapper rely on: topological iteration, use lists,
+    use replacement, dead-node removal and deep cloning.
+    """
+
+    def __init__(self, name: str = "cdfg"):
+        self.name = name
+        self.nodes: dict[int, Node] = {}
+        self._ids = itertools.count(0)
+
+    # -- construction -------------------------------------------------
+
+    def add(self, kind: OpKind, inputs: Iterable[ValueRef] = (),
+            value: Any = None, name: str | None = None,
+            bodies: tuple["Graph", ...] = (),
+            n_outputs: int | None = None) -> Node:
+        """Create a node, wire its inputs, and return it."""
+        inputs = list(inputs)
+        for ref in inputs:
+            self._check_ref(ref)
+        if n_outputs is None:
+            sig = signature(kind)
+            n_outputs = len(sig[1]) if sig else 1
+        node = Node(id=next(self._ids), kind=kind, inputs=inputs,
+                    value=value, name=name, bodies=bodies,
+                    n_outputs=n_outputs)
+        self.nodes[node.id] = node
+        return node
+
+    def const(self, value: int) -> Node:
+        """Add (or reuse nothing — always adds) an integer constant."""
+        return self.add(OpKind.CONST, value=value)
+
+    def addr(self, address: Address | str, offset: int = 0) -> Node:
+        """Add a constant address node."""
+        if isinstance(address, str):
+            address = Address(address, offset)
+        return self.add(OpKind.ADDR, value=address)
+
+    def _check_ref(self, ref: ValueRef) -> None:
+        node_id, out_index = ref
+        if node_id not in self.nodes:
+            raise GraphError(f"reference to unknown node {node_id}")
+        producer = self.nodes[node_id]
+        if not 0 <= out_index < producer.n_outputs:
+            raise GraphError(
+                f"node {node_id} ({producer.kind}) has no output "
+                f"{out_index}")
+
+    # -- lookup -------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        """Return the node with identity *node_id*."""
+        return self.nodes[node_id]
+
+    def producer(self, ref: ValueRef) -> Node:
+        """The node producing reference *ref*."""
+        return self.nodes[ref[0]]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(list(self.nodes.values()))
+
+    def find(self, kind: OpKind) -> list[Node]:
+        """All nodes of the given kind, in id order."""
+        return [node for node in self.sorted_nodes() if node.kind is kind]
+
+    def sorted_nodes(self) -> list[Node]:
+        """All nodes in ascending id order (deterministic)."""
+        return [self.nodes[node_id] for node_id in sorted(self.nodes)]
+
+    def sole(self, kind: OpKind) -> Node:
+        """The unique node of *kind* (GraphError if 0 or >1)."""
+        found = self.find(kind)
+        if len(found) != 1:
+            raise GraphError(
+                f"expected exactly one {kind} node, found {len(found)}")
+        return found[0]
+
+    def counts(self) -> dict[OpKind, int]:
+        """Histogram of node kinds (used by the Fig. 3 experiment)."""
+        histogram: dict[OpKind, int] = {}
+        for node in self.nodes.values():
+            histogram[node.kind] = histogram.get(node.kind, 0) + 1
+        return histogram
+
+    # -- uses ----------------------------------------------------------
+
+    def uses(self) -> dict[ValueRef, list[tuple[int, int]]]:
+        """Map each referenced output to its consumers.
+
+        Returns ``{(producer_id, out_idx): [(consumer_id, in_slot), ...]}``
+        with consumers in deterministic (id, slot) order.
+        """
+        table: dict[ValueRef, list[tuple[int, int]]] = {}
+        for node in self.sorted_nodes():
+            for slot, ref in enumerate(node.inputs):
+                table.setdefault(ref, []).append((node.id, slot))
+        return table
+
+    def users_of(self, node_id: int) -> list[Node]:
+        """Nodes consuming any output of *node_id* (deduplicated)."""
+        seen: dict[int, Node] = {}
+        for node in self.sorted_nodes():
+            for ref in node.inputs:
+                if ref[0] == node_id:
+                    seen[node.id] = node
+        return list(seen.values())
+
+    def replace_uses(self, old: ValueRef, new: ValueRef) -> int:
+        """Rewire every input reading *old* to read *new*; return count."""
+        if old == new:
+            return 0
+        self._check_ref(new)
+        replaced = 0
+        for node in self.nodes.values():
+            for slot, ref in enumerate(node.inputs):
+                if ref == old:
+                    node.inputs[slot] = new
+                    replaced += 1
+        return replaced
+
+    def remove(self, node_id: int) -> None:
+        """Remove a node; it must have no remaining users."""
+        users = self.users_of(node_id)
+        if users:
+            raise GraphError(
+                f"cannot remove node {node_id}: still used by "
+                f"{[user.id for user in users]}")
+        del self.nodes[node_id]
+
+    def remove_dead(self, keep: Iterable[int] = ()) -> int:
+        """Remove all nodes not reachable (via inputs) from root nodes.
+
+        Roots are OUTPUT / SS_OUT nodes plus anything listed in *keep*.
+        Returns the number of removed nodes.
+        """
+        roots = {node.id for node in self.nodes.values()
+                 if node.kind in (OpKind.OUTPUT, OpKind.SS_OUT)}
+        roots.update(keep)
+        live: set[int] = set()
+        stack = list(roots)
+        while stack:
+            node_id = stack.pop()
+            if node_id in live:
+                continue
+            live.add(node_id)
+            for ref in self.nodes[node_id].inputs:
+                stack.append(ref[0])
+        dead = [node_id for node_id in self.nodes if node_id not in live]
+        for node_id in dead:
+            del self.nodes[node_id]
+        return len(dead)
+
+    # -- ordering -------------------------------------------------------
+
+    def topo_order(self) -> list[Node]:
+        """Nodes in dependence order (inputs before users).
+
+        Raises :class:`GraphError` on a cycle.  Ties are broken by node
+        id so the order is deterministic.
+        """
+        indegree: dict[int, int] = {node_id: 0 for node_id in self.nodes}
+        consumers: dict[int, list[int]] = {n: [] for n in self.nodes}
+        for node in self.nodes.values():
+            unique_producers = {ref[0] for ref in node.inputs}
+            indegree[node.id] = len(unique_producers)
+            for producer_id in unique_producers:
+                consumers[producer_id].append(node.id)
+        import heapq
+        ready = [node_id for node_id, degree in indegree.items()
+                 if degree == 0]
+        heapq.heapify(ready)
+        order: list[Node] = []
+        while ready:
+            node_id = heapq.heappop(ready)
+            order.append(self.nodes[node_id])
+            for consumer_id in consumers[node_id]:
+                indegree[consumer_id] -= 1
+                if indegree[consumer_id] == 0:
+                    heapq.heappush(ready, consumer_id)
+        if len(order) != len(self.nodes):
+            scheduled = {node.id for node in order}
+            stuck = sorted(set(self.nodes) - scheduled)
+            raise GraphError(f"cycle through nodes {stuck}")
+        return order
+
+    def depth(self) -> int:
+        """Length (in nodes) of the longest dependence chain."""
+        longest: dict[int, int] = {}
+        for node in self.topo_order():
+            incoming = [longest[ref[0]] for ref in node.inputs]
+            longest[node.id] = 1 + (max(incoming) if incoming else 0)
+        return max(longest.values(), default=0)
+
+    # -- compound-node helpers ------------------------------------------
+
+    def loop_body(self, node: Node) -> "Graph":
+        if node.kind is not OpKind.LOOP:
+            raise GraphError(f"node {node.id} is not a LOOP")
+        return node.bodies[0]
+
+    def branch_bodies(self, node: Node) -> tuple["Graph", "Graph"]:
+        if node.kind is not OpKind.BRANCH:
+            raise GraphError(f"node {node.id} is not a BRANCH")
+        return node.bodies[0], node.bodies[1]
+
+    @staticmethod
+    def body_inputs(body: "Graph") -> dict[Any, Node]:
+        """Map INPUT slot -> node for a compound body graph."""
+        return {node.value: node for node in body.find(OpKind.INPUT)}
+
+    @staticmethod
+    def body_outputs(body: "Graph") -> dict[Any, Node]:
+        """Map OUTPUT slot -> node for a compound body graph."""
+        return {node.value: node for node in body.find(OpKind.OUTPUT)}
+
+    # -- copying ----------------------------------------------------------
+
+    def clone(self) -> "Graph":
+        """Deep copy (sub-graphs included); node ids are preserved."""
+        fresh = Graph(self.name)
+        fresh._ids = itertools.count(max(self.nodes, default=-1) + 1)
+        for node_id, node in self.nodes.items():
+            fresh.nodes[node_id] = Node(
+                id=node.id, kind=node.kind, inputs=list(node.inputs),
+                value=node.value, name=node.name,
+                bodies=tuple(body.clone() for body in node.bodies),
+                n_outputs=node.n_outputs)
+        return fresh
+
+    def splice(self, other: "Graph",
+               substitutions: dict[ValueRef, ValueRef],
+               skip: Callable[[Node], bool] | None = None
+               ) -> dict[ValueRef, ValueRef]:
+        """Copy *other*'s nodes into this graph.
+
+        ``substitutions`` maps references *inside other* (typically its
+        INPUT nodes' outputs) to references in *self*; nodes whose
+        output is substituted are not copied.  Nodes for which *skip*
+        returns True (typically OUTPUT markers) are not copied either.
+        Returns the full mapping from other-refs to self-refs.
+        """
+        mapping: dict[ValueRef, ValueRef] = dict(substitutions)
+        for node in other.topo_order():
+            if any(node.out(i) in mapping for i in range(node.n_outputs)):
+                continue
+            if skip is not None and skip(node):
+                continue
+            copied = self.add(
+                kind=node.kind,
+                inputs=[mapping[ref] for ref in node.inputs],
+                value=node.value, name=node.name,
+                bodies=tuple(body.clone() for body in node.bodies),
+                n_outputs=node.n_outputs)
+            for index in range(node.n_outputs):
+                mapping[node.out(index)] = copied.out(index)
+        return mapping
+
+    # -- misc ---------------------------------------------------------------
+
+    def stats(self) -> str:
+        """One-line summary, e.g. ``"cdfg: 17 nodes (FE:8 *:4 +:3 ST:2)"``."""
+        histogram = self.counts()
+        parts = " ".join(
+            f"{kind}:{count}"
+            for kind, count in sorted(histogram.items(),
+                                      key=lambda item: str(item[0])))
+        return f"{self.name}: {len(self.nodes)} nodes ({parts})"
+
+    def __repr__(self) -> str:
+        return f"<Graph {self.name!r} with {len(self.nodes)} nodes>"

@@ -1,0 +1,209 @@
+"""Reference interpreter for CDFGs.
+
+This is the semantic ground truth of the whole reproduction: every
+transformation pass and the complete mapping flow are tested by
+checking that the final statespace they produce equals the one this
+interpreter computes on the original graph.
+
+Values flowing along edges are Python ints (VALUE), :class:`Address`
+(ADDRESS) or :class:`StateSpace` (STATE).  Compound ``LOOP``/``BRANCH``
+nodes are executed recursively; an iteration limit guards against
+non-terminating loops in generated tests.
+
+An optional *width* wraps every scalar result to a two's-complement
+width (the FPFA data-path is 16-bit wide); by default arithmetic is
+unbounded, which is what the algebraic transformations assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.cdfg.graph import COND_SLOT, Graph, Node
+from repro.cdfg.ops import Address, OpKind, eval_op, wrap_value
+from repro.cdfg.statespace import StateSpace
+
+
+class InterpreterError(Exception):
+    """Raised on semantic errors during CDFG execution."""
+
+
+@dataclass
+class RunResult:
+    """The observable outcome of executing a CDFG."""
+
+    state: StateSpace
+    outputs: dict[Any, Any] = field(default_factory=dict)
+
+    def fetch(self, address: Address | str, **kwargs) -> Any:
+        """Convenience: read the final statespace."""
+        return self.state.fetch(address, **kwargs)
+
+
+_wrap = wrap_value
+
+
+class Interpreter:
+    """Executes CDFGs produced by :mod:`repro.cdfg.builder`."""
+
+    def __init__(self, *, max_iterations: int = 1_000_000,
+                 width: int | None = None, strict_fetch: bool = False):
+        self.max_iterations = max_iterations
+        self.width = width
+        self.strict_fetch = strict_fetch
+
+    # -- public --------------------------------------------------------
+
+    def run(self, graph: Graph, initial_state: StateSpace | None = None,
+            inputs: Mapping[str, int] | None = None) -> RunResult:
+        """Execute *graph* and return its final state and outputs."""
+        env: dict[Any, Any] = {}
+        if inputs:
+            env.update(inputs)
+        values = self._eval_graph(graph, env,
+                                  initial_state or StateSpace())
+        result = RunResult(state=initial_state or StateSpace())
+        for node in graph.sorted_nodes():
+            if node.kind is OpKind.SS_OUT:
+                result.state = values[node.inputs[0]]
+            elif node.kind is OpKind.OUTPUT:
+                result.outputs[node.value] = values[node.inputs[0]]
+        return result
+
+    # -- internals -------------------------------------------------------
+
+    def _eval_graph(self, graph: Graph, input_env: Mapping[Any, Any],
+                    initial_state: StateSpace) -> dict:
+        """Evaluate every node; return the map ref -> value."""
+        values: dict[tuple[int, int], Any] = {}
+        for node in graph.topo_order():
+            self._eval_node(graph, node, values, input_env, initial_state)
+        return values
+
+    def _eval_node(self, graph: Graph, node: Node, values: dict,
+                   input_env: Mapping[Any, Any],
+                   initial_state: StateSpace) -> None:
+        kind = node.kind
+        operands = [values[ref] for ref in node.inputs]
+        if kind is OpKind.CONST:
+            values[node.out()] = _wrap(node.value, self.width)
+        elif kind is OpKind.ADDR:
+            values[node.out()] = node.value
+        elif kind is OpKind.SS_IN:
+            values[node.out()] = initial_state
+        elif kind in (OpKind.SS_OUT, OpKind.OUTPUT):
+            pass  # roots; collected by run()
+        elif kind is OpKind.INPUT:
+            if node.value not in input_env:
+                raise InterpreterError(
+                    f"no value supplied for input {node.value!r}")
+            values[node.out()] = input_env[node.value]
+        elif kind is OpKind.ST:
+            state, address, data = operands
+            self._expect_state(state, node)
+            values[node.out()] = state.store(self._as_address(address,
+                                                              node), data)
+        elif kind is OpKind.FE:
+            state, address = operands
+            self._expect_state(state, node)
+            values[node.out()] = state.fetch(
+                self._as_address(address, node), strict=self.strict_fetch)
+        elif kind is OpKind.DEL:
+            state, address = operands
+            self._expect_state(state, node)
+            values[node.out()] = state.delete(self._as_address(address,
+                                                               node))
+        elif kind is OpKind.ADDR_ADD:
+            address, offset = operands
+            values[node.out()] = self._as_address(address,
+                                                  node).shifted(offset)
+        elif kind is OpKind.LOOP:
+            self._eval_loop(node, operands, values)
+        elif kind is OpKind.BRANCH:
+            self._eval_branch(node, operands, values)
+        elif kind is OpKind.MUX:
+            cond, if_true, if_false = operands
+            values[node.out()] = if_true if cond != 0 else if_false
+        else:
+            try:
+                result = eval_op(kind, *operands)
+            except ValueError as error:
+                raise InterpreterError(str(error)) from None
+            except TypeError:
+                raise InterpreterError(
+                    f"bad operand types for {kind} at node {node.id}: "
+                    f"{operands!r}") from None
+            values[node.out()] = _wrap(result, self.width)
+
+    def _eval_body(self, body: Graph, env: Mapping[Any, Any]) -> dict:
+        """Run a compound body; return its OUTPUT slot -> value map."""
+        values = self._eval_graph(body, env, StateSpace())
+        outputs: dict[Any, Any] = {}
+        for node in body.sorted_nodes():
+            if node.kind is OpKind.OUTPUT:
+                outputs[node.value] = values[node.inputs[0]]
+        return outputs
+
+    def _eval_loop(self, node: Node, operands: list, values: dict) -> None:
+        names = node.value
+        body = node.bodies[0]
+        carried = dict(zip(names, operands))
+        for _ in range(self.max_iterations):
+            outputs = self._eval_body(body, carried)
+            if COND_SLOT not in outputs:
+                raise InterpreterError(
+                    f"LOOP node {node.id} body has no condition output")
+            if outputs[COND_SLOT] == 0:
+                break
+            carried = {name: outputs[name] for name in names}
+        else:
+            raise InterpreterError(
+                f"LOOP node {node.id} exceeded "
+                f"{self.max_iterations} iterations")
+        for index, name in enumerate(names):
+            values[node.out(index)] = carried[name]
+
+    def _eval_branch(self, node: Node, operands: list,
+                     values: dict) -> None:
+        live_ins, live_outs = node.value
+        cond = operands[0]
+        env = dict(zip(live_ins, operands[1:]))
+        body = node.bodies[0] if cond != 0 else node.bodies[1]
+        outputs = self._eval_body(body, env)
+        for index, name in enumerate(live_outs):
+            if name not in outputs:
+                raise InterpreterError(
+                    f"BRANCH node {node.id} arm is missing output "
+                    f"{name!r}")
+            values[node.out(index)] = outputs[name]
+
+    @staticmethod
+    def _expect_state(value, node: Node) -> None:
+        if not isinstance(value, StateSpace):
+            raise InterpreterError(
+                f"node {node.id} ({node.kind}) expected a statespace, "
+                f"got {type(value).__name__}")
+
+    @staticmethod
+    def _as_address(value, node: Node) -> Address:
+        if isinstance(value, Address):
+            return value
+        raise InterpreterError(
+            f"node {node.id} ({node.kind}) expected an address, "
+            f"got {type(value).__name__}")
+
+
+def run_graph(graph: Graph, initial_state: StateSpace | None = None,
+              inputs: Mapping[str, int] | None = None,
+              **interp_kwargs) -> RunResult:
+    """Execute *graph*; see :class:`Interpreter` for keyword options."""
+    return Interpreter(**interp_kwargs).run(graph, initial_state, inputs)
+
+
+def run_main(source: str, initial_state: StateSpace | None = None,
+             **interp_kwargs) -> RunResult:
+    """Build the CDFG of C *source*'s main and execute it."""
+    from repro.cdfg.builder import build_main_cdfg
+    graph = build_main_cdfg(source)
+    return run_graph(graph, initial_state, **interp_kwargs)

@@ -1,0 +1,216 @@
+"""Structural validation of CDFGs.
+
+Checks the invariants every phase relies on:
+
+* all input references point at existing nodes/outputs;
+* the graph (outside compound bodies) is acyclic;
+* port types line up (state goes into state ports, addresses into
+  address ports, ...);
+* statespace plumbing: at most one SS_IN / SS_OUT, and only in the
+  top-level graph — compound bodies thread state through their slots;
+* compound nodes' slot conventions hold (LOOP carried names match the
+  body's INPUT/OUTPUT slots plus the condition; BRANCH arms map
+  live-ins to live-outs).
+
+``validate`` raises :class:`ValidationError` with a precise message;
+it returns the graph so calls can be chained.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.graph import COND_SLOT, Graph, GraphError, Node, ValueRef
+from repro.cdfg.ops import Address, OpKind, PortType, signature
+from repro.cdfg.builder import STATE_NAME
+
+
+class ValidationError(Exception):
+    """Raised when a CDFG violates a structural invariant."""
+
+
+def _output_type(graph: Graph, ref: ValueRef,
+                 cache: dict[ValueRef, PortType]) -> PortType:
+    """Infer the port type carried by *ref* (memoised)."""
+    if ref in cache:
+        return cache[ref]
+    node = graph.node(ref[0])
+    kind = node.kind
+    result: PortType
+    sig = signature(kind)
+    if sig is not None:
+        result = sig[1][ref[1]]
+    elif kind is OpKind.INPUT:
+        result = (PortType.STATE if node.value == STATE_NAME
+                  else PortType.VALUE)
+    elif kind is OpKind.MUX:
+        # Polymorphic select: type = join of the two data inputs.
+        cache[ref] = PortType.VALUE  # breaks cycles defensively
+        t_true = _output_type(graph, node.inputs[1], cache)
+        t_false = _output_type(graph, node.inputs[2], cache)
+        if t_true is not t_false:
+            raise ValidationError(
+                f"MUX node {node.id} selects between {t_true.value} and "
+                f"{t_false.value}")
+        result = t_true
+    elif kind is OpKind.LOOP:
+        names = node.value
+        result = (PortType.STATE if names[ref[1]] == STATE_NAME
+                  else PortType.VALUE)
+    elif kind is OpKind.BRANCH:
+        __, live_outs = node.value
+        result = (PortType.STATE if live_outs[ref[1]] == STATE_NAME
+                  else PortType.VALUE)
+    else:  # pragma: no cover - defensive
+        raise ValidationError(f"cannot type outputs of {kind}")
+    cache[ref] = result
+    return result
+
+
+def _check_node_arity(node: Node) -> None:
+    sig = signature(node.kind)
+    if sig is not None:
+        expected_in, expected_out = sig
+        if len(node.inputs) != len(expected_in):
+            raise ValidationError(
+                f"node {node.id} ({node.kind}) has {len(node.inputs)} "
+                f"inputs, expected {len(expected_in)}")
+        if node.n_outputs != len(expected_out):
+            raise ValidationError(
+                f"node {node.id} ({node.kind}) declares "
+                f"{node.n_outputs} outputs, expected {len(expected_out)}")
+        return
+    if node.kind is OpKind.MUX and len(node.inputs) != 3:
+        raise ValidationError(
+            f"MUX node {node.id} has {len(node.inputs)} inputs, "
+            f"expected 3")
+    if node.kind is OpKind.INPUT and node.inputs:
+        raise ValidationError(f"INPUT node {node.id} must have no inputs")
+    if node.kind is OpKind.OUTPUT and len(node.inputs) != 1:
+        raise ValidationError(
+            f"OUTPUT node {node.id} must have exactly one input")
+
+
+def _check_payloads(node: Node) -> None:
+    if node.kind is OpKind.CONST and not isinstance(node.value, int):
+        raise ValidationError(
+            f"CONST node {node.id} carries {node.value!r}, not an int")
+    if node.kind is OpKind.ADDR and not isinstance(node.value, Address):
+        raise ValidationError(
+            f"ADDR node {node.id} carries {node.value!r}, not an Address")
+
+
+def _check_loop(graph: Graph, node: Node) -> None:
+    if len(node.bodies) != 1:
+        raise ValidationError(
+            f"LOOP node {node.id} must have exactly one body")
+    names = node.value
+    if not isinstance(names, tuple):
+        raise ValidationError(
+            f"LOOP node {node.id} value must be the carried-name tuple")
+    if len(node.inputs) != len(names) or node.n_outputs != len(names):
+        raise ValidationError(
+            f"LOOP node {node.id} carries {len(names)} values but has "
+            f"{len(node.inputs)} inputs / {node.n_outputs} outputs")
+    body = node.bodies[0]
+    input_slots = set(Graph.body_inputs(body))
+    output_slots = set(Graph.body_outputs(body))
+    if not input_slots <= set(names):
+        raise ValidationError(
+            f"LOOP node {node.id} body reads slots "
+            f"{sorted(input_slots - set(names), key=str)} that are not "
+            f"carried")
+    expected_outputs = set(names) | {COND_SLOT}
+    if output_slots != expected_outputs:
+        raise ValidationError(
+            f"LOOP node {node.id} body outputs {sorted(output_slots, key=str)}"
+            f", expected {sorted(expected_outputs, key=str)}")
+    validate(body, top_level=False)
+
+
+def _check_branch(graph: Graph, node: Node) -> None:
+    if len(node.bodies) != 2:
+        raise ValidationError(
+            f"BRANCH node {node.id} must have exactly two bodies")
+    live_ins, live_outs = node.value
+    if len(node.inputs) != 1 + len(live_ins):
+        raise ValidationError(
+            f"BRANCH node {node.id} has {len(node.inputs)} inputs, "
+            f"expected cond + {len(live_ins)} live-ins")
+    if node.n_outputs != len(live_outs):
+        raise ValidationError(
+            f"BRANCH node {node.id} has {node.n_outputs} outputs, "
+            f"expected {len(live_outs)} live-outs")
+    for body in node.bodies:
+        input_slots = set(Graph.body_inputs(body))
+        output_slots = set(Graph.body_outputs(body))
+        if not input_slots <= set(live_ins):
+            raise ValidationError(
+                f"BRANCH node {node.id} arm {body.name!r} reads slots "
+                f"{sorted(input_slots - set(live_ins), key=str)} that are "
+                f"not live-in")
+        if output_slots != set(live_outs):
+            raise ValidationError(
+                f"BRANCH node {node.id} arm {body.name!r} outputs "
+                f"{sorted(output_slots, key=str)}, expected "
+                f"{sorted(set(live_outs), key=str)}")
+        validate(body, top_level=False)
+
+
+def validate(graph: Graph, *, top_level: bool = True) -> Graph:
+    """Check all structural invariants; raise or return *graph*."""
+    # References and acyclicity.
+    for node in graph.sorted_nodes():
+        for ref in node.inputs:
+            if ref[0] not in graph.nodes:
+                raise ValidationError(
+                    f"node {node.id} reads unknown node {ref[0]}")
+            producer = graph.node(ref[0])
+            if not 0 <= ref[1] < producer.n_outputs:
+                raise ValidationError(
+                    f"node {node.id} reads output {ref[1]} of node "
+                    f"{producer.id}, which has {producer.n_outputs}")
+    try:
+        graph.topo_order()
+    except GraphError as error:
+        raise ValidationError(str(error)) from None
+
+    # Statespace plumbing.
+    ss_in_count = len(graph.find(OpKind.SS_IN))
+    ss_out_count = len(graph.find(OpKind.SS_OUT))
+    if top_level:
+        if ss_in_count > 1 or ss_out_count > 1:
+            raise ValidationError(
+                f"expected at most one SS_IN/SS_OUT, found "
+                f"{ss_in_count}/{ss_out_count}")
+    elif ss_in_count or ss_out_count:
+        raise ValidationError(
+            "compound bodies must thread state through slots, not "
+            "SS_IN/SS_OUT nodes")
+
+    # Node-local checks, then typing.
+    type_cache: dict[ValueRef, PortType] = {}
+    for node in graph.sorted_nodes():
+        _check_node_arity(node)
+        _check_payloads(node)
+        if node.kind is OpKind.LOOP:
+            _check_loop(graph, node)
+        elif node.kind is OpKind.BRANCH:
+            _check_branch(graph, node)
+        sig = signature(node.kind)
+        if sig is not None:
+            for slot, (ref, expected) in enumerate(zip(node.inputs,
+                                                       sig[0])):
+                actual = _output_type(graph, ref, type_cache)
+                if actual is not expected:
+                    raise ValidationError(
+                        f"node {node.id} ({node.kind}) input {slot} is "
+                        f"{actual.value}, expected {expected.value}")
+        elif node.kind is OpKind.BRANCH:
+            cond_type = _output_type(graph, node.inputs[0], type_cache)
+            if cond_type is not PortType.VALUE:
+                raise ValidationError(
+                    f"BRANCH node {node.id} condition is "
+                    f"{cond_type.value}, expected value")
+        elif node.kind is OpKind.MUX:
+            # Force the select-type join even when nothing consumes it.
+            _output_type(graph, node.out(), type_cache)
+    return graph

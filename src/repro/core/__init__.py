@@ -1,0 +1,55 @@
+"""The paper's contribution: three-phase mapping onto an FPFA tile.
+
+Paper §VI: "We use a three phase decomposition algorithm based on the
+two-phased decomposition of multiprocessor scheduling introduced by
+Sarkar: (1) Task clustering and ALU data-path mapping; (2) Scheduling
+the clusters on the 5 physical ALUs of an FPFA tile; (3) Resource
+allocation."
+
+* :mod:`repro.core.taskgraph` — lowers a minimised, flat CDFG into the
+  task DAG the three phases consume;
+* :mod:`repro.core.clustering` — phase 1 (template-cover clustering);
+* :mod:`repro.core.scheduling` — phase 2 (level scheduling, ≤5
+  clusters per level, insert-a-new-level rule of Fig. 4);
+* :mod:`repro.core.allocation` — phase 3 (the Fig. 5 heuristic);
+* :mod:`repro.core.pipeline` — the end-to-end ``map_source`` /
+  ``map_graph`` drivers and mapping verification.
+"""
+
+from repro.core.taskgraph import (
+    MappingError,
+    Operand,
+    StoreTask,
+    Task,
+    TaskGraph,
+)
+from repro.core.clustering import Cluster, ClusterGraph, cluster_tasks
+from repro.core.scheduling import Schedule, ScheduledCluster, schedule_clusters
+from repro.core.allocation import AllocationError, Allocator, allocate
+from repro.core.pipeline import (
+    MappingReport,
+    map_graph,
+    map_source,
+    verify_mapping,
+)
+
+__all__ = [
+    "AllocationError",
+    "Allocator",
+    "Cluster",
+    "ClusterGraph",
+    "MappingError",
+    "MappingReport",
+    "Operand",
+    "Schedule",
+    "ScheduledCluster",
+    "StoreTask",
+    "Task",
+    "TaskGraph",
+    "allocate",
+    "cluster_tasks",
+    "map_graph",
+    "map_source",
+    "schedule_clusters",
+    "verify_mapping",
+]

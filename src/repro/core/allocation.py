@@ -1,0 +1,599 @@
+"""Phase 3 — resource allocation (paper §VI-C, Fig. 5).
+
+    function ResourceAllocation(G) {
+        for each level in G do Allocate(level);
+    }
+    function Allocate(currentLevel) {
+        Allocate ALUs of the current clock cycle
+        for each output do store it to a memory;
+        for each input of current level
+        do try to move it to proper register at the clock cycle which
+           is four steps before; If failed, do it three steps before;
+           then two steps before; one step before.
+        if some inputs are not moved successfully
+        then insert one or more clock cycles before the current one to
+             load inputs
+    }
+
+The allocator walks the schedule level by level and builds the
+per-cycle tile program under every resource limit the paper names
+(§VI-C): register bank sizes, memory sizes, crossbar buses and
+memory/register-bank ports.  Exactly as in Fig. 5:
+
+* each level becomes one execute cycle; its clusters' ALUs are
+  configured on their scheduled PPs;
+* every live cluster result is stored to a memory in its execute
+  cycle — the memory is chosen in the first consumer's PP (*locality
+  of reference*), never a word that still holds live input data;
+* every leaf operand must sit in the *proper* register bank (leaf i
+  feeds ALU input i, so bank Ra..Rd) before the cycle starts.  The
+  allocator tries, in order: (1) *reuse* — the value already resides
+  in the right bank; (2) *direct write-back* — the producing ALU
+  latches its result straight into the consumer's input register via
+  the crossbar (Fig. 1: "the crossbar enables an ALU to write back
+  their result to any register or memory within a tile"); (3) a
+  *staging move* from memory (or an immediate from the control unit)
+  placed 4, then 3, 2, 1 cycles ahead of the consumer;
+* when an operand cannot be staged, the level is rolled back, a stall
+  (load) cycle is inserted before it, and the level is replanned —
+  "insert one or more clock cycles before the current one".
+
+Options ``enable_bypass`` / ``enable_reuse`` / ``stage_window`` exist
+for the locality ablation (EXT-C): disabling them yields the
+memory-only staging baseline.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+
+from repro.arch.control import (
+    AluConfig,
+    Cycle,
+    ImmSource,
+    MemLoc,
+    Move,
+    RegLoc,
+    TileProgram,
+)
+from repro.arch.params import TileParams
+from repro.cdfg.ops import Address
+from repro.core.clustering import Cluster, ClusterGraph
+from repro.core.scheduling import Schedule, ScheduledCluster
+from repro.core.taskgraph import Operand, OperandKind
+
+
+class AllocationError(Exception):
+    """Raised when a schedule cannot be allocated at all."""
+
+
+class _LevelRetry(Exception):
+    """Internal: the pending level needs a stall cycle inserted."""
+
+
+#: Identity of a value for residency tracking.
+ValueKey = tuple
+
+
+def _value_key(operand: Operand, owner: dict[int, int]) -> ValueKey:
+    if operand.kind is OperandKind.CONST:
+        return ("const", operand.value)
+    if operand.kind is OperandKind.MEM:
+        return ("mem", operand.value)
+    return ("cluster", owner[operand.task_id])
+
+
+@dataclass
+class _Slot:
+    """One physical register of one input bank."""
+
+    value: ValueKey | None = None
+    write_cycle: int = -1
+    busy_until: int = -1
+
+
+@dataclass
+class _CycleDraft:
+    """Mutable bookkeeping for one cycle being planned."""
+
+    alu_configs: dict[int, AluConfig] = field(default_factory=dict)
+    moves: list[Move] = field(default_factory=list)
+    bus: set = field(default_factory=set)
+    mem_reads: dict = field(default_factory=dict)   # (pp,mem) -> {addr}
+    mem_writes: dict = field(default_factory=dict)  # (pp,mem) -> {addr}
+    bank_writes: dict = field(default_factory=dict)  # (pp,bank) -> int
+    is_stall: bool = False
+
+
+@dataclass
+class AllocationStats:
+    """What the allocator did (feeds the locality experiment)."""
+
+    reuse_hits: int = 0
+    bypasses: int = 0
+    staged_moves: int = 0
+    copy_moves: int = 0
+    stall_cycles: int = 0
+    stores: int = 0
+
+    def operand_events(self) -> int:
+        return self.reuse_hits + self.bypasses + self.staged_moves
+
+
+class Allocator:
+    """Allocates one schedule onto one tile."""
+
+    def __init__(self, clustered: ClusterGraph, schedule: Schedule,
+                 params: TileParams | None = None, *,
+                 enable_bypass: bool = True, enable_reuse: bool = True,
+                 stage_window: int | None = None,
+                 max_stalls_per_level: int = 64):
+        self.clustered = clustered
+        self.schedule = schedule
+        self.params = params or TileParams()
+        self.enable_bypass = enable_bypass
+        self.enable_reuse = enable_reuse
+        self.stage_window = stage_window or self.params.max_stage_ahead
+        self.max_stalls_per_level = max_stalls_per_level
+        self.stats = AllocationStats()
+
+        # -- mutable planning state (snapshot/restored on retries) --
+        self.cycles: list[_CycleDraft] = []
+        self.banks: dict[tuple[int, int], list[_Slot]] = {
+            (pp, bank): [_Slot() for _ in range(self.params.regs_per_bank)]
+            for pp in range(self.params.n_pps)
+            for bank in range(self.params.banks_per_pp)}
+        self.mem_words: dict[tuple[int, int], set[Address]] = {
+            (pp, mem): set()
+            for pp in range(self.params.n_pps)
+            for mem in range(self.params.memories_per_pp)}
+        self.value_in_memory: dict[ValueKey, tuple[MemLoc, int]] = {}
+        self.cluster_exec_cycle: dict[int, int] = {}
+        self.data_layout: dict[Address, MemLoc] = {}
+        self.output_layout: dict[Address, MemLoc] = {}
+
+        self._prepare()
+
+    # -- setup ------------------------------------------------------------
+
+    def _prepare(self) -> None:
+        """Compute per-cluster output addresses, consumers, layout."""
+        owner = self.clustered.owner
+        self.cluster_outputs: dict[int, list[Address]] = {}
+        for store in self.clustered.stores:
+            if store.source.kind is OperandKind.TASK:
+                cluster_id = owner[store.source.task_id]
+                self.cluster_outputs.setdefault(cluster_id, []).append(
+                    store.address)
+        successors = self.clustered.successors()
+        self.first_consumer_pp: dict[int, int | None] = {}
+        for cluster_id in self.clustered.clusters:
+            consumers = sorted(
+                successors[cluster_id],
+                key=lambda cid: (self.schedule.level_of(cid),
+                                 self.schedule.pp_of(cid)))
+            self.first_consumer_pp[cluster_id] = (
+                self.schedule.pp_of(consumers[0]) if consumers else None)
+        self._layout_inputs()
+
+    def _layout_inputs(self) -> None:
+        """Place every initial-memory word near its first consumer."""
+        wanted: dict[Address, int] = {}
+        for level in self.schedule.levels:
+            for item in level:
+                for operand in item.cluster.operands:
+                    if operand.kind is OperandKind.MEM and \
+                            operand.value not in wanted:
+                        wanted[operand.value] = item.pp
+        for store in self.clustered.stores:
+            if store.source.kind is OperandKind.MEM and \
+                    store.source.value not in wanted:
+                wanted[store.source.value] = 0
+        toggle: dict[int, int] = {}
+        n_mems = self.params.memories_per_pp
+        for address in sorted(wanted):
+            preferred_pp = wanted[address]
+            placed = False
+            for pp in self._pp_preference(preferred_pp):
+                start = toggle.get(pp, 0)
+                for offset in range(n_mems):
+                    candidate = (start + offset) % n_mems
+                    words = self.mem_words[(pp, candidate)]
+                    if len(words) < self.params.memory_words:
+                        loc = MemLoc(pp, candidate, address)
+                        self.data_layout[address] = loc
+                        words.add(address)
+                        self.value_in_memory[("mem", address)] = (loc, 0)
+                        toggle[pp] = (candidate + 1) % n_mems
+                        placed = True
+                        break
+                if placed:
+                    break
+            if not placed:
+                raise AllocationError(
+                    f"tile memories cannot hold input word {address}")
+
+    def _pp_preference(self, preferred: int | None) -> list[int]:
+        pps = list(range(self.params.n_pps))
+        if preferred is None:
+            return pps
+        return [preferred] + [pp for pp in pps if pp != preferred]
+
+    # -- snapshots -----------------------------------------------------------
+    #
+    # A failed level attempt only ever mutates: the appended execute
+    # cycle, the `window` cycles before it (staging moves and direct
+    # write-backs are both window-bounded), the register tables, the
+    # residency dicts and the stats.  Snapshotting just that keeps a
+    # retry O(window), so whole-program allocation stays linear in the
+    # number of clusters — the paper's §VI-C complexity claim.
+
+    def _snapshot(self, window: int):
+        tail_start = max(0, len(self.cycles) - window)
+        return (
+            len(self.cycles),
+            tail_start,
+            copy.deepcopy(self.cycles[tail_start:]),
+            copy.deepcopy(self.banks),
+            {key: set(value) for key, value in self.mem_words.items()},
+            dict(self.value_in_memory),
+            dict(self.cluster_exec_cycle),
+            dict(self.output_layout),
+            copy.copy(self.stats),
+        )
+
+    def _restore(self, snapshot) -> None:
+        (length, tail_start, tail, banks, mem_words, value_in_memory,
+         cluster_exec_cycle, output_layout, stats) = snapshot
+        del self.cycles[length:]
+        self.cycles[tail_start:] = copy.deepcopy(tail)
+        self.banks = copy.deepcopy(banks)
+        self.mem_words = {key: set(value)
+                          for key, value in mem_words.items()}
+        self.value_in_memory = dict(value_in_memory)
+        self.cluster_exec_cycle = dict(cluster_exec_cycle)
+        self.output_layout = dict(output_layout)
+        self.stats = copy.copy(stats)
+
+    # -- main ------------------------------------------------------------------
+
+    def allocate(self) -> TileProgram:
+        """Run the Fig. 5 procedure over every scheduled level."""
+        for level in self.schedule.levels:
+            self._allocate_level(level)
+        self._emit_copy_stores()
+        return self._to_program()
+
+    def _allocate_level(self, level: list[ScheduledCluster]) -> None:
+        stalls = 0
+        while True:
+            snapshot = self._snapshot(self.stage_window + stalls + 1)
+            try:
+                # Fig. 5 stages 4..1 cycles ahead; when inserted load
+                # cycles pile up, the window widens with them so the
+                # fresh bus/port capacity is actually reachable (else
+                # a level needing more moves than window x buses could
+                # never complete).
+                self._plan_level(level, self.stage_window + stalls)
+                return
+            except _LevelRetry:
+                self._restore(snapshot)
+                stall = _CycleDraft(is_stall=True)
+                self.cycles.append(stall)
+                self.stats.stall_cycles += 1
+                stalls += 1
+                if stalls > self.max_stalls_per_level:
+                    raise AllocationError(
+                        f"level with clusters "
+                        f"{[item.cluster.id for item in level]} cannot "
+                        f"be staged within {stalls} inserted cycles")
+
+    def _plan_level(self, level: list[ScheduledCluster],
+                    window: int | None = None) -> None:
+        window = window or self.stage_window
+        exec_cycle = len(self.cycles)
+        self.cycles.append(_CycleDraft())
+        draft = self.cycles[exec_cycle]
+        for item in level:
+            cluster = item.cluster
+            operand_locs = [
+                self._stage_operand(operand, item.pp, leaf, exec_cycle,
+                                    window)
+                for leaf, operand in enumerate(cluster.operands)]
+            dests = self._plan_store(cluster, item.pp, exec_cycle)
+            config = AluConfig(pp=item.pp, shape=cluster.shape,
+                               ops=cluster.ops, operands=operand_locs,
+                               dests=dests, label=f"Clu{cluster.id}")
+            draft.alu_configs[item.pp] = config
+            if dests:
+                draft.bus.add(("alu", item.pp))
+            self.cluster_exec_cycle[cluster.id] = exec_cycle
+
+    # -- operand staging -------------------------------------------------------
+
+    def _stage_operand(self, operand: Operand, pp: int, bank: int,
+                       exec_cycle: int, window: int | None = None
+                       ) -> RegLoc:
+        window = window or self.stage_window
+        if bank >= self.params.banks_per_pp:
+            raise AllocationError(
+                f"cluster needs leaf {bank}, tile has only "
+                f"{self.params.banks_per_pp} input banks")
+        key = _value_key(operand, self.clustered.owner)
+        slots = self.banks[(pp, bank)]
+
+        if self.enable_reuse:
+            for index, slot in enumerate(slots):
+                if slot.value == key and slot.write_cycle <= exec_cycle - 1:
+                    slot.busy_until = max(slot.busy_until, exec_cycle)
+                    self.stats.reuse_hits += 1
+                    return RegLoc(pp, bank, index)
+
+        if self.enable_bypass and key[0] == "cluster":
+            bypass = self._try_bypass(key[1], pp, bank, exec_cycle,
+                                      window)
+            if bypass is not None:
+                self.stats.bypasses += 1
+                return bypass
+
+        return self._stage_via_move(key, pp, bank, exec_cycle, window)
+
+    def _try_bypass(self, producer_id: int, pp: int, bank: int,
+                    exec_cycle: int, window: int) -> RegLoc | None:
+        """Latch the producer's result straight into the input bank.
+
+        Like memory staging, write-back is window-bounded: a result
+        needed further ahead than the staging window comes back from
+        memory instead of squatting in a register (and level retries
+        stay O(window))."""
+        producer_cycle = self.cluster_exec_cycle.get(producer_id)
+        if producer_cycle is None or producer_cycle >= exec_cycle:
+            return None
+        if producer_cycle < exec_cycle - window:
+            return None
+        draft = self.cycles[producer_cycle]
+        producer_pp = self.schedule.pp_of(producer_id)
+        config = draft.alu_configs.get(producer_pp)
+        if config is None or config.label != f"Clu{producer_id}":
+            return None
+        used = draft.bank_writes.get((pp, bank), 0)
+        if used >= self.params.bank_write_ports:
+            return None
+        slot_index = self._claim_slot(pp, bank, producer_cycle,
+                                      exec_cycle,
+                                      ("cluster", producer_id))
+        if slot_index is None:
+            return None
+        loc = RegLoc(pp, bank, slot_index)
+        config.dests.append(loc)
+        draft.bus.add(("alu", producer_pp))
+        draft.bank_writes[(pp, bank)] = used + 1
+        return loc
+
+    def _stage_via_move(self, key: ValueKey, pp: int, bank: int,
+                        exec_cycle: int, window: int) -> RegLoc:
+        """Fig. 5: try 4, 3, 2, then 1 cycles ahead of the consumer."""
+        source, available = self._source_of(key)
+        window_start = max(available, exec_cycle - window)
+        for cycle in range(window_start, exec_cycle):
+            loc = self._try_move_at(cycle, source, key, pp, bank,
+                                    exec_cycle)
+            if loc is not None:
+                self.stats.staged_moves += 1
+                return loc
+        raise _LevelRetry()
+
+    def _try_move_at(self, cycle: int, source, key: ValueKey, pp: int,
+                     bank: int, exec_cycle: int) -> RegLoc | None:
+        draft = self.cycles[cycle]
+        bus_token = ("move", source)
+        if bus_token not in draft.bus and \
+                len(draft.bus) >= self.params.n_buses:
+            return None
+        if isinstance(source, MemLoc):
+            reads = draft.mem_reads.setdefault((source.pp, source.mem),
+                                               set())
+            if source.addr not in reads and \
+                    len(reads) >= self.params.mem_read_ports:
+                return None
+        used = draft.bank_writes.get((pp, bank), 0)
+        if used >= self.params.bank_write_ports:
+            return None
+        slot_index = self._claim_slot(pp, bank, cycle, exec_cycle, key)
+        if slot_index is None:
+            return None
+        loc = RegLoc(pp, bank, slot_index)
+        draft.moves.append(Move(source=source, dest=loc))
+        draft.bus.add(bus_token)
+        if isinstance(source, MemLoc):
+            draft.mem_reads[(source.pp, source.mem)].add(source.addr)
+        draft.bank_writes[(pp, bank)] = used + 1
+        return loc
+
+    def _claim_slot(self, pp: int, bank: int, write_cycle: int,
+                    use_cycle: int, key: ValueKey) -> int | None:
+        """Find a register free for [write_cycle, use_cycle]."""
+        slots = self.banks[(pp, bank)]
+        best_index = None
+        best_busy = None
+        for index, slot in enumerate(slots):
+            if slot.busy_until <= write_cycle and \
+                    slot.write_cycle <= write_cycle:
+                if best_busy is None or slot.busy_until < best_busy:
+                    best_index = index
+                    best_busy = slot.busy_until
+        if best_index is None:
+            return None
+        slot = slots[best_index]
+        slot.value = key
+        slot.write_cycle = write_cycle
+        slot.busy_until = use_cycle
+        return best_index
+
+    def _source_of(self, key: ValueKey):
+        if key[0] == "const":
+            return ImmSource(key[1]), 0
+        entry = self.value_in_memory.get(key)
+        if entry is None:
+            raise AllocationError(f"value {key} is nowhere in memory")
+        return entry
+
+    # -- result stores -----------------------------------------------------------
+
+    @staticmethod
+    def _shadow(address: Address) -> Address:
+        """A distinct word key for an output whose logical address
+        also holds live input data (the data_layout word must stay
+        readable; output_layout redirects readers to the shadow)."""
+        return Address(f"$out${address.name}", address.offset)
+
+    def _plan_store(self, cluster: Cluster, pp: int,
+                    exec_cycle: int) -> list:
+        outputs = self.cluster_outputs.get(cluster.id, [])
+        has_consumers = self.first_consumer_pp[cluster.id] is not None
+        if not outputs and not has_consumers:
+            return []
+        address = outputs[0] if outputs else Address(f"$t{cluster.id}")
+        preferred_pp = self.first_consumer_pp[cluster.id]
+        if preferred_pp is None:
+            preferred_pp = pp
+        draft = self.cycles[exec_cycle]
+        forbidden = self.data_layout.get(address)
+        candidate_words: list[tuple[Address, bool]] = [(address, True)]
+        if forbidden is not None:
+            # fallback: a shadow word may share even the input's own
+            # memory (needed on tiles with a single memory)
+            candidate_words.append((self._shadow(address), False))
+        for word, respect_forbidden in candidate_words:
+            for candidate_pp in self._pp_preference(preferred_pp):
+                for mem in range(self.params.memories_per_pp):
+                    loc = MemLoc(candidate_pp, mem, word)
+                    if respect_forbidden and forbidden is not None and \
+                            (loc.pp, loc.mem) == (forbidden.pp,
+                                                  forbidden.mem):
+                        continue
+                    writes = draft.mem_writes.setdefault(
+                        (candidate_pp, mem), set())
+                    if len(writes) >= self.params.mem_write_ports:
+                        continue
+                    words = self.mem_words[(candidate_pp, mem)]
+                    if word not in words and \
+                            len(words) >= self.params.memory_words:
+                        continue
+                    writes.add(word)
+                    words.add(word)
+                    self.value_in_memory[("cluster", cluster.id)] = (
+                        loc, exec_cycle + 1)
+                    if outputs:
+                        self.output_layout[outputs[0]] = loc
+                    self.stats.stores += 1
+                    return [loc]
+        raise _LevelRetry()
+
+    def _emit_copy_stores(self) -> None:
+        """Outputs whose value is not a fresh cluster result (constants,
+        copied inputs, secondary addresses of a multiply-stored result)
+        become plain crossbar moves after/between the compute cycles."""
+        owner = self.clustered.owner
+        for store in self.clustered.stores:
+            if store.source.kind is OperandKind.TASK:
+                cluster_id = owner[store.source.task_id]
+                primary = self.cluster_outputs[cluster_id][0]
+                if store.address == primary:
+                    continue  # written by the execute-cycle store
+                source, available = self._source_of(
+                    ("cluster", cluster_id))
+            else:
+                source, available = self._source_of(
+                    _value_key(store.source, owner))
+            self._emit_copy_move(store.address, source, available)
+
+    def _emit_copy_move(self, address: Address, source,
+                        available: int) -> None:
+        forbidden = self.data_layout.get(address)
+        for attempt, cycle_index in enumerate(
+                itertools.count(available)):
+            if attempt > len(self.cycles) + 1000:
+                raise AllocationError(
+                    f"cannot place copy store of {address}")
+            if cycle_index >= len(self.cycles):
+                self.cycles.append(_CycleDraft(is_stall=False))
+            draft = self.cycles[cycle_index]
+            bus_token = ("move", source)
+            if bus_token not in draft.bus and \
+                    len(draft.bus) >= self.params.n_buses:
+                continue
+            if isinstance(source, MemLoc):
+                reads = draft.mem_reads.setdefault(
+                    (source.pp, source.mem), set())
+                if source.addr not in reads and \
+                        len(reads) >= self.params.mem_read_ports:
+                    continue
+            if self._try_copy_dest(draft, address, source, forbidden,
+                                   bus_token):
+                return
+
+    def _try_copy_dest(self, draft: _CycleDraft, address: Address,
+                       source, forbidden, bus_token) -> bool:
+        candidate_words: list[tuple[Address, bool]] = [(address, True)]
+        candidate_words.append((self._shadow(address), False))
+        for word, respect_forbidden in candidate_words:
+            for pp in self._pp_preference(0):
+                for mem in range(self.params.memories_per_pp):
+                    if respect_forbidden and forbidden is not None and \
+                            (pp, mem) == (forbidden.pp, forbidden.mem):
+                        continue
+                    if isinstance(source, MemLoc) and \
+                            (pp, mem, word) == (source.pp, source.mem,
+                                                source.addr):
+                        continue
+                    writes = draft.mem_writes.setdefault((pp, mem),
+                                                         set())
+                    if word in writes or \
+                            len(writes) >= self.params.mem_write_ports:
+                        continue
+                    words = self.mem_words[(pp, mem)]
+                    if word not in words and \
+                            len(words) >= self.params.memory_words:
+                        continue
+                    loc = MemLoc(pp, mem, word)
+                    draft.moves.append(Move(source=source, dest=loc))
+                    draft.bus.add(bus_token)
+                    if isinstance(source, MemLoc):
+                        draft.mem_reads[(source.pp, source.mem)].add(
+                            source.addr)
+                    writes.add(word)
+                    words.add(word)
+                    self.output_layout[address] = loc
+                    self.stats.copy_moves += 1
+                    return True
+        return False
+
+    # -- emission -------------------------------------------------------------------
+
+    def _to_program(self) -> TileProgram:
+        cycles = []
+        for draft in self.cycles:
+            configs = [draft.alu_configs[pp]
+                       for pp in sorted(draft.alu_configs)]
+            cycles.append(Cycle(alu_configs=configs, moves=draft.moves,
+                                is_stall=draft.is_stall))
+        # Drop trailing fully idle cycles (can appear when a stall was
+        # inserted and the replan no longer needed its slots).
+        while cycles and not cycles[-1].alu_configs \
+                and not cycles[-1].moves:
+            cycles.pop()
+        return TileProgram(params=self.params, cycles=cycles,
+                           data_layout=dict(self.data_layout),
+                           output_layout=dict(self.output_layout))
+
+
+def allocate(clustered: ClusterGraph, schedule: Schedule,
+             params: TileParams | None = None,
+             **options) -> tuple[TileProgram, AllocationStats]:
+    """Allocate *schedule*; returns (program, stats)."""
+    allocator = Allocator(clustered, schedule, params, **options)
+    program = allocator.allocate()
+    return program, allocator.stats

@@ -1,0 +1,201 @@
+"""End-to-end mapping driver (the paper's four-step flow).
+
+``map_source`` runs: C text → CDFG (step 1: translation) → complete
+unrolling + full simplification (step 2: transformation) → task graph
+→ clustering (step 3a) → scheduling (3b) → resource allocation (3c),
+returning a :class:`MappingReport` that keeps every intermediate
+artifact for inspection, metrics and the experiment harness.
+
+``verify_mapping`` closes the loop: the tile program, executed on the
+cycle-level simulator, must leave exactly the values at its output
+addresses that the CDFG interpreter computes for the *original,
+untransformed* graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.control import TileProgram
+from repro.arch.params import TileParams
+from repro.arch.simulator import simulate
+from repro.arch.templates import TemplateLibrary
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.graph import Graph
+from repro.cdfg.interp import Interpreter
+from repro.cdfg.statespace import StateSpace
+from repro.core.allocation import AllocationStats, allocate
+from repro.core.clustering import ClusterGraph, cluster_tasks
+from repro.core.scheduling import Schedule, schedule_clusters
+from repro.core.taskgraph import TaskGraph
+from repro.transforms.base import PassStats
+from repro.transforms.pipeline import simplify as run_simplify
+
+
+class VerificationError(Exception):
+    """The mapped program does not reproduce the program's semantics."""
+
+
+@dataclass
+class MappingReport:
+    """Everything the flow produced for one program."""
+
+    source: str | None
+    original: Graph
+    minimised: Graph
+    pass_stats: PassStats | None
+    taskgraph: TaskGraph
+    clustered: ClusterGraph
+    schedule: Schedule
+    program: TileProgram
+    alloc_stats: AllocationStats
+    params: TileParams
+    library: TemplateLibrary
+
+    # -- headline metrics -------------------------------------------------
+
+    @property
+    def n_tasks(self) -> int:
+        return self.taskgraph.n_tasks
+
+    @property
+    def n_clusters(self) -> int:
+        return self.clustered.n_clusters
+
+    @property
+    def n_levels(self) -> int:
+        return self.schedule.n_levels
+
+    @property
+    def n_cycles(self) -> int:
+        return self.program.n_cycles
+
+    @property
+    def serial_cycles(self) -> int:
+        """Cycles a single ALU executing one op/cycle would need —
+        the 1-ALU lower bound used for speedup."""
+        return max(self.n_tasks, 1)
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        return self.serial_cycles / max(self.n_cycles, 1)
+
+    def summary(self) -> str:
+        lines = [
+            f"tasks: {self.n_tasks}  clusters: {self.n_clusters} "
+            f"(critical path {self.schedule.critical_path} levels)",
+            f"schedule: {self.n_levels} levels "
+            f"({self.schedule.inserted_levels} inserted), "
+            f"ALU utilisation "
+            f"{self.schedule.utilisation(self.params.n_pps):.0%}",
+            f"program: {self.n_cycles} cycles "
+            f"({self.program.n_stall_cycles} stalls, "
+            f"{self.program.n_moves} moves), "
+            f"speedup vs 1 ALU: {self.speedup_vs_serial:.2f}x",
+            f"operand staging: {self.alloc_stats.reuse_hits} reused, "
+            f"{self.alloc_stats.bypasses} written back directly, "
+            f"{self.alloc_stats.staged_moves} moved from memory",
+        ]
+        return "\n".join(lines)
+
+
+def map_graph(graph: Graph, params: TileParams | None = None,
+              library: TemplateLibrary | None = None, *,
+              simplify: bool = True, balance: bool = False,
+              source: str | None = None,
+              max_loop_iterations: int = 4096,
+              **alloc_options) -> MappingReport:
+    """Map a CDFG onto one FPFA tile; see :class:`MappingReport`.
+
+    ``balance=True`` additionally reassociates accumulation chains
+    into balanced trees before mapping (shorter critical path; an
+    extension beyond the paper — its Fig. 3 keeps the chain form).
+    """
+    params = params or TileParams()
+    library = library or TemplateLibrary.two_level()
+    original = graph.clone()
+    pass_stats = None
+    working = graph.clone()
+    if simplify:
+        pass_stats = run_simplify(
+            working, max_loop_iterations=max_loop_iterations,
+            width=params.width)
+    if balance:
+        from repro.transforms.reassociate import balance as run_balance
+        run_balance(working)
+        if simplify:  # clean up after the rebuild
+            run_simplify(working,
+                         max_loop_iterations=max_loop_iterations,
+                         width=params.width)
+    taskgraph = TaskGraph.from_cdfg(working)
+    clustered = cluster_tasks(taskgraph, library)
+    # Every cluster result is broadcast on one crossbar bus in its
+    # execute cycle, so a level can hold at most min(PPs, buses)
+    # clusters — with fewer buses than ALUs the scheduler serialises.
+    capacity = min(params.n_pps, params.n_buses)
+    schedule = schedule_clusters(clustered, n_pps=capacity)
+    program, alloc_stats = allocate(clustered, schedule, params,
+                                    **alloc_options)
+    return MappingReport(
+        source=source, original=original, minimised=working,
+        pass_stats=pass_stats, taskgraph=taskgraph, clustered=clustered,
+        schedule=schedule, program=program, alloc_stats=alloc_stats,
+        params=params, library=library)
+
+
+def map_source(source: str, params: TileParams | None = None,
+               library: TemplateLibrary | None = None,
+               **kwargs) -> MappingReport:
+    """Parse C *source* and map its ``main`` onto one FPFA tile."""
+    graph = build_main_cdfg(source)
+    return map_graph(graph, params, library, source=source, **kwargs)
+
+
+def verify_mapping(report: MappingReport,
+                   initial_state: StateSpace | None = None,
+                   inputs: dict | None = None) -> StateSpace:
+    """Check program-vs-interpreter equivalence for one input.
+
+    Executes the original CDFG on the reference interpreter and the
+    mapped program on the tile simulator, then requires the two final
+    statespaces to be observationally equal (and function outputs to
+    match).  Returns the simulated final state on success.
+    """
+    initial_state = initial_state or StateSpace()
+    merged_initial = initial_state
+    if inputs:
+        # Mapped programs read parameters from memory at the scalar
+        # address of the parameter name; the interpreter must start
+        # from the same picture so the final states are comparable.
+        for name, value in inputs.items():
+            merged_initial = merged_initial.store(name, value)
+    interpreter = Interpreter(width=report.params.width)
+    expected = interpreter.run(report.original, merged_initial, inputs)
+    simulated = simulate(report.program, merged_initial)
+    expected_state = expected.state
+    for slot, value in expected.outputs.items():
+        address = f"__out_{slot}"
+        got = simulated.fetch(address)
+        if got != value:
+            raise VerificationError(
+                f"output {slot!r}: simulator produced {got}, "
+                f"interpreter {value}")
+        # Fold function outputs into the comparison baseline (they
+        # live at pseudo-addresses in the mapped program's memory).
+        expected_state = expected_state.store(address, value)
+    if simulated != expected_state:
+        differences = _diff_states(expected_state, simulated)
+        raise VerificationError(
+            "final statespace mismatch:\n" + "\n".join(differences))
+    return simulated
+
+
+def _diff_states(expected: StateSpace, actual: StateSpace) -> list[str]:
+    lines = []
+    addresses = set(dict(expected.items())) | set(dict(actual.items()))
+    for address in sorted(addresses):
+        want = expected.fetch(address)
+        got = actual.fetch(address)
+        if want != got:
+            lines.append(f"  [{address}] expected {want}, got {got}")
+    return lines or ["  (representation-only difference)"]

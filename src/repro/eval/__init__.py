@@ -1,0 +1,27 @@
+"""Workloads, metrics and reporting for the experiment harness.
+
+* :mod:`repro.eval.kernels` — the paper's FIR filter plus a DSP kernel
+  suite written in the C subset (the application class the FPFA
+  targets: 3G/4G wireless baseband per reference [2]);
+* :mod:`repro.eval.randomdag` — seeded random task graphs for the
+  complexity-scaling experiment;
+* :mod:`repro.eval.metrics` — turns mapping reports into comparable
+  metric rows;
+* :mod:`repro.eval.report` — fixed-width table rendering shared by
+  benchmarks and examples.
+"""
+
+from repro.eval.kernels import KERNELS, Kernel, get_kernel
+from repro.eval.metrics import kernel_row, mapping_metrics
+from repro.eval.randomdag import random_task_graph
+from repro.eval.report import render_table
+
+__all__ = [
+    "KERNELS",
+    "Kernel",
+    "get_kernel",
+    "kernel_row",
+    "mapping_metrics",
+    "random_task_graph",
+    "render_table",
+]

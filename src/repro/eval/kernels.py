@@ -1,0 +1,410 @@
+"""Kernel suite: the paper's FIR example plus representative DSP code.
+
+The FPFA targets 3G/4G wireless baseband processing (paper reference
+[2]), so the suite covers the standard kernels of that domain, all
+written in the C subset with compile-time-constant loop bounds (the
+flow requires complete unrolling; loops with data-dependent trip
+counts are the paper's declared future work).
+
+Every kernel carries a deterministic input generator and a short
+description, so tests, examples and benchmarks all run the same
+workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cdfg.statespace import StateSpace
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One benchmark program in the C subset."""
+
+    name: str
+    source: str
+    description: str
+    make_state: Callable[[int], StateSpace]
+
+    def initial_state(self, seed: int = 0) -> StateSpace:
+        """Deterministic input statespace for this kernel."""
+        return self.make_state(seed)
+
+
+def _values(rng: random.Random, count: int,
+            low: int = -99, high: int = 99) -> list[int]:
+    return [rng.randint(low, high) for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Kernel definitions
+# ---------------------------------------------------------------------------
+
+def fir_source(taps: int = 5) -> str:
+    """The paper's §V FIR inner loop, parameterised in tap count."""
+    return f"""
+void main() {{
+  sum = 0; i = 0;
+  while (i < {taps}) {{
+    sum = sum + a[i] * c[i]; i = i + 1;
+  }}
+}}
+"""
+
+
+def _fir_state(taps: int):
+    def make(seed: int) -> StateSpace:
+        rng = random.Random(seed)
+        return (StateSpace()
+                .store_array("a", _values(rng, taps))
+                .store_array("c", _values(rng, taps)))
+    return make
+
+
+def dot_source(length: int = 8) -> str:
+    return f"""
+void main() {{
+  acc = 0;
+  for (int i = 0; i < {length}; i++) {{
+    acc = acc + x[i] * y[i];
+  }}
+}}
+"""
+
+
+def _two_array_state(first: str, second: str, length: int):
+    def make(seed: int) -> StateSpace:
+        rng = random.Random(seed)
+        return (StateSpace()
+                .store_array(first, _values(rng, length))
+                .store_array(second, _values(rng, length)))
+    return make
+
+
+def saxpy_source(length: int = 8) -> str:
+    return f"""
+void main() {{
+  for (int i = 0; i < {length}; i++) {{
+    z[i] = alpha * x[i] + y[i];
+  }}
+}}
+"""
+
+
+def _saxpy_state(length: int):
+    def make(seed: int) -> StateSpace:
+        rng = random.Random(seed)
+        return (StateSpace({"alpha": rng.randint(-9, 9)})
+                .store_array("x", _values(rng, length))
+                .store_array("y", _values(rng, length)))
+    return make
+
+
+def iir_biquad_source(samples: int = 4) -> str:
+    """Direct-form-I biquad, unit-scaled integer coefficients."""
+    return f"""
+void main() {{
+  x1 = 0; x2 = 0; y1 = 0; y2 = 0;
+  for (int n = 0; n < {samples}; n++) {{
+    int xn = in[n];
+    int yn = b0*xn + b1*x1 + b2*x2 - a1*y1 - a2*y2;
+    out[n] = yn;
+    x2 = x1; x1 = xn;
+    y2 = y1; y1 = yn;
+  }}
+}}
+"""
+
+
+def _iir_state(samples: int):
+    def make(seed: int) -> StateSpace:
+        rng = random.Random(seed)
+        state = StateSpace({
+            "b0": rng.randint(-4, 4), "b1": rng.randint(-4, 4),
+            "b2": rng.randint(-4, 4), "a1": rng.randint(-2, 2),
+            "a2": rng.randint(-2, 2),
+        })
+        return state.store_array("in", _values(rng, samples, -20, 20))
+    return make
+
+
+def moving_average_source(length: int = 8, window: int = 3) -> str:
+    return f"""
+void main() {{
+  for (int i = 0; i < {length - window + 1}; i++) {{
+    int s = 0;
+    for (int j = 0; j < {window}; j++) {{
+      s = s + x[i + j];
+    }}
+    avg[i] = s / {window};
+  }}
+}}
+"""
+
+
+def _one_array_state(name: str, length: int, low: int = -99,
+                     high: int = 99):
+    def make(seed: int) -> StateSpace:
+        rng = random.Random(seed)
+        return StateSpace().store_array(name, _values(rng, length, low,
+                                                      high))
+    return make
+
+
+def matmul_source(size: int = 3) -> str:
+    return f"""
+void main() {{
+  for (int i = 0; i < {size}; i++) {{
+    for (int j = 0; j < {size}; j++) {{
+      int s = 0;
+      for (int k = 0; k < {size}; k++) {{
+        s = s + ma[i * {size} + k] * mb[k * {size} + j];
+      }}
+      mc[i * {size} + j] = s;
+    }}
+  }}
+}}
+"""
+
+
+def complex_multiply_source(pairs: int = 4) -> str:
+    """Element-wise complex multiply: the 4-mult/2-add form."""
+    return f"""
+void main() {{
+  for (int i = 0; i < {pairs}; i++) {{
+    int ar = xr[i]; int ai = xi[i];
+    int br = yr[i]; int bi = yi[i];
+    zr[i] = ar * br - ai * bi;
+    zi[i] = ar * bi + ai * br;
+  }}
+}}
+"""
+
+
+def _complex_state(pairs: int):
+    def make(seed: int) -> StateSpace:
+        rng = random.Random(seed)
+        state = StateSpace()
+        for name in ("xr", "xi", "yr", "yi"):
+            state = state.store_array(name, _values(rng, pairs, -30, 30))
+        return state
+    return make
+
+
+def fft_butterflies_source(pairs: int = 4) -> str:
+    """A column of radix-2 DIT butterflies with integer twiddles."""
+    return f"""
+void main() {{
+  for (int i = 0; i < {pairs}; i++) {{
+    int tr = wr[i] * br_[i] - wi[i] * bi_[i];
+    int ti = wr[i] * bi_[i] + wi[i] * br_[i];
+    xr_[i] = ar_[i] + tr;
+    xi_[i] = ai_[i] + ti;
+    yr_[i] = ar_[i] - tr;
+    yi_[i] = ai_[i] - ti;
+  }}
+}}
+"""
+
+
+def _fft_state(pairs: int):
+    def make(seed: int) -> StateSpace:
+        rng = random.Random(seed)
+        state = StateSpace()
+        for name in ("wr", "wi", "ar_", "ai_", "br_", "bi_"):
+            state = state.store_array(name, _values(rng, pairs, -15, 15))
+        return state
+    return make
+
+
+def correlation_source(length: int = 8, lags: int = 3) -> str:
+    return f"""
+void main() {{
+  for (int lag = 0; lag < {lags}; lag++) {{
+    int s = 0;
+    for (int i = 0; i < {length - lags + 1}; i++) {{
+      s = s + sig[i] * sig[i + lag];
+    }}
+    corr[lag] = s;
+  }}
+}}
+"""
+
+
+def horner_source(degree: int = 6) -> str:
+    return f"""
+void main() {{
+  acc = 0;
+  for (int i = 0; i < {degree + 1}; i++) {{
+    acc = acc * t + coef[i];
+  }}
+}}
+"""
+
+
+def _horner_state(degree: int):
+    def make(seed: int) -> StateSpace:
+        rng = random.Random(seed)
+        return (StateSpace({"t": rng.randint(-5, 5)})
+                .store_array("coef", _values(rng, degree + 1, -9, 9)))
+    return make
+
+
+def clip_source(length: int = 8) -> str:
+    """Saturating quantiser — exercises branches / if-conversion."""
+    return f"""
+void main() {{
+  for (int i = 0; i < {length}; i++) {{
+    int v = x[i] * gain;
+    if (v > 127) {{ v = 127; }} else {{ if (v < -128) {{ v = -128; }} }}
+    q[i] = v;
+  }}
+}}
+"""
+
+
+def _clip_state(length: int):
+    def make(seed: int) -> StateSpace:
+        rng = random.Random(seed)
+        return (StateSpace({"gain": rng.randint(1, 6)})
+                .store_array("x", _values(rng, length, -60, 60)))
+    return make
+
+
+def convolution_source(length: int = 8, taps: int = 3) -> str:
+    """1-D convolution written with a helper function (exercises the
+    front-end inliner on the mapping path)."""
+    outputs = length - taps + 1
+    return f"""
+int mac(int acc, int p, int q) {{
+  return acc + p * q;
+}}
+
+void main() {{
+  for (int i = 0; i < {outputs}; i++) {{
+    int s = 0;
+    for (int j = 0; j < {taps}; j++) {{
+      s = mac(s, sig[i + j], w[j]);
+    }}
+    conv[i] = s;
+  }}
+}}
+"""
+
+
+def _conv_state(length: int, taps: int):
+    def make(seed: int) -> StateSpace:
+        rng = random.Random(seed)
+        return (StateSpace()
+                .store_array("sig", _values(rng, length, -20, 20))
+                .store_array("w", _values(rng, taps, -5, 5)))
+    return make
+
+
+def dct4_source() -> str:
+    """4-point DCT-II with a scaled integer coefficient matrix."""
+    return """
+void main() {
+  for (int k = 0; k < 4; k++) {
+    int s = 0;
+    for (int n = 0; n < 4; n++) {
+      s = s + cosm[k * 4 + n] * x[n];
+    }
+    X[k] = s;
+  }
+}
+"""
+
+
+def _dct_state():
+    # 7-bit scaled cos((pi/4) * (n + 0.5) * k) coefficients
+    cosm = [
+        128, 128, 128, 128,
+        118, 49, -49, -118,
+        91, -91, -91, 91,
+        49, -118, 118, -49,
+    ]
+
+    def make(seed: int) -> StateSpace:
+        rng = random.Random(seed)
+        return (StateSpace()
+                .store_array("cosm", cosm)
+                .store_array("x", _values(rng, 4, -50, 50)))
+    return make
+
+
+def peak_source(length: int = 8) -> str:
+    """Peak |x| detection — exercises intrinsics (abs/max)."""
+    return f"""
+void main() {{
+  peak = 0;
+  for (int i = 0; i < {length}; i++) {{
+    peak = max(peak, abs(x[i]));
+  }}
+}}
+"""
+
+
+# ---------------------------------------------------------------------------
+# The suite
+# ---------------------------------------------------------------------------
+
+def _matmul_state(size: int):
+    def make(seed: int) -> StateSpace:
+        rng = random.Random(seed)
+        return (StateSpace()
+                .store_array("ma", _values(rng, size * size, -9, 9))
+                .store_array("mb", _values(rng, size * size, -9, 9)))
+    return make
+
+
+KERNELS: list[Kernel] = [
+    Kernel("fir5", fir_source(5),
+           "the paper's §V FIR filter (5 taps)", _fir_state(5)),
+    Kernel("fir16", fir_source(16),
+           "16-tap FIR filter", _fir_state(16)),
+    Kernel("dot8", dot_source(8),
+           "8-element dot product", _two_array_state("x", "y", 8)),
+    Kernel("saxpy8", saxpy_source(8),
+           "8-element scale-and-add (z = alpha*x + y)",
+           _saxpy_state(8)),
+    Kernel("iir4", iir_biquad_source(4),
+           "direct-form-I biquad over 4 samples", _iir_state(4)),
+    Kernel("avg8", moving_average_source(8, 3),
+           "3-wide moving average over 8 samples",
+           _one_array_state("x", 8)),
+    Kernel("matmul3", matmul_source(3),
+           "3x3 integer matrix multiply", _matmul_state(3)),
+    Kernel("cmul4", complex_multiply_source(4),
+           "4 element-wise complex multiplies", _complex_state(4)),
+    Kernel("fft4", fft_butterflies_source(4),
+           "4 radix-2 FFT butterflies", _fft_state(4)),
+    Kernel("corr8", correlation_source(8, 3),
+           "autocorrelation of 8 samples at 3 lags",
+           _one_array_state("sig", 8, -20, 20)),
+    Kernel("horner6", horner_source(6),
+           "degree-6 Horner polynomial evaluation", _horner_state(6)),
+    Kernel("clip8", clip_source(8),
+           "saturating quantiser over 8 samples (branches)",
+           _clip_state(8)),
+    Kernel("peak8", peak_source(8),
+           "peak |x| detection over 8 samples (intrinsics)",
+           _one_array_state("x", 8, -80, 80)),
+    Kernel("conv8", convolution_source(8, 3),
+           "1-D convolution via an inlined mac() helper",
+           _conv_state(8, 3)),
+    Kernel("dct4", dct4_source(),
+           "4-point DCT-II with integer coefficients", _dct_state()),
+]
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a suite kernel by name."""
+    for kernel in KERNELS:
+        if kernel.name == name:
+            return kernel
+    raise KeyError(f"no kernel named {name!r}; available: "
+                   f"{', '.join(k.name for k in KERNELS)}")

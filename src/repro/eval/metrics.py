@@ -1,0 +1,48 @@
+"""Metric extraction from mapping reports.
+
+Collects the quantities the experiments compare: graph sizes, cluster
+counts, schedule shape, program cycles, utilisation, operand locality
+and the energy proxy — one flat dict per program so the table renderer
+and the benchmarks stay trivial.
+"""
+
+from __future__ import annotations
+
+from repro.arch.energy import EnergyModel, measure_energy
+from repro.core.pipeline import MappingReport
+
+
+def mapping_metrics(report: MappingReport,
+                    energy_model: EnergyModel | None = None) -> dict:
+    """All headline metrics of one mapped program."""
+    energy = measure_energy(report.program, energy_model)
+    stats = report.alloc_stats
+    operand_events = max(stats.operand_events(), 1)
+    return {
+        "tasks": report.n_tasks,
+        "clusters": report.n_clusters,
+        "critical_path": report.schedule.critical_path,
+        "levels": report.n_levels,
+        "inserted_levels": report.schedule.inserted_levels,
+        "cycles": report.n_cycles,
+        "stalls": report.program.n_stall_cycles,
+        "moves": report.program.n_moves,
+        "alu_util": round(report.program.alu_utilisation(), 3),
+        "speedup": round(report.speedup_vs_serial, 2),
+        "reuse": stats.reuse_hits,
+        "bypass": stats.bypasses,
+        "mem_moves": stats.staged_moves,
+        "locality": round(
+            (stats.reuse_hits + stats.bypasses) / operand_events, 3),
+        "energy": round(energy.total, 1),
+        "energy_per_op": round(
+            energy.total / max(report.n_tasks, 1), 2),
+    }
+
+
+def kernel_row(name: str, report: MappingReport, **extra) -> dict:
+    """A table row for the kernel-suite experiments."""
+    row = {"kernel": name}
+    row.update(mapping_metrics(report))
+    row.update(extra)
+    return row

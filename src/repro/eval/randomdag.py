@@ -1,0 +1,92 @@
+"""Seeded random task graphs for the scaling experiments.
+
+§VI-B and §VI-C both claim complexity "linear to the number of
+clusters".  Experiment EXT-A measures that empirically by running the
+three phases on random layered DAGs of increasing size; this module
+generates those DAGs directly at the task-graph level (bypassing the
+front-end so graph size is controlled exactly).
+
+Graphs are layered: task operands reference results from earlier
+layers (locality-biased), initial-memory words or constants, and a
+configurable fraction of sink results is stored — the same shape the
+lowered kernels have.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cdfg.ops import Address, OpKind
+from repro.core.taskgraph import Operand, StoreTask, Task, TaskGraph
+
+#: Binary operations sampled for random tasks (all clusterable kinds
+#: appear so template matching gets exercised).
+_RANDOM_OPS = (
+    OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.AND, OpKind.OR,
+    OpKind.XOR, OpKind.ADD, OpKind.MUL,  # bias toward add/mul
+)
+
+
+def random_task_graph(n_tasks: int, seed: int = 0, *,
+                      width: int = 8, memory_fraction: float = 0.3,
+                      const_fraction: float = 0.1,
+                      store_fraction: float = 0.5) -> TaskGraph:
+    """Generate a layered random task graph with *n_tasks* tasks.
+
+    Parameters
+    ----------
+    width:
+        Approximate tasks per layer (controls available parallelism).
+    memory_fraction / const_fraction:
+        Probability that an operand is an initial-memory word or a
+        constant instead of an earlier task's result.
+    store_fraction:
+        Fraction of result-producing sink tasks whose value becomes a
+        program output.
+    """
+    rng = random.Random(seed)
+    graph = TaskGraph()
+    layers: list[list[int]] = []
+    produced: list[int] = []
+    task_id = 0
+    while task_id < n_tasks:
+        layer_size = min(max(1, int(rng.gauss(width, width / 3))),
+                         n_tasks - task_id)
+        layer: list[int] = []
+        for __ in range(layer_size):
+            operands = []
+            for __slot in range(2):
+                roll = rng.random()
+                if not produced or roll < memory_fraction:
+                    address = Address("data", rng.randrange(4 * n_tasks))
+                    operands.append(Operand.mem(address))
+                elif roll < memory_fraction + const_fraction:
+                    operands.append(Operand.const(rng.randint(-64, 64)))
+                else:
+                    # Bias toward recent layers for realistic locality.
+                    back = min(len(layers),
+                               1 + int(abs(rng.gauss(0, 2))))
+                    pool = [tid for recent in layers[-back:]
+                            for tid in recent] or produced
+                    operands.append(Operand.task(rng.choice(pool)))
+            kind = rng.choice(_RANDOM_OPS)
+            graph.tasks[task_id] = Task(id=task_id, kind=kind,
+                                        operands=operands)
+            layer.append(task_id)
+            task_id += 1
+        layers.append(layer)
+        produced.extend(layer)
+
+    consumers = graph.consumers()
+    sink_ids = [tid for tid, users in consumers.items() if not users]
+    rng.shuffle(sink_ids)
+    keep = max(1, int(len(sink_ids) * store_fraction))
+    for index, tid in enumerate(sorted(sink_ids[:keep])):
+        graph.stores.append(
+            StoreTask(Address("result", index), Operand.task(tid)))
+    # Sinks without a store would be dead code; store them too so the
+    # graph is honest work (DCE-clean by construction).
+    for index, tid in enumerate(sorted(sink_ids[keep:])):
+        graph.stores.append(
+            StoreTask(Address("extra", index), Operand.task(tid)))
+    return graph

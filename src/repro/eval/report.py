@@ -1,0 +1,53 @@
+"""Fixed-width table rendering for benchmarks and examples.
+
+No third-party table dependency: the harness prints the same style of
+rows the paper's tables would, and the benchmark transcripts stay
+readable in plain terminals and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def render_table(rows: Sequence[Mapping], columns: Iterable[str]
+                 | None = None, title: str | None = None) -> str:
+    """Render dict rows as an aligned fixed-width table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    columns = list(columns)
+    rendered_rows = [
+        {column: _format(row.get(column, "")) for column in columns}
+        for row in rows]
+    widths = {column: max(len(column),
+                          *(len(row[column]) for row in rendered_rows))
+              for column in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered_rows:
+        lines.append("  ".join(row[column].rjust(widths[column])
+                               if _is_numeric(row[column])
+                               else row[column].ljust(widths[column])
+                               for column in columns))
+    return "\n".join(lines)
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

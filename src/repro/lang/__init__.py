@@ -1,0 +1,70 @@
+"""C-subset front-end: lexer, AST, parser and semantic checks.
+
+The CHAMELEON toolset described in the paper consumes processes written
+in a high-level language (C/C++).  This package provides the equivalent
+front-end for the reproduction: a small, fully self-contained C subset
+that covers every construct the paper's flow exercises (integer scalars
+and arrays, arithmetic/logic expressions, assignments, ``if``/``else``,
+``while`` and ``for`` loops).
+
+The usual entry point is :func:`parse_program`, which turns C source
+text into a :class:`~repro.lang.ast.Program`.
+"""
+
+from repro.lang.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    CondExpr,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    Ident,
+    IfStmt,
+    IntLit,
+    Program,
+    ReturnStmt,
+    UnaryOp,
+    VarDecl,
+    WhileStmt,
+)
+from repro.lang.errors import LexError, ParseError, SemanticError, SourceError
+from repro.lang.lexer import Lexer, Token, TokenKind, tokenize
+from repro.lang.parser import Parser, parse_expression, parse_program
+from repro.lang.sema import ProgramInfo, SemanticChecker, analyze
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Block",
+    "Call",
+    "CondExpr",
+    "ExprStmt",
+    "ForStmt",
+    "FunctionDef",
+    "Ident",
+    "IfStmt",
+    "IntLit",
+    "Lexer",
+    "LexError",
+    "ParseError",
+    "Parser",
+    "Program",
+    "ProgramInfo",
+    "ReturnStmt",
+    "SemanticChecker",
+    "SemanticError",
+    "SourceError",
+    "Token",
+    "TokenKind",
+    "UnaryOp",
+    "VarDecl",
+    "WhileStmt",
+    "analyze",
+    "parse_expression",
+    "parse_program",
+    "tokenize",
+]

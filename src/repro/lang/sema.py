@@ -1,0 +1,283 @@
+"""Semantic analysis for the C subset.
+
+The paper's memory model (§IV) distinguishes two kinds of storage:
+
+* **declared locals** — pure dataflow values tracked in the builder's
+  environment;
+* **globals** — names used without declaration (like ``sum``, ``i``,
+  ``a`` and ``c`` in the paper's FIR example), which live in the
+  *statespace* and are accessed through the ST/FE/DEL primitives.
+
+:func:`analyze` classifies every name, checks obvious mistakes
+(scalar indexed as array, array used as scalar, use of an undeclared
+local before assignment is fine for globals but reported for declared
+names, ...), and returns a :class:`ProgramInfo` consumed by the CDFG
+builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.errors import SemanticError
+
+
+@dataclass
+class SymbolInfo:
+    """What semantic analysis learned about one name in one function."""
+
+    name: str
+    is_array: bool = False
+    is_declared: bool = False          # declared with `int ...`
+    is_param: bool = False
+    array_size: int | None = None
+    is_read: bool = False
+    is_written: bool = False
+    read_before_write: bool = False    # first access was a read
+
+    @property
+    def is_global(self) -> bool:
+        """Undeclared names live in the statespace (paper §IV)."""
+        return not self.is_declared and not self.is_param
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function symbol table."""
+
+    name: str
+    symbols: dict[str, SymbolInfo] = field(default_factory=dict)
+
+    def symbol(self, name: str) -> SymbolInfo:
+        return self.symbols[name]
+
+    @property
+    def globals(self) -> list[SymbolInfo]:
+        return [s for s in self.symbols.values() if s.is_global]
+
+    @property
+    def global_scalars(self) -> list[SymbolInfo]:
+        return [s for s in self.globals if not s.is_array]
+
+    @property
+    def global_arrays(self) -> list[SymbolInfo]:
+        return [s for s in self.globals if s.is_array]
+
+
+@dataclass
+class ProgramInfo:
+    """Semantic facts for a whole program."""
+
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def function(self, name: str) -> FunctionInfo:
+        return self.functions[name]
+
+
+class SemanticChecker:
+    """Walks a parsed program and builds :class:`ProgramInfo`.
+
+    The checker is deliberately permissive where C is permissive for the
+    paper's examples (undeclared names become globals) and strict where
+    a mistake would silently corrupt the CDFG (array/scalar confusion,
+    redeclaration, writes to ``const``).
+    """
+
+    def __init__(self, program: ast.Program):
+        self._program = program
+        self._info = ProgramInfo()
+        self._current: FunctionInfo | None = None
+        self._consts: set[str] = set()
+
+    def run(self) -> ProgramInfo:
+        seen: set[str] = set()
+        for function in self._program.functions:
+            if function.name in seen:
+                raise self._error(
+                    f"duplicate function definition {function.name!r}",
+                    function.location)
+            seen.add(function.name)
+            self._check_function(function)
+        return self._info
+
+    # -- internals ---------------------------------------------------
+
+    def _error(self, message: str, location) -> SemanticError:
+        return SemanticError(message, location, self._program.source)
+
+    def _check_function(self, function: ast.FunctionDef) -> None:
+        info = FunctionInfo(name=function.name)
+        self._current = info
+        self._consts = set()
+        self._info.functions[function.name] = info
+        for param in function.params:
+            if param in info.symbols:
+                raise self._error(f"duplicate parameter {param!r}",
+                                  function.location)
+            info.symbols[param] = SymbolInfo(name=param, is_param=True,
+                                             is_declared=True)
+        self._check_stmt(function.body)
+        self._current = None
+
+    def _symbol(self, name: str) -> SymbolInfo:
+        assert self._current is not None
+        if name not in self._current.symbols:
+            self._current.symbols[name] = SymbolInfo(name=name)
+        return self._current.symbols[name]
+
+    # -- statements --------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self._check_stmt(inner)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._check_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            assert stmt.cond is not None and stmt.then is not None
+            self._check_expr(stmt.cond)
+            self._check_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise)
+        elif isinstance(stmt, (ast.WhileStmt, ast.DoWhileStmt)):
+            assert stmt.cond is not None and stmt.body is not None
+            self._check_expr(stmt.cond)
+            self._check_stmt(stmt.body)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step)
+            assert stmt.body is not None
+            self._check_stmt(stmt.body)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self._check_expr(stmt.value)
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            pass
+        else:  # pragma: no cover - defensive
+            raise self._error(f"unhandled statement {type(stmt).__name__}",
+                              stmt.location)
+
+    def _check_decl(self, decl: ast.VarDecl) -> None:
+        symbol = self._symbol(decl.name)
+        if symbol.is_declared or symbol.is_read or symbol.is_written:
+            raise self._error(
+                f"{decl.name!r} redeclared or used before its declaration",
+                decl.location)
+        symbol.is_declared = True
+        symbol.is_array = decl.is_array
+        symbol.array_size = decl.size
+        if decl.is_const:
+            self._consts.add(decl.name)
+        if decl.init is not None:
+            self._check_expr(decl.init)
+            symbol.is_written = True
+        if decl.array_init is not None:
+            for expr in decl.array_init:
+                self._check_expr(expr)
+            symbol.is_written = True
+
+    def _check_assign(self, assign: ast.Assign) -> None:
+        assert assign.target is not None and assign.value is not None
+        # Check the RHS first: `i = i + 1` reads i before writing it.
+        self._check_expr(assign.value)
+        target = assign.target
+        if isinstance(target, ast.Ident):
+            symbol = self._symbol(target.name)
+            if symbol.is_array:
+                raise self._error(
+                    f"array {target.name!r} cannot be assigned as a scalar",
+                    target.location)
+            if target.name in self._consts:
+                raise self._error(f"assignment to const {target.name!r}",
+                                  target.location)
+            symbol.is_written = True
+        else:
+            symbol = self._symbol(target.name)
+            if symbol.is_declared and not symbol.is_array:
+                raise self._error(
+                    f"scalar {target.name!r} cannot be indexed",
+                    target.location)
+            symbol.is_array = True
+            symbol.is_written = True
+            assert target.index is not None
+            self._check_expr(target.index)
+            self._check_static_bounds(target, symbol)
+
+    # -- expressions -------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLit):
+            return
+        if isinstance(expr, ast.Ident):
+            symbol = self._symbol(expr.name)
+            if symbol.is_array:
+                raise self._error(
+                    f"array {expr.name!r} used as a scalar value",
+                    expr.location)
+            if not symbol.is_written:
+                symbol.read_before_write = True
+            symbol.is_read = True
+            return
+        if isinstance(expr, ast.ArrayRef):
+            symbol = self._symbol(expr.name)
+            if symbol.is_declared and not symbol.is_array:
+                raise self._error(f"scalar {expr.name!r} cannot be indexed",
+                                  expr.location)
+            symbol.is_array = True
+            if not symbol.is_written:
+                symbol.read_before_write = True
+            symbol.is_read = True
+            assert expr.index is not None
+            self._check_expr(expr.index)
+            self._check_static_bounds(expr, symbol)
+            return
+        if isinstance(expr, ast.Call):
+            intrinsic_arity = {"min": 2, "max": 2, "abs": 1}
+            if expr.name in intrinsic_arity:
+                arity = intrinsic_arity[expr.name]
+                if len(expr.args) != arity:
+                    raise self._error(
+                        f"{expr.name!r} expects {arity} argument(s), "
+                        f"got {len(expr.args)}", expr.location)
+            else:
+                callee = None
+                for function in self._program.functions:
+                    if function.name == expr.name:
+                        callee = function
+                        break
+                if callee is None:
+                    raise self._error(
+                        f"call to undefined function {expr.name!r}",
+                        expr.location)
+                if len(expr.args) != len(callee.params):
+                    raise self._error(
+                        f"{expr.name!r} expects {len(callee.params)} "
+                        f"argument(s), got {len(expr.args)}",
+                        expr.location)
+        for child in expr.children():
+            self._check_expr(child)
+
+    def _check_static_bounds(self, ref: ast.ArrayRef,
+                             symbol: SymbolInfo) -> None:
+        if symbol.array_size is None:
+            return
+        if isinstance(ref.index, ast.IntLit):
+            if not 0 <= ref.index.value < symbol.array_size:
+                raise self._error(
+                    f"index {ref.index.value} out of bounds for "
+                    f"{symbol.name}[{symbol.array_size}]", ref.location)
+
+
+def analyze(program: ast.Program) -> ProgramInfo:
+    """Run semantic analysis over *program* and return the facts."""
+    return SemanticChecker(program).run()

@@ -1,0 +1,56 @@
+"""Behaviour-preserving CDFG transformations (paper §I, §V).
+
+The paper minimises the translated CDFG "using a set of behaviour
+preserving transformations such as dependency analysis, common
+subexpression elimination, etc.", and its Fig. 3 caption names the
+combination applied to the FIR example: *complete loop unrolling and
+full simplification*.
+
+This package implements that tool-chest:
+
+* :class:`~repro.transforms.folding.ConstantFolding` — evaluate
+  constant sub-expressions (address arithmetic included);
+* :class:`~repro.transforms.folding.AlgebraicSimplification` —
+  identity/absorption rules (``x+0``, ``x*1``, ``x*0``, ...);
+* :class:`~repro.transforms.cse.CommonSubexpressionElimination`;
+* :class:`~repro.transforms.dce.DeadCodeElimination`;
+* :class:`~repro.transforms.dependency.DependencyAnalysis` — relaxes
+  the serial statespace thread: fetch hoisting, store-to-load
+  forwarding, overwritten-store elimination;
+* :class:`~repro.transforms.unroll.UnrollLoops` — complete unrolling
+  (with safe peeling when only a prefix is static);
+* :class:`~repro.transforms.mux.BranchToMux` — if-conversion of
+  BRANCH nodes into MUX-selected dataflow, including store
+  predication;
+* :func:`~repro.transforms.pipeline.simplify` — the "full
+  simplification" preset used by every experiment.
+"""
+
+from repro.transforms.base import PassManager, PassStats, Transform
+from repro.transforms.folding import AlgebraicSimplification, ConstantFolding
+from repro.transforms.cse import CommonSubexpressionElimination
+from repro.transforms.dce import DeadCodeElimination
+from repro.transforms.dependency import DependencyAnalysis
+from repro.transforms.unroll import UnrollLoops
+from repro.transforms.mux import BranchToMux
+from repro.transforms.reassociate import Reassociate, balance
+from repro.transforms.loopslots import PruneLoopSlots
+from repro.transforms.pipeline import full_pipeline, simplify
+
+__all__ = [
+    "AlgebraicSimplification",
+    "BranchToMux",
+    "CommonSubexpressionElimination",
+    "ConstantFolding",
+    "DeadCodeElimination",
+    "DependencyAnalysis",
+    "PassManager",
+    "PassStats",
+    "PruneLoopSlots",
+    "Reassociate",
+    "Transform",
+    "UnrollLoops",
+    "balance",
+    "full_pipeline",
+    "simplify",
+]

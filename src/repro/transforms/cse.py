@@ -1,0 +1,50 @@
+"""Common subexpression elimination (named explicitly in the paper).
+
+Classic value numbering over the pure subset of the operation
+vocabulary.  Two nodes are merged when they have the same kind, the
+same payload and the same input references (after canonicalising
+commutative operand order).
+
+``FE`` participates: a fetch is pure *given a state version* — Fig. 2
+gives FE no ``ss_out`` — so two fetches of the same address from the
+same state version are one value.  ``ST``/``DEL`` never merge.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.graph import Graph
+from repro.cdfg.ops import COMMUTATIVE_OPS, OpKind, PURE_OPS
+from repro.transforms.base import Transform
+
+#: Pure kinds that still must not be merged: INPUT/OUTPUT are slot
+#: markers, compounds have bodies.
+_NON_MERGEABLE = frozenset({OpKind.INPUT, OpKind.OUTPUT})
+
+
+class CommonSubexpressionElimination(Transform):
+    """Merge structurally identical pure nodes (value numbering)."""
+
+    def run_on(self, graph: Graph) -> int:
+        changes = 0
+        table: dict[tuple, tuple[int, int]] = {}
+        for node in graph.topo_order():
+            if node.id not in graph.nodes:
+                continue
+            if node.kind not in PURE_OPS or node.kind in _NON_MERGEABLE:
+                continue
+            key = self._key(node)
+            existing = table.get(key)
+            if existing is None:
+                table[key] = node.out()
+                continue
+            graph.replace_uses(node.out(), existing)
+            graph.remove(node.id)
+            changes += 1
+        return changes
+
+    @staticmethod
+    def _key(node) -> tuple:
+        inputs = tuple(node.inputs)
+        if node.kind in COMMUTATIVE_OPS and len(inputs) == 2:
+            inputs = tuple(sorted(inputs))
+        return (node.kind, node.value, inputs)

@@ -1,0 +1,20 @@
+"""Dead code elimination.
+
+Removes every node that cannot reach an observable root (SS_OUT or an
+OUTPUT marker).  Because the statespace is threaded explicitly, a store
+that contributes to the final state is automatically live; a store
+bypassed by :class:`~repro.transforms.dependency.DependencyAnalysis`
+loses its last user and is collected here.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.graph import Graph
+from repro.transforms.base import Transform
+
+
+class DeadCodeElimination(Transform):
+    """Drop nodes unreachable from the graph's observable roots."""
+
+    def run_on(self, graph: Graph) -> int:
+        return graph.remove_dead()

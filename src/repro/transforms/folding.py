@@ -1,0 +1,217 @@
+"""Constant folding and algebraic simplification.
+
+Both passes only use identities that hold for unbounded integers (the
+interpreter's default semantics), so they are behaviour-preserving by
+construction; the totalised division/shift semantics in
+:mod:`repro.cdfg.ops` keep even the degenerate cases (``0/x`` with
+``x == 0``) consistent.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.graph import Graph, Node
+from repro.cdfg.ops import Address, OpKind, can_eval, eval_op, wrap_value
+from repro.transforms.base import Transform, replace_node
+
+
+def _const_value(graph: Graph, ref) -> int | None:
+    node = graph.producer(ref)
+    if node.kind is OpKind.CONST:
+        return node.value
+    return None
+
+
+def _addr_value(graph: Graph, ref) -> Address | None:
+    node = graph.producer(ref)
+    if node.kind is OpKind.ADDR:
+        return node.value
+    return None
+
+
+class ConstantFolding(Transform):
+    """Evaluate operations whose operands are all constants.
+
+    Also folds constant address arithmetic — ``ADDR_ADD(&a##0, 3)``
+    becomes ``&a##3`` — which is what turns the unrolled FIR loop's
+    indexed accesses into the named locations of paper Fig. 3 and
+    unlocks dependency analysis.
+
+    ``width`` must match the target data-path width: compile-time
+    evaluation of an overflowing expression has to wrap exactly like
+    the tile's ALUs (16-bit FPFA) or folding would change behaviour.
+    """
+
+    def __init__(self, width: int | None = None):
+        self.width = width
+
+    def run_on(self, graph: Graph) -> int:
+        changes = 0
+        for node in graph.sorted_nodes():
+            if node.id not in graph.nodes:
+                continue
+            changes += self._fold(graph, node)
+        return changes
+
+    def _fold(self, graph: Graph, node: Node) -> int:
+        kind = node.kind
+        # CONST payloads are wrapped on read: a literal like 70000 *is*
+        # 4464 on a 16-bit tile, and folding must see what the ALU sees.
+        if kind is OpKind.ADDR_ADD:
+            base = _addr_value(graph, node.inputs[0])
+            offset = _const_value(graph, node.inputs[1])
+            if base is None or offset is None:
+                return 0
+            folded = graph.addr(base.shifted(wrap_value(offset,
+                                                        self.width)))
+            replace_node(graph, node, folded.out())
+            return 1
+        if kind is OpKind.MUX:
+            cond = _const_value(graph, node.inputs[0])
+            if cond is None:
+                return 0
+            cond = wrap_value(cond, self.width)
+            chosen = node.inputs[1] if cond != 0 else node.inputs[2]
+            graph.replace_uses(node.out(), chosen)
+            graph.remove(node.id)
+            return 1
+        if not can_eval(kind) or not node.inputs:
+            return 0
+        operands = []
+        for ref in node.inputs:
+            value = _const_value(graph, ref)
+            if value is None:
+                return 0
+            operands.append(wrap_value(value, self.width))
+        folded = graph.const(eval_op(kind, *operands, width=self.width))
+        replace_node(graph, node, folded.out())
+        return 1
+
+
+class AlgebraicSimplification(Transform):
+    """Identity, absorption and same-operand rules.
+
+    Applied rules (x is any value, constants shown literally)::
+
+        x+0, 0+x, x-0        -> x        x-x          -> 0
+        x*1, 1*x             -> x        x*0, 0*x     -> 0
+        x/1                  -> x        0/x, 0%x     -> 0
+        x%1                  -> 0
+        x&x, x|x             -> x        x^x          -> 0
+        x&0, 0&x             -> 0        x|0, 0|x, x^0, 0^x -> x
+        x<<0, x>>0           -> x        0<<x, 0>>x   -> 0
+        x==x, x<=x, x>=x     -> 1        x!=x, x<x, x>x -> 0
+        0&&x, x&&0           -> 0        LOR with non-zero const -> 1
+        min(x,x), max(x,x)   -> x        mux(c,x,x)   -> x
+        neg(neg(x)), ~~x     -> x        abs(abs(x))  -> abs(x)
+    """
+
+    def run_on(self, graph: Graph) -> int:
+        changes = 0
+        for node in graph.sorted_nodes():
+            if node.id not in graph.nodes:
+                continue
+            changes += self._simplify(graph, node)
+        return changes
+
+    # The table below returns either None (no rule), a ValueRef to
+    # forward, or an int constant to materialise.
+    def _simplify(self, graph: Graph, node: Node) -> int:
+        result = self._rule(graph, node)
+        if result is None:
+            return 0
+        if isinstance(result, int):
+            replacement = graph.const(result).out()
+        else:
+            replacement = result
+        graph.replace_uses(node.out(), replacement)
+        graph.remove(node.id)
+        return 1
+
+    def _rule(self, graph: Graph, node: Node):
+        kind = node.kind
+        inputs = node.inputs
+        if len(inputs) == 2:
+            lhs, rhs = inputs
+            lhs_const = _const_value(graph, lhs)
+            rhs_const = _const_value(graph, rhs)
+            same = lhs == rhs
+            if kind is OpKind.ADD:
+                if lhs_const == 0:
+                    return rhs
+                if rhs_const == 0:
+                    return lhs
+            elif kind is OpKind.SUB:
+                if rhs_const == 0:
+                    return lhs
+                if same:
+                    return 0
+            elif kind is OpKind.MUL:
+                if lhs_const == 1:
+                    return rhs
+                if rhs_const == 1:
+                    return lhs
+                if lhs_const == 0 or rhs_const == 0:
+                    return 0
+            elif kind is OpKind.DIV:
+                if rhs_const == 1:
+                    return lhs
+                if lhs_const == 0:
+                    return 0
+            elif kind is OpKind.MOD:
+                if rhs_const == 1 or lhs_const == 0:
+                    return 0
+            elif kind is OpKind.AND:
+                if same:
+                    return lhs
+                if lhs_const == 0 or rhs_const == 0:
+                    return 0
+            elif kind is OpKind.OR:
+                if same:
+                    return lhs
+                if lhs_const == 0:
+                    return rhs
+                if rhs_const == 0:
+                    return lhs
+            elif kind is OpKind.XOR:
+                if same:
+                    return 0
+                if lhs_const == 0:
+                    return rhs
+                if rhs_const == 0:
+                    return lhs
+            elif kind in (OpKind.SHL, OpKind.SHR):
+                if rhs_const == 0:
+                    return lhs
+                if lhs_const == 0:
+                    return 0
+            elif kind in (OpKind.EQ, OpKind.LE, OpKind.GE):
+                if same:
+                    return 1
+            elif kind in (OpKind.NE, OpKind.LT, OpKind.GT):
+                if same:
+                    return 0
+            elif kind is OpKind.LAND:
+                if lhs_const == 0 or rhs_const == 0:
+                    return 0
+                if same:
+                    # x && x == (x != 0)
+                    return None
+            elif kind is OpKind.LOR:
+                if (lhs_const is not None and lhs_const != 0) or \
+                        (rhs_const is not None and rhs_const != 0):
+                    return 1
+            elif kind in (OpKind.MIN, OpKind.MAX):
+                if same:
+                    return lhs
+        elif kind is OpKind.MUX:
+            if inputs[1] == inputs[2]:
+                return inputs[1]
+        elif kind in (OpKind.NEG, OpKind.NOT):
+            inner = graph.producer(inputs[0])
+            if inner.kind is kind:
+                return inner.inputs[0]
+        elif kind is OpKind.ABS:
+            inner = graph.producer(inputs[0])
+            if inner.kind is OpKind.ABS:
+                return inputs[0]
+        return None

@@ -1,0 +1,190 @@
+"""Unit tests for phase 3: the Fig. 5 heuristic resource allocator."""
+
+import pytest
+
+from repro.arch.control import MemLoc, RegLoc
+from repro.arch.params import TileParams
+from repro.arch.simulator import simulate
+from repro.arch.templates import TemplateLibrary
+from repro.cdfg.ops import Address
+from repro.cdfg.statespace import StateSpace
+from repro.core.pipeline import map_source, verify_mapping
+from repro.baselines.naive_alloc import map_source_naive
+
+from tests.conftest import FIR_SOURCE
+
+
+def fir_state():
+    return (StateSpace()
+            .store_array("a", [1, 2, 3, 4, 5])
+            .store_array("c", [10, 20, 30, 40, 50]))
+
+
+class TestBasicAllocation:
+    def test_fir_allocates_and_verifies(self):
+        report = map_source(FIR_SOURCE)
+        final = verify_mapping(report, fir_state())
+        assert final.fetch("sum") == 550
+
+    def test_every_level_becomes_at_least_one_cycle(self):
+        report = map_source(FIR_SOURCE)
+        assert report.n_cycles >= report.n_levels
+
+    def test_operands_in_proper_banks(self):
+        """Leaf i of a cluster reads register bank i of its own PP
+        (bank Ra feeds ALU input a, ...)."""
+        report = map_source(FIR_SOURCE)
+        for cycle in report.program.cycles:
+            for config in cycle.alu_configs:
+                for leaf, loc in enumerate(config.operands):
+                    assert loc.bank == leaf
+                    assert loc.pp == config.pp
+
+    def test_outputs_stored_to_memory(self):
+        """Fig. 5: 'for each output do store it to a memory'."""
+        report = map_source(FIR_SOURCE)
+        for cycle in report.program.cycles:
+            for config in cycle.alu_configs:
+                assert any(isinstance(dest, MemLoc)
+                           for dest in config.dests)
+
+    def test_stall_cycles_flagged(self):
+        report = map_source(FIR_SOURCE)
+        assert report.program.cycles[0].is_stall
+        assert report.program.n_stall_cycles >= 1
+
+    def test_program_output_layout_covers_stores(self):
+        report = map_source(FIR_SOURCE)
+        assert {str(a) for a in report.program.output_layout} == \
+            {"sum", "i"}
+
+    def test_constant_only_program(self):
+        report = map_source("void main() { x = 42; }")
+        final = verify_mapping(report)
+        assert final.fetch("x") == 42
+
+    def test_copy_only_program(self):
+        report = map_source("void main() { x = a[1]; }")
+        state = StateSpace().store_array("a", [0, 9])
+        assert verify_mapping(report, state).fetch("x") == 9
+
+    def test_empty_program(self):
+        report = map_source("void main() { }")
+        assert report.n_cycles == 0
+        verify_mapping(report, StateSpace({"z": 1}))
+
+
+class TestLocalityFeatures:
+    def test_bypass_used_for_dependent_levels(self):
+        report = map_source(FIR_SOURCE)
+        assert report.alloc_stats.bypasses > 0
+
+    def test_register_reuse_for_repeated_constant(self):
+        source = """
+        void main() {
+          y0 = x0 * 3; y1 = x1 * 3; y2 = x2 * 3; y3 = x3 * 3;
+          y4 = x4 * 3; y5 = x5 * 3; y6 = x6 * 3;
+        }
+        """
+        report = map_source(source)
+        assert report.alloc_stats.reuse_hits > 0
+
+    def test_naive_disables_locality(self):
+        naive = map_source_naive(FIR_SOURCE)
+        assert naive.alloc_stats.bypasses == 0
+        assert naive.alloc_stats.reuse_hits == 0
+        verify_mapping(naive, fir_state())
+
+    def test_naive_needs_more_cycles(self):
+        smart = map_source(FIR_SOURCE)
+        naive = map_source_naive(FIR_SOURCE)
+        assert naive.n_cycles >= smart.n_cycles
+
+    def test_input_placed_near_first_consumer(self):
+        report = map_source("void main() { x = a[0] + a[1]; }")
+        layout = report.program.data_layout
+        consumer_pp = report.schedule.levels[0][0].pp
+        assert layout[Address("a", 0)].pp == consumer_pp
+
+
+class TestResourcePressure:
+    def test_few_buses_forces_stalls(self):
+        tight = map_source(FIR_SOURCE, TileParams(n_buses=2))
+        loose = map_source(FIR_SOURCE, TileParams(n_buses=10))
+        assert tight.n_cycles >= loose.n_cycles
+        verify_mapping(tight, fir_state())
+
+    def test_single_pp_tile(self):
+        report = map_source(FIR_SOURCE, TileParams(n_pps=1))
+        verify_mapping(report, fir_state())
+        assert report.n_levels == report.n_clusters
+
+    def test_tiny_register_banks(self):
+        params = TileParams(regs_per_bank=1)
+        report = map_source(FIR_SOURCE, params)
+        verify_mapping(report, fir_state())
+
+    def test_single_memory_per_pp(self):
+        params = TileParams(memories_per_pp=1)
+        report = map_source(FIR_SOURCE, params)
+        verify_mapping(report, fir_state())
+
+    def test_narrow_stage_window(self):
+        report = map_source(FIR_SOURCE, stage_window=1)
+        verify_mapping(report, fir_state())
+
+    def test_simulator_checks_pass_on_all_allocations(self):
+        """The allocator must respect every limit the simulator
+        enforces (the simulator runs with check_limits=True)."""
+        for buses in (2, 4, 10):
+            report = map_source(FIR_SOURCE, TileParams(n_buses=buses))
+            simulate(report.program, fir_state())  # raises on violation
+
+
+class TestInPlaceUpdates:
+    def test_read_modify_write_scalar(self):
+        report = map_source("void main() { x = x + 1; }")
+        final = verify_mapping(report, StateSpace({"x": 41}))
+        assert final.fetch("x") == 42
+
+    def test_read_modify_write_array(self):
+        source = """
+        void main() {
+          for (int i = 0; i < 4; i++) { v[i] = v[i] * 2; }
+        }
+        """
+        report = map_source(source)
+        state = StateSpace().store_array("v", [1, 2, 3, 4])
+        final = verify_mapping(report, state)
+        assert final.fetch_array("v", 4) == [2, 4, 6, 8]
+
+    def test_swap_two_words(self):
+        source = "void main() { t0 = a[0]; a[0] = a[1]; a[1] = t0; }"
+        report = map_source(source)
+        state = StateSpace().store_array("a", [5, 9])
+        final = verify_mapping(report, state)
+        assert final.fetch_array("a", 2) == [9, 5]
+
+    def test_inplace_update_on_single_memory_tile(self):
+        """An output whose address holds live input data on a tile
+        with one memory per PP lands in a shadow word (regression:
+        the allocator used to livelock excluding its only memory)."""
+        params = TileParams(n_pps=1, memories_per_pp=1)
+        report = map_source("void main() { x = x * 2 + y; }", params)
+        final = verify_mapping(report, StateSpace({"x": 10, "y": 1}))
+        assert final.fetch("x") == 21
+        # the input word was preserved until read, so a shadow word
+        # must carry the output
+        loc = report.program.output_layout[Address("x")]
+        assert str(loc.addr).startswith("$out$")
+
+    def test_inplace_array_reverse_single_memory(self):
+        params = TileParams(n_pps=2, memories_per_pp=1)
+        source = """
+        void main() {
+          for (int i = 0; i < 4; i++) { r[i] = r[3 - i] + r[i]; }
+        }
+        """
+        report = map_source(source, params)
+        state = StateSpace().store_array("r", [1, 2, 3, 4])
+        verify_mapping(report, state)

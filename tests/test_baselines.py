@@ -1,0 +1,99 @@
+"""Unit tests for the baseline comparators."""
+
+from repro.baselines.list_scheduler import list_schedule
+from repro.baselines.sarkar import sarkar_cluster_and_schedule
+from repro.cdfg.builder import build_main_cdfg
+from repro.core.taskgraph import TaskGraph
+from repro.eval.randomdag import random_task_graph
+from repro.transforms.pipeline import simplify
+
+from tests.conftest import FIR_SOURCE
+
+
+def lowered(source: str) -> TaskGraph:
+    graph = build_main_cdfg(source)
+    simplify(graph)
+    return TaskGraph.from_cdfg(graph)
+
+
+class TestListScheduler:
+    def test_schedules_every_task_once(self):
+        taskgraph = lowered(FIR_SOURCE)
+        result = list_schedule(taskgraph, n_alus=5)
+        issued = [tid for cycle in result.cycles for tid in cycle]
+        assert sorted(issued) == sorted(taskgraph.tasks)
+
+    def test_respects_capacity(self):
+        taskgraph = random_task_graph(60, seed=1)
+        result = list_schedule(taskgraph, n_alus=3)
+        assert all(len(cycle) <= 3 for cycle in result.cycles)
+
+    def test_respects_dependencies(self):
+        taskgraph = random_task_graph(40, seed=2)
+        result = list_schedule(taskgraph, n_alus=4)
+        for task in taskgraph.tasks.values():
+            for pred in task.predecessor_ids():
+                assert result.issue_cycle[pred] < \
+                    result.issue_cycle[task.id]
+
+    def test_cycles_at_least_critical_path(self):
+        taskgraph = lowered(FIR_SOURCE)
+        result = list_schedule(taskgraph, n_alus=5)
+        assert result.n_cycles >= result.critical_path
+
+    def test_single_alu_serialises(self):
+        taskgraph = lowered(FIR_SOURCE)
+        result = list_schedule(taskgraph, n_alus=1)
+        assert result.n_cycles == taskgraph.n_tasks
+
+    def test_utilisation(self):
+        taskgraph = lowered("void main() { x = p + q; }")
+        result = list_schedule(taskgraph, n_alus=5)
+        assert 0 < result.utilisation(5) <= 1
+
+    def test_empty_graph(self):
+        result = list_schedule(TaskGraph(), n_alus=5)
+        assert result.n_cycles == 0
+
+
+class TestSarkar:
+    def test_runs_on_fir(self):
+        taskgraph = lowered(FIR_SOURCE)
+        result = sarkar_cluster_and_schedule(taskgraph)
+        assert result.n_clusters >= 1
+        assert result.scheduled_makespan >= result.unbounded_makespan \
+            or result.scheduled_makespan > 0
+
+    def test_every_task_clustered(self):
+        taskgraph = random_task_graph(30, seed=3)
+        result = sarkar_cluster_and_schedule(taskgraph)
+        assert set(result.cluster_of) == set(taskgraph.tasks)
+
+    def test_merging_never_hurts_unbounded_makespan(self):
+        taskgraph = random_task_graph(25, seed=4)
+        merged = sarkar_cluster_and_schedule(taskgraph, comm_latency=2)
+        # all-singleton clustering baseline:
+        from repro.baselines.sarkar import _makespan_unbounded
+        singletons = {tid: i
+                      for i, tid in enumerate(sorted(taskgraph.tasks))}
+        baseline = _makespan_unbounded(taskgraph, singletons, 2)
+        assert merged.unbounded_makespan <= baseline
+
+    def test_internalisation_reduces_clusters(self):
+        # a pure chain should collapse into few clusters
+        taskgraph = lowered(
+            "void main() { x = ((((p + 1) * 2) + 3) * 4) + 5; }")
+        result = sarkar_cluster_and_schedule(taskgraph, comm_latency=3)
+        assert result.n_clusters < taskgraph.n_tasks
+
+    def test_zero_comm_latency(self):
+        taskgraph = random_task_graph(20, seed=5)
+        result = sarkar_cluster_and_schedule(taskgraph, comm_latency=0)
+        assert result.scheduled_makespan >= 1
+
+    def test_deterministic(self):
+        taskgraph = random_task_graph(20, seed=6)
+        first = sarkar_cluster_and_schedule(taskgraph)
+        second = sarkar_cluster_and_schedule(taskgraph)
+        assert first.cluster_of == second.cluster_of
+        assert first.scheduled_makespan == second.scheduled_makespan

@@ -1,0 +1,235 @@
+"""Unit tests for AST -> CDFG translation."""
+
+import pytest
+
+from repro.cdfg.builder import STATE_NAME, BuildError, build_main_cdfg
+from repro.cdfg.graph import COND_SLOT, Graph
+from repro.cdfg.interp import run_graph
+from repro.cdfg.ops import Address, OpKind
+from repro.cdfg.statespace import StateSpace
+from repro.cdfg.validate import validate
+
+
+def build(body: str) -> Graph:
+    graph = build_main_cdfg("void main() { " + body + " }")
+    return validate(graph)
+
+
+class TestStraightLine:
+    def test_empty_main(self):
+        graph = build("")
+        assert graph.sole(OpKind.SS_IN)
+        assert graph.sole(OpKind.SS_OUT)
+
+    def test_local_scalars_are_pure_dataflow(self):
+        graph = build("int x = 1; int y = x + 2;")
+        assert not graph.find(OpKind.ST)
+        assert not graph.find(OpKind.FE)
+
+    def test_global_write_emits_single_final_store(self):
+        graph = build("g = 1; g = 2; g = 3;")
+        stores = graph.find(OpKind.ST)
+        assert len(stores) == 1  # scalar promotion: one ST at the end
+        result = run_graph(graph)
+        assert result.fetch("g") == 3
+
+    def test_global_read_emits_fetch(self):
+        graph = build("x = g + 1;")
+        fetches = graph.find(OpKind.FE)
+        assert len(fetches) == 1
+        assert run_graph(graph, StateSpace({"g": 9})).fetch("x") == 10
+
+    def test_global_read_fetched_once(self):
+        graph = build("x = g + g * g;")
+        assert len(graph.find(OpKind.FE)) == 1
+
+    def test_final_stores_sorted_by_name(self):
+        graph = build("zz = 1; aa = 2;")
+        stores = graph.find(OpKind.ST)
+        assert [store.name for store in stores] == ["aa", "zz"]
+
+    def test_uninitialised_local_reads_zero(self):
+        graph = build("int x; y = x + 1;")
+        assert run_graph(graph).fetch("y") == 1
+
+    def test_array_constant_index_becomes_constant_address(self):
+        graph = build("x = a[3];")
+        fetch = graph.sole(OpKind.FE)
+        addr = graph.producer(fetch.inputs[1])
+        assert addr.kind is OpKind.ADDR
+        assert addr.value == Address("a", 3)
+
+    def test_array_dynamic_index_uses_addr_add(self):
+        graph = build("x = a[i];")
+        assert graph.find(OpKind.ADDR_ADD)
+
+    def test_array_store_threads_state(self):
+        graph = build("b[0] = 1; b[1] = 2;")
+        stores = graph.find(OpKind.ST)
+        assert len(stores) == 2
+        # second store's state input is the first store
+        assert stores[1].inputs[0] == stores[0].out()
+
+    def test_array_initialiser_stores_elements(self):
+        graph = build("int v[3] = {7, 8, 9}; x = v[1];")
+        result = run_graph(graph)
+        assert result.fetch("x") == 8
+        assert result.fetch(Address("v", 2)) == 9
+
+    def test_ternary_becomes_mux(self):
+        graph = build("x = c ? 1 : 2;")
+        assert graph.sole(OpKind.MUX)
+
+    def test_intrinsics(self):
+        graph = build("x = min(a0, b0); y = max(a0, b0); z = abs(a0);")
+        assert graph.sole(OpKind.MIN)
+        assert graph.sole(OpKind.MAX)
+        assert graph.sole(OpKind.ABS)
+
+    def test_all_binary_operators_buildable(self):
+        ops = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+               "<", "<=", ">", ">=", "==", "!=", "&&", "||"]
+        body = " ".join(f"r{i} = p {op} q;" for i, op in enumerate(ops))
+        graph = build(body)
+        run_graph(graph, StateSpace({"p": 7, "q": 3}))
+
+
+class TestFunctions:
+    def test_parameters_become_inputs(self):
+        from repro.cdfg.builder import build_cdfg
+        from repro.lang.parser import parse_program
+        program = parse_program("int f(int x, int y) { return x * y; }")
+        graph = build_cdfg(program, "f")
+        validate(graph)
+        inputs = graph.find(OpKind.INPUT)
+        assert {node.value for node in inputs} == {"x", "y"}
+        result = run_graph(graph, inputs={"x": 6, "y": 7})
+        assert result.outputs["return"] == 42
+
+    def test_return_not_last_rejected(self):
+        with pytest.raises(BuildError):
+            build("return; x = 1;")
+
+    def test_break_rejected_with_future_work_hint(self):
+        with pytest.raises(BuildError) as info:
+            build("while (x) { break; }")
+        assert "future work" in str(info.value)
+
+    def test_continue_rejected(self):
+        with pytest.raises(BuildError):
+            build("while (x) { continue; }")
+
+    def test_for_without_condition_rejected(self):
+        with pytest.raises(BuildError):
+            build("for (;;) { x = 1; }")
+
+
+class TestBranches:
+    def test_branch_node_created(self):
+        graph = build("if (c) x = 1; else x = 2;")
+        branch = graph.sole(OpKind.BRANCH)
+        live_ins, live_outs = branch.value
+        assert "x" in live_outs
+        assert len(branch.bodies) == 2
+
+    def test_branch_without_else(self):
+        graph = build("x = 5; if (c) x = 1;")
+        result_taken = run_graph(graph, StateSpace({"c": 1}))
+        result_skipped = run_graph(graph, StateSpace({"c": 0}))
+        assert result_taken.fetch("x") == 1
+        assert result_skipped.fetch("x") == 5
+
+    def test_branch_carries_state_when_arm_touches_arrays(self):
+        graph = build("if (c) { b[0] = 1; }")
+        branch = graph.sole(OpKind.BRANCH)
+        live_ins, live_outs = branch.value
+        assert STATE_NAME in live_ins
+        assert STATE_NAME in live_outs
+
+    def test_branch_without_arrays_does_not_carry_state(self):
+        graph = build("if (c) x = 1; else x = 2;")
+        branch = graph.sole(OpKind.BRANCH)
+        live_ins, __ = branch.value
+        assert STATE_NAME not in live_ins
+
+    def test_global_written_in_one_arm_keeps_old_value(self):
+        graph = build("if (c) g = 1;")
+        kept = run_graph(graph, StateSpace({"c": 0, "g": 77}))
+        assert kept.fetch("g") == 77
+
+    def test_nested_branches(self):
+        graph = build("if (a0) { if (b0) x = 1; else x = 2; } else x = 3;")
+        for a0, b0, expected in [(1, 1, 1), (1, 0, 2), (0, 1, 3)]:
+            result = run_graph(graph, StateSpace({"a0": a0, "b0": b0}))
+            assert result.fetch("x") == expected
+
+
+class TestLoops:
+    def test_while_becomes_loop_node(self, fir_graph):
+        loop = fir_graph.sole(OpKind.LOOP)
+        assert set(loop.value) == {"sum", "i", STATE_NAME}
+        body = loop.bodies[0]
+        assert COND_SLOT in Graph.body_outputs(body)
+
+    def test_loop_zero_iterations_preserves_globals(self):
+        graph = build("while (g < 0) { g = g + 1; }")
+        assert run_graph(graph, StateSpace({"g": 5})).fetch("g") == 5
+
+    def test_do_while_runs_at_least_once(self):
+        graph = build("do { g = g + 1; } while (g < 0);")
+        assert run_graph(graph, StateSpace({"g": 5})).fetch("g") == 6
+
+    def test_for_desugars_to_while(self):
+        graph = build("for (int i = 0; i < 4; i++) { s = s + i; }")
+        assert graph.sole(OpKind.LOOP)
+        assert run_graph(graph, StateSpace({"s": 0})).fetch("s") == 6
+
+    def test_loop_local_variable_not_carried_outside(self):
+        graph = build("for (int i = 0; i < 3; i++) { int t = i * 2; "
+                      "s = s + t; }")
+        assert run_graph(graph, StateSpace({"s": 0})).fetch("s") == 6
+
+    def test_nested_loops(self):
+        graph = build(
+            "s = 0;"
+            "for (int i = 0; i < 3; i++) {"
+            "  for (int j = 0; j < 2; j++) { s = s + i * j; }"
+            "}")
+        # sum over i<3, j<2 of i*j = (0+0)+(0+1)+(0+2) = 3
+        assert run_graph(graph).fetch("s") == 3
+
+    def test_loop_reading_arrays_carries_state(self, fir_graph,
+                                               fir_state):
+        result = run_graph(fir_graph, fir_state)
+        assert result.fetch("sum") == 550
+        assert result.fetch("i") == 5
+
+    def test_loop_writing_arrays(self):
+        graph = build("for (int i = 0; i < 4; i++) { o[i] = i * i; }")
+        result = run_graph(graph)
+        assert result.state.fetch_array("o", 4) == [0, 1, 4, 9]
+
+    def test_loop_condition_reading_array(self):
+        graph = build("i = 0; while (flags[i] != 0) { i = i + 1; }")
+        state = StateSpace().store_array("flags", [1, 1, 0])
+        assert run_graph(graph, state).fetch("i") == 2
+
+
+class TestFirStructure:
+    """The paper's FIR example translates to the expected shape."""
+
+    def test_graph_validates(self, fir_graph):
+        validate(fir_graph)
+
+    def test_has_two_final_stores(self, fir_graph):
+        stores = fir_graph.find(OpKind.ST)
+        assert sorted(store.name for store in stores) == ["i", "sum"]
+
+    def test_loop_carries_sum_i_and_state(self, fir_graph):
+        loop = fir_graph.sole(OpKind.LOOP)
+        assert set(loop.value) == {"sum", "i", STATE_NAME}
+
+    def test_executes_correctly(self, fir_graph, fir_state):
+        result = run_graph(fir_graph, fir_state)
+        assert result.fetch("sum") == sum((k + 1) * (k + 1) * 10
+                                          for k in range(5))

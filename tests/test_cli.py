@@ -1,0 +1,84 @@
+"""Unit tests for the fpfa-map command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+from tests.conftest import FIR_SOURCE
+
+
+@pytest.fixture
+def fir_file(tmp_path):
+    path = tmp_path / "fir.c"
+    path.write_text(FIR_SOURCE)
+    return str(path)
+
+
+def test_basic_run(fir_file, capsys):
+    assert main([fir_file]) == 0
+    out = capsys.readouterr().out
+    assert "clusters" in out
+    assert "locality" in out
+
+
+def test_schedule_flag(fir_file, capsys):
+    main([fir_file, "--schedule"])
+    out = capsys.readouterr().out
+    assert "Level0:" in out
+
+
+def test_listing_flag(fir_file, capsys):
+    main([fir_file, "--listing"])
+    out = capsys.readouterr().out
+    assert "cycle 0" in out
+
+
+def test_cdfg_flag(fir_file, capsys):
+    main([fir_file, "--cdfg"])
+    out = capsys.readouterr().out
+    assert "before simplification" in out
+    assert "after  simplification" in out
+
+
+def test_dot_output(fir_file, tmp_path, capsys):
+    dot_path = tmp_path / "fir.dot"
+    main([fir_file, "--dot", str(dot_path)])
+    text = dot_path.read_text()
+    assert text.startswith("digraph")
+    assert "FE" in text
+
+
+def test_verify_seed(fir_file, capsys):
+    main([fir_file, "--verify-seed", "3"])
+    out = capsys.readouterr().out
+    assert "verified against the interpreter" in out
+
+
+def test_library_option(fir_file, capsys):
+    main([fir_file, "--library", "mac"])
+    assert "clusters" in capsys.readouterr().out
+
+
+def test_pps_and_buses(fir_file, capsys):
+    main([fir_file, "--pps", "2", "--buses", "4", "--verify-seed", "0"])
+    assert "verified" in capsys.readouterr().out
+
+
+def test_stdin_input(monkeypatch, capsys):
+    import io
+    monkeypatch.setattr("sys.stdin", io.StringIO(FIR_SOURCE))
+    main(["-"])
+    assert "clusters" in capsys.readouterr().out
+
+
+def test_gantt_flag(fir_file, capsys):
+    main([fir_file, "--gantt"])
+    out = capsys.readouterr().out
+    assert "xbar |" in out
+    assert "PP0" in out
+    assert "(in)" in out
+
+
+def test_balance_flag(fir_file, capsys):
+    main([fir_file, "--balance", "--verify-seed", "1"])
+    assert "verified" in capsys.readouterr().out

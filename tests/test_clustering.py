@@ -1,0 +1,139 @@
+"""Unit tests for phase 1: clustering / ALU data-path mapping."""
+
+from repro.arch.templates import ClusterShape, TemplateLibrary
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.ops import Address, OpKind
+from repro.core.clustering import cluster_tasks
+from repro.core.taskgraph import Operand, StoreTask, Task, TaskGraph
+from repro.transforms.pipeline import simplify
+
+
+def lowered(body: str) -> TaskGraph:
+    graph = build_main_cdfg("void main() { " + body + " }")
+    simplify(graph)
+    return TaskGraph.from_cdfg(graph)
+
+
+def shapes(clustered):
+    return sorted(cluster.shape.value
+                  for cluster in clustered.clusters.values())
+
+
+class TestTemplateMatching:
+    def test_multiply_add_chains(self):
+        taskgraph = lowered("x = p * q + r;")
+        clustered = cluster_tasks(taskgraph, TemplateLibrary.two_level())
+        assert clustered.n_clusters == 1
+        (cluster,) = clustered.clusters.values()
+        assert cluster.shape is ClusterShape.CHAIN
+        assert cluster.ops == (OpKind.ADD, OpKind.MUL)
+
+    def test_chain_via_commutative_swap(self):
+        # mul arrives as the *second* operand of the add
+        taskgraph = lowered("x = r + p * q;")
+        clustered = cluster_tasks(taskgraph, TemplateLibrary.two_level())
+        (cluster,) = clustered.clusters.values()
+        assert cluster.shape is ClusterShape.CHAIN
+
+    def test_non_commutative_second_operand_not_chained(self):
+        # x = r - p*q : the chained child must feed the left port
+        taskgraph = lowered("x = r - p * q;")
+        clustered = cluster_tasks(taskgraph, TemplateLibrary.two_level())
+        assert clustered.n_clusters == 2
+
+    def test_non_commutative_first_operand_chains(self):
+        taskgraph = lowered("x = p * q - r;")
+        clustered = cluster_tasks(taskgraph, TemplateLibrary.two_level())
+        assert clustered.n_clusters == 1
+
+    def test_dual_requires_mac_library(self):
+        taskgraph = lowered("x = p * q + r * s;")
+        two_level = cluster_tasks(taskgraph, TemplateLibrary.two_level())
+        assert two_level.n_clusters == 2
+        mac = cluster_tasks(lowered("x = p * q + r * s;"),
+                            TemplateLibrary.mac())
+        assert mac.n_clusters == 1
+        (cluster,) = mac.clusters.values()
+        assert cluster.shape is ClusterShape.DUAL
+        assert len(cluster.operands) == 4
+
+    def test_single_op_library_never_merges(self):
+        taskgraph = lowered("x = p * q + r * s;")
+        clustered = cluster_tasks(taskgraph, TemplateLibrary.single_op())
+        assert clustered.n_clusters == taskgraph.n_tasks
+        assert set(shapes(clustered)) == {"single"}
+
+    def test_input_limit_blocks_merge(self):
+        # add(mul(a,b), c) has 3 leaves; with max_inputs=2 only singles
+        library = TemplateLibrary(name="tiny", max_inputs=2)
+        taskgraph = lowered("x = p * q + r;")
+        clustered = cluster_tasks(taskgraph, library)
+        assert clustered.n_clusters == 2
+
+
+class TestEscapeRules:
+    def test_multiconsumer_value_not_claimed(self):
+        taskgraph = lowered("t0 = p * q; x = t0 + 1; y = t0 + 2;")
+        clustered = cluster_tasks(taskgraph)
+        mul_cluster = clustered.owner[
+            [t.id for t in taskgraph.tasks.values()
+             if t.kind is OpKind.MUL][0]]
+        # the MUL stands alone because both adds read it
+        assert clustered.clusters[mul_cluster].shape is \
+            ClusterShape.SINGLE
+
+    def test_stored_value_not_claimed(self):
+        # p*q is stored as x AND feeds the add: must not be merged
+        taskgraph = lowered("x = p * q; y = x + r;")
+        clustered = cluster_tasks(taskgraph)
+        assert clustered.n_clusters == 2
+
+    def test_twice_read_operand_not_claimed(self):
+        # square = t*t where t = p+q: t feeds the mul twice
+        taskgraph = lowered("x = (p + q) * (p + q);")
+        clustered = cluster_tasks(taskgraph)
+        assert clustered.n_clusters == 2  # CSE merged the adds upstream
+
+
+class TestClusterGraph:
+    def test_edges_follow_operands(self):
+        taskgraph = lowered("x = (p + q) * r + s;")
+        clustered = cluster_tasks(taskgraph)
+        predecessors = clustered.predecessors()
+        sinks = [cid for cid, preds in predecessors.items() if preds]
+        assert sinks, "dependent cluster expected"
+
+    def test_internalised_edges_counted(self):
+        taskgraph = lowered("x = p * q + r;")
+        clustered = cluster_tasks(taskgraph)
+        assert clustered.internalised_edges(taskgraph) == 1
+
+    def test_owner_total(self):
+        taskgraph = lowered("x = p * q + r * s; y = x + 1;")
+        clustered = cluster_tasks(taskgraph)
+        assert set(clustered.owner) == set(taskgraph.tasks)
+
+    def test_labels(self):
+        taskgraph = lowered("x = p * q + r;")
+        clustered = cluster_tasks(taskgraph)
+        (cluster,) = clustered.clusters.values()
+        assert cluster.label().startswith("Clu")
+
+    def test_fir_clusters(self):
+        from tests.conftest import FIR_SOURCE
+        graph = build_main_cdfg(FIR_SOURCE)
+        simplify(graph)
+        taskgraph = TaskGraph.from_cdfg(graph)
+        clustered = cluster_tasks(taskgraph, TemplateLibrary.two_level())
+        # 5 muls stay single (their sums chain), adds chain pairwise:
+        # 9 tasks -> 7 clusters
+        assert taskgraph.n_tasks == 9
+        assert clustered.n_clusters == 7
+
+    def test_mux_as_chain_root_through_condition(self):
+        # mux(cond_chain, t, f): the condition may be chained into MUX
+        taskgraph = lowered("x = (p < q) ? r : s;")
+        clustered = cluster_tasks(taskgraph, TemplateLibrary.two_level())
+        assert clustered.n_clusters == 1
+        (cluster,) = clustered.clusters.values()
+        assert cluster.ops[0] is OpKind.MUX

@@ -1,0 +1,59 @@
+"""Unit tests for Graphviz export of CDFGs."""
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.dot import to_dot
+from repro.transforms.pipeline import simplify
+
+from tests.conftest import FIR_SOURCE
+
+
+def test_basic_structure():
+    graph = build_main_cdfg("void main() { x = a[0] * 2; }")
+    dot = to_dot(graph)
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    assert "->" in dot
+
+
+def test_statespace_primitives_highlighted():
+    graph = build_main_cdfg("void main() { b[0] = a[0]; }")
+    dot = to_dot(graph)
+    assert "FE" in dot
+    assert "ST" in dot
+    assert "fillcolor" in dot
+
+
+def test_state_edges_dashed():
+    graph = build_main_cdfg("void main() { b[0] = 1; }")
+    dot = to_dot(graph)
+    assert "dashed" in dot
+
+
+def test_compound_nodes_as_clusters():
+    graph = build_main_cdfg(FIR_SOURCE)
+    dot = to_dot(graph)
+    assert "subgraph cluster_" in dot
+    assert "loop" in dot
+
+
+def test_minimised_fir_contains_figure_labels():
+    graph = build_main_cdfg(FIR_SOURCE)
+    simplify(graph)
+    dot = to_dot(graph)
+    # the a##i / c##i location labels of paper Fig. 3
+    assert "a##1" in dot
+    assert "c##4" in dot
+    assert "sum" in dot
+
+
+def test_title_override():
+    graph = build_main_cdfg("void main() { }")
+    dot = to_dot(graph, title="custom")
+    assert '"custom"' in dot
+
+
+def test_quotes_escaped():
+    graph = build_main_cdfg("void main() { x = p + q; }")
+    adder = [node for node in graph if str(node.kind) == "+"][0]
+    adder.name = 'tri"cky'
+    assert '\\"' in to_dot(graph)

@@ -1,0 +1,103 @@
+"""Unit tests for the diagnostic machinery (caret rendering, op
+signatures and other small shared utilities)."""
+
+import pytest
+
+from repro.cdfg.ops import (
+    ALU_OPS,
+    COMMUTATIVE_OPS,
+    OpKind,
+    PURE_OPS,
+    eval_op,
+    signature,
+)
+from repro.lang.errors import (
+    LexError,
+    ParseError,
+    SemanticError,
+    SourceError,
+    SourceLocation,
+)
+
+
+class TestSourceErrors:
+    def test_plain_message_without_location(self):
+        error = SourceError("something broke")
+        assert str(error) == "something broke"
+
+    def test_location_header(self):
+        location = SourceLocation(2, 5, "prog.c")
+        error = SourceError("bad token", location)
+        assert str(error).startswith("prog.c:2:5: bad token")
+
+    def test_caret_points_at_column(self):
+        source = "line one\nxy = $;\n"
+        location = SourceLocation(2, 6, "prog.c")
+        error = SourceError("bad", location, source)
+        lines = str(error).splitlines()
+        assert lines[1].strip() == "xy = $;"
+        caret_col = lines[2].index("^")
+        source_col = lines[1].index("$")
+        assert caret_col == source_col
+
+    def test_caret_skipped_for_out_of_range_line(self):
+        error = SourceError("bad", SourceLocation(99, 1), "one line")
+        assert "^" not in str(error)
+
+    def test_hierarchy(self):
+        assert issubclass(LexError, SourceError)
+        assert issubclass(ParseError, SourceError)
+        assert issubclass(SemanticError, SourceError)
+
+    def test_location_str(self):
+        assert str(SourceLocation(3, 7, "f.c")) == "f.c:3:7"
+
+
+class TestOpTables:
+    def test_every_binary_op_has_signature(self):
+        for kind in (OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.LT,
+                     OpKind.LAND, OpKind.MIN):
+            sig = signature(kind)
+            assert sig is not None
+            assert len(sig[0]) == 2
+            assert len(sig[1]) == 1
+
+    def test_special_kinds_have_no_signature(self):
+        for kind in (OpKind.MUX, OpKind.INPUT, OpKind.OUTPUT,
+                     OpKind.LOOP, OpKind.BRANCH):
+            assert signature(kind) is None
+
+    def test_statespace_primitive_signatures_match_fig2(self):
+        st_in, st_out = signature(OpKind.ST)
+        assert len(st_in) == 3 and len(st_out) == 1   # ss, ad, da -> ss
+        fe_in, fe_out = signature(OpKind.FE)
+        assert len(fe_in) == 2 and len(fe_out) == 1   # ss, ad -> da
+        del_in, del_out = signature(OpKind.DEL)
+        assert len(del_in) == 2 and len(del_out) == 1  # ss, ad -> ss
+
+    def test_pure_excludes_effects(self):
+        assert OpKind.ST not in PURE_OPS
+        assert OpKind.DEL not in PURE_OPS
+        assert OpKind.FE in PURE_OPS  # pure given the state version
+
+    def test_commutative_subset_sane(self):
+        assert OpKind.ADD in COMMUTATIVE_OPS
+        assert OpKind.SUB not in COMMUTATIVE_OPS
+        assert OpKind.SHL not in COMMUTATIVE_OPS
+
+    def test_alu_ops_exclude_memory_traffic(self):
+        assert OpKind.FE not in ALU_OPS
+        assert OpKind.ST not in ALU_OPS
+        assert OpKind.MUX in ALU_OPS
+
+    def test_eval_op_width_keyword(self):
+        assert eval_op(OpKind.MUL, 300, 300, width=16) == \
+            (90000 + 2**15) % 2**16 - 2**15
+        assert eval_op(OpKind.MUL, 300, 300) == 90000
+
+    @pytest.mark.parametrize("kind", sorted(ALU_OPS, key=str))
+    def test_every_alu_op_evaluable(self, kind):
+        from repro.arch.simulator import op_arity
+        operands = [1] * op_arity(kind)
+        result = eval_op(kind, *operands)
+        assert isinstance(result, int)

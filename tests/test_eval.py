@@ -1,0 +1,116 @@
+"""Unit tests for the evaluation harness (kernels, random DAGs,
+metrics, tables)."""
+
+import pytest
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.interp import run_graph
+from repro.core.pipeline import map_source
+from repro.eval.kernels import KERNELS, get_kernel
+from repro.eval.metrics import kernel_row, mapping_metrics
+from repro.eval.randomdag import random_task_graph
+from repro.eval.report import render_table
+
+
+class TestKernels:
+    def test_suite_has_redundancy_free_names(self):
+        names = [kernel.name for kernel in KERNELS]
+        assert len(names) == len(set(names))
+        assert len(names) >= 12
+
+    @pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+    def test_kernel_parses_and_runs(self, kernel):
+        graph = build_main_cdfg(kernel.source)
+        run_graph(graph, kernel.initial_state(0))
+
+    def test_initial_state_deterministic(self):
+        kernel = get_kernel("fir5")
+        assert kernel.initial_state(7).same_tuples(
+            kernel.initial_state(7))
+
+    def test_initial_state_varies_with_seed(self):
+        kernel = get_kernel("fir5")
+        assert not kernel.initial_state(1).same_tuples(
+            kernel.initial_state(2))
+
+    def test_get_kernel_unknown(self):
+        with pytest.raises(KeyError):
+            get_kernel("nope")
+
+    def test_fir_kernel_is_papers_code(self):
+        kernel = get_kernel("fir5")
+        assert "while (i < 5)" in kernel.source
+        assert "sum = sum + a[i] * c[i]" in kernel.source
+
+
+class TestRandomDag:
+    def test_deterministic_for_seed(self):
+        first = random_task_graph(40, seed=9)
+        second = random_task_graph(40, seed=9)
+        assert {t.id: str(t) for t in first.tasks.values()} == \
+            {t.id: str(t) for t in second.tasks.values()}
+
+    def test_size_exact(self):
+        for n in (1, 7, 50):
+            assert random_task_graph(n, seed=0).n_tasks == n
+
+    def test_acyclic(self):
+        graph = random_task_graph(80, seed=11)
+        graph.topo_order()  # raises on cycle
+
+    def test_all_sinks_stored(self):
+        graph = random_task_graph(30, seed=12)
+        consumers = graph.consumers()
+        stored = {store.source.task_id for store in graph.stores
+                  if store.source.task_id is not None}
+        sinks = {tid for tid, users in consumers.items() if not users}
+        assert sinks <= stored
+
+    def test_width_changes_parallelism(self):
+        narrow = random_task_graph(60, seed=13, width=2)
+        wide = random_task_graph(60, seed=13, width=20)
+        assert narrow.critical_path_length() > \
+            wide.critical_path_length()
+
+
+class TestMetrics:
+    def test_metric_keys(self):
+        report = map_source(get_kernel("fir5").source)
+        metrics = mapping_metrics(report)
+        expected = {"tasks", "clusters", "levels", "cycles", "stalls",
+                    "moves", "alu_util", "speedup", "locality",
+                    "energy", "critical_path", "inserted_levels"}
+        assert expected <= set(metrics)
+
+    def test_locality_in_unit_range(self):
+        report = map_source(get_kernel("dot8").source)
+        metrics = mapping_metrics(report)
+        assert 0 <= metrics["locality"] <= 1
+
+    def test_kernel_row_includes_name_and_extras(self):
+        report = map_source(get_kernel("fir5").source)
+        row = kernel_row("fir5", report, note="x")
+        assert row["kernel"] == "fir5"
+        assert row["note"] == "x"
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        table = render_table(
+            [{"name": "a", "value": 1}, {"name": "bb", "value": 22}],
+            title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_column_selection(self):
+        table = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_empty(self):
+        assert "(no rows)" in render_table([], title="T")
+
+    def test_float_formatting(self):
+        table = render_table([{"v": 0.123456}])
+        assert "0.123" in table

@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs and prints what it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["verified execution", "sum = 35"],
+    "fir_walkthrough.py": ["step 1", "step 4", "FE:10"],
+    "kernel_suite.py": ["fir5", "dct4", "speedup"],
+    "custom_architecture.py": ["Sweep: processing parts",
+                               "Sweep: crossbar buses"],
+    "visual_inspection.py": ["xbar |", "reassociation"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300, cwd=tmp_path)
+    assert result.returncode == 0, result.stderr
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in result.stdout, (script, marker)
+
+
+def test_examples_directory_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS)

@@ -1,0 +1,223 @@
+"""Unit tests for the CDFG graph data structure."""
+
+import pytest
+
+from repro.cdfg.graph import COND_SLOT, Graph, GraphError
+from repro.cdfg.ops import Address, OpKind
+
+
+def small_graph():
+    """(x + y) * x with two constants."""
+    graph = Graph("g")
+    x = graph.const(3)
+    y = graph.const(4)
+    added = graph.add(OpKind.ADD, inputs=[x.out(), y.out()])
+    multiplied = graph.add(OpKind.MUL, inputs=[added.out(), x.out()])
+    return graph, x, y, added, multiplied
+
+
+class TestConstruction:
+    def test_ids_are_unique_and_dense(self):
+        graph, x, y, added, multiplied = small_graph()
+        assert [x.id, y.id, added.id, multiplied.id] == [0, 1, 2, 3]
+
+    def test_out_of_range_output_rejected(self):
+        graph, x, *__ = small_graph()
+        with pytest.raises(GraphError):
+            x.out(1)
+
+    def test_unknown_input_node_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add(OpKind.NEG, inputs=[(99, 0)])
+
+    def test_bad_output_index_in_input_rejected(self):
+        graph = Graph()
+        node = graph.const(1)
+        with pytest.raises(GraphError):
+            graph.add(OpKind.NEG, inputs=[(node.id, 3)])
+
+    def test_addr_helper(self):
+        graph = Graph()
+        node = graph.addr("a", 2)
+        assert node.value == Address("a", 2)
+
+    def test_n_outputs_from_signature(self):
+        graph = Graph()
+        ss = graph.add(OpKind.SS_IN)
+        assert ss.n_outputs == 1
+        out = graph.add(OpKind.SS_OUT, inputs=[ss.out()])
+        assert out.n_outputs == 0
+
+    def test_describe(self):
+        graph, x, __, added, __m = small_graph()
+        assert x.describe() == "3"
+        assert added.describe() == "+"
+
+
+class TestLookup:
+    def test_find_and_sole(self):
+        graph, *__ = small_graph()
+        assert len(graph.find(OpKind.CONST)) == 2
+        assert graph.sole(OpKind.ADD).kind is OpKind.ADD
+
+    def test_sole_raises_on_many(self):
+        graph, *__ = small_graph()
+        with pytest.raises(GraphError):
+            graph.sole(OpKind.CONST)
+
+    def test_sole_raises_on_none(self):
+        graph, *__ = small_graph()
+        with pytest.raises(GraphError):
+            graph.sole(OpKind.MUX)
+
+    def test_counts(self):
+        graph, *__ = small_graph()
+        counts = graph.counts()
+        assert counts[OpKind.CONST] == 2
+        assert counts[OpKind.ADD] == 1
+
+    def test_stats_line(self):
+        graph, *__ = small_graph()
+        assert "4 nodes" in graph.stats()
+
+    def test_len_and_iter(self):
+        graph, *__ = small_graph()
+        assert len(graph) == 4
+        assert len(list(graph)) == 4
+
+
+class TestUses:
+    def test_uses_table(self):
+        graph, x, y, added, multiplied = small_graph()
+        uses = graph.uses()
+        assert (added.id, 0) in [tuple(u) for u in uses[x.out()]]
+        assert (multiplied.id, 1) in [tuple(u) for u in uses[x.out()]]
+
+    def test_users_of(self):
+        graph, x, *__ = small_graph()
+        users = graph.users_of(x.id)
+        assert len(users) == 2
+
+    def test_replace_uses(self):
+        graph, x, y, added, multiplied = small_graph()
+        replaced = graph.replace_uses(x.out(), y.out())
+        assert replaced == 2
+        assert multiplied.inputs[1] == y.out()
+
+    def test_replace_uses_same_ref_is_noop(self):
+        graph, x, *__ = small_graph()
+        assert graph.replace_uses(x.out(), x.out()) == 0
+
+    def test_remove_used_node_rejected(self):
+        graph, x, *__ = small_graph()
+        with pytest.raises(GraphError):
+            graph.remove(x.id)
+
+    def test_remove_unused_node(self):
+        graph, x, y, added, multiplied = small_graph()
+        graph.remove(multiplied.id)
+        assert multiplied.id not in graph.nodes
+
+
+class TestDeadCode:
+    def test_remove_dead_keeps_reachable(self):
+        graph = Graph()
+        ss = graph.add(OpKind.SS_IN)
+        addr = graph.addr("x")
+        value = graph.const(1)
+        store = graph.add(OpKind.ST,
+                          inputs=[ss.out(), addr.out(), value.out()])
+        graph.add(OpKind.SS_OUT, inputs=[store.out()])
+        orphan = graph.const(99)
+        removed = graph.remove_dead()
+        assert removed == 1
+        assert orphan.id not in graph.nodes
+        assert store.id in graph.nodes
+
+    def test_remove_dead_keep_parameter(self):
+        graph = Graph()
+        orphan = graph.const(99)
+        removed = graph.remove_dead(keep=[orphan.id])
+        assert removed == 0
+
+    def test_remove_dead_cascades(self):
+        graph, x, y, added, multiplied = small_graph()
+        # no roots at all: everything dies
+        assert graph.remove_dead() == 4
+
+
+class TestOrdering:
+    def test_topo_order_respects_dependencies(self):
+        graph, x, y, added, multiplied = small_graph()
+        order = [node.id for node in graph.topo_order()]
+        assert order.index(x.id) < order.index(added.id)
+        assert order.index(added.id) < order.index(multiplied.id)
+
+    def test_topo_order_deterministic(self):
+        graph, *__ = small_graph()
+        first = [node.id for node in graph.topo_order()]
+        second = [node.id for node in graph.topo_order()]
+        assert first == second
+
+    def test_cycle_detected(self):
+        graph = Graph()
+        a = graph.const(0)
+        neg = graph.add(OpKind.NEG, inputs=[a.out()])
+        neg.inputs[0] = neg.out()  # self-loop via surgery
+        with pytest.raises(GraphError):
+            graph.topo_order()
+
+    def test_depth(self):
+        graph, *__ = small_graph()
+        assert graph.depth() == 3  # const -> add -> mul
+
+
+class TestCloneAndSplice:
+    def test_clone_is_deep(self):
+        graph, x, y, added, multiplied = small_graph()
+        copy = graph.clone()
+        copy.node(x.id).value = 999
+        assert graph.node(x.id).value == 3
+
+    def test_clone_preserves_ids_and_new_ids_fresh(self):
+        graph, *__ = small_graph()
+        copy = graph.clone()
+        fresh = copy.const(5)
+        assert fresh.id not in graph.nodes
+
+    def test_clone_clones_bodies(self):
+        body = Graph("body")
+        node_in = body.add(OpKind.INPUT, value="x")
+        body.add(OpKind.OUTPUT, inputs=[node_in.out()], value=COND_SLOT)
+        parent = Graph()
+        init = parent.const(0)
+        parent.add(OpKind.LOOP, inputs=[init.out()], value=("x",),
+                   bodies=(body,), n_outputs=1)
+        copy = parent.clone()
+        loop_copy = copy.find(OpKind.LOOP)[0]
+        assert loop_copy.bodies[0] is not body
+
+    def test_splice_with_substitution(self):
+        inner = Graph("inner")
+        node_in = inner.add(OpKind.INPUT, value="v")
+        doubled = inner.add(OpKind.ADD,
+                            inputs=[node_in.out(), node_in.out()])
+        inner.add(OpKind.OUTPUT, inputs=[doubled.out()], value="v")
+
+        outer = Graph("outer")
+        seed = outer.const(21)
+        mapping = outer.splice(
+            inner, {node_in.out(): seed.out()},
+            skip=lambda node: node.kind is OpKind.OUTPUT)
+        assert mapping[doubled.out()] in [
+            (node.id, 0) for node in outer.find(OpKind.ADD)]
+        assert not outer.find(OpKind.OUTPUT)
+        assert not outer.find(OpKind.INPUT)
+
+    def test_body_inputs_outputs_maps(self):
+        body = Graph()
+        node_in = body.add(OpKind.INPUT, value="x")
+        body.add(OpKind.OUTPUT, inputs=[node_in.out()], value="x")
+        assert set(Graph.body_inputs(body)) == {"x"}
+        assert set(Graph.body_outputs(body)) == {"x"}

@@ -1,0 +1,196 @@
+"""Unit tests for function-call inlining."""
+
+import pytest
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.interp import run_graph
+from repro.cdfg.statespace import StateSpace
+from repro.cdfg.validate import validate
+from repro.lang.errors import SemanticError
+from repro.lang.inline import InlineError, has_user_calls, inline_calls
+from repro.lang.parser import parse_program
+
+
+def run(source: str, state: StateSpace | None = None):
+    graph = build_main_cdfg(source)
+    validate(graph)
+    return run_graph(graph, state or StateSpace())
+
+
+class TestBasicInlining:
+    def test_simple_value_call(self):
+        result = run("""
+        int twice(int v) { return v * 2; }
+        void main() { x = twice(21); }
+        """)
+        assert result.fetch("x") == 42
+
+    def test_arguments_evaluated_by_value(self):
+        result = run("""
+        int f(int v) { v = v + 1; return v; }
+        void main() { g = 10; x = f(g); }
+        """, StateSpace())
+        assert result.fetch("x") == 11
+        assert result.fetch("g") == 10  # caller variable untouched
+
+    def test_locals_renamed_no_capture(self):
+        result = run("""
+        int f(int t) { int s = t * 2; return s; }
+        void main() { int s = 5; x = f(3) + s; }
+        """)
+        assert result.fetch("x") == 11
+
+    def test_two_calls_independent(self):
+        result = run("""
+        int inc(int v) { return v + 1; }
+        void main() { x = inc(1) + inc(10); }
+        """)
+        assert result.fetch("x") == 13
+
+    def test_nested_calls(self):
+        result = run("""
+        int sq(int v) { return v * v; }
+        int quad(int v) { return sq(sq(v)); }
+        void main() { x = quad(2); }
+        """)
+        assert result.fetch("x") == 16
+
+    def test_call_in_argument(self):
+        result = run("""
+        int sq(int v) { return v * v; }
+        void main() { x = sq(sq(2) + 1); }
+        """)
+        assert result.fetch("x") == 25
+
+    def test_void_function_statement_call(self):
+        result = run("""
+        void bump(int d) { g = g + d; }
+        void main() { g = 1; bump(4); bump(5); }
+        """)
+        assert result.fetch("g") == 10
+
+    def test_callee_accesses_globals(self):
+        result = run("""
+        int get(int i) { return tbl[i]; }
+        void main() { x = get(1) + get(2); }
+        """, StateSpace().store_array("tbl", [5, 6, 7]))
+        assert result.fetch("x") == 13
+
+    def test_callee_with_loop(self):
+        result = run("""
+        int sum_to(int n) {
+          int s = 0;
+          for (int i = 0; i < 4; i++) { s = s + i; }
+          return s + n;
+        }
+        void main() { x = sum_to(10); }
+        """)
+        assert result.fetch("x") == 16
+
+    def test_callee_with_branch(self):
+        result = run("""
+        int clamp(int v) { if (v > 9) { v = 9; } return v; }
+        void main() { x = clamp(15); y = clamp(3); }
+        """)
+        assert result.fetch("x") == 9
+        assert result.fetch("y") == 3
+
+    def test_call_inside_if_arm(self):
+        result = run("""
+        int sq(int v) { return v * v; }
+        void main() { if (c) { x = sq(4); } else { x = 1; } }
+        """, StateSpace({"c": 1}))
+        assert result.fetch("x") == 16
+
+    def test_inlined_program_maps(self):
+        from repro.core.pipeline import map_source, verify_mapping
+        source = """
+        int mac(int acc, int p, int q) { return acc + p * q; }
+        void main() {
+          s = 0;
+          for (int i = 0; i < 4; i++) { s = mac(s, a[i], b[i]); }
+        }
+        """
+        report = map_source(source)
+        state = (StateSpace().store_array("a", [1, 2, 3, 4])
+                 .store_array("b", [5, 6, 7, 8]))
+        final = verify_mapping(report, state)
+        assert final.fetch("s") == 5 + 12 + 21 + 32
+
+
+class TestInlineHelpers:
+    def test_has_user_calls(self):
+        program = parse_program("""
+        int f(int v) { return v; }
+        void main() { x = f(1); y = min(1, 2); }
+        """)
+        assert has_user_calls(program, "main")
+        assert not has_user_calls(program, "f")
+
+    def test_inline_calls_returns_flat_main(self):
+        program = parse_program("""
+        int f(int v) { return v + 1; }
+        void main() { x = f(2); }
+        """)
+        flat = inline_calls(program)
+        assert not has_user_calls(flat, "main")
+
+    def test_intrinsics_not_treated_as_user_calls(self):
+        program = parse_program("void main() { x = max(1, abs(2)); }")
+        assert not has_user_calls(program, "main")
+
+
+class TestInlineErrors:
+    def test_recursion_rejected(self):
+        with pytest.raises(InlineError):
+            run("""
+            int f(int n) { return f(n - 1); }
+            void main() { x = f(3); }
+            """)
+
+    def test_mutual_recursion_rejected(self):
+        with pytest.raises(InlineError):
+            run("""
+            int odd(int n) { return even(n - 1); }
+            int even(int n) { return odd(n - 1); }
+            void main() { x = even(4); }
+            """)
+
+    def test_undefined_function_rejected_by_sema(self):
+        with pytest.raises(SemanticError):
+            run("void main() { x = mystery(1); }")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SemanticError):
+            run("""
+            int f(int a, int b) { return a + b; }
+            void main() { x = f(1); }
+            """)
+
+    def test_void_used_as_value_rejected(self):
+        with pytest.raises(InlineError):
+            run("""
+            void g(int v) { k = v; }
+            void main() { x = g(1) + 2; }
+            """)
+
+    def test_early_return_rejected(self):
+        with pytest.raises(InlineError):
+            run("""
+            int f(int v) { if (v > 0) { return 1; } return 0; }
+            void main() { x = f(1); }
+            """)
+
+    def test_call_in_loop_condition_rejected(self):
+        with pytest.raises(InlineError):
+            run("""
+            int f(int v) { return v; }
+            void main() { i = 0; while (i < f(5)) { i = i + 1; } }
+            """)
+
+    def test_missing_return_value_rejected(self):
+        with pytest.raises(InlineError):
+            run("""
+            int f(int v) { k = v; }
+            void main() { x = f(1); }
+            """)

@@ -1,0 +1,207 @@
+"""Unit tests for the CDFG interpreter and the shared op semantics."""
+
+import pytest
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.graph import COND_SLOT, Graph
+from repro.cdfg.interp import Interpreter, InterpreterError, run_graph, run_main
+from repro.cdfg.ops import Address, OpKind, c_div, c_mod, eval_op
+from repro.cdfg.statespace import StateSpace
+
+
+class TestCSemantics:
+    """Shared integer semantics (interpreter == folder == simulator)."""
+
+    def test_division_truncates_toward_zero(self):
+        assert c_div(7, 2) == 3
+        assert c_div(-7, 2) == -3
+        assert c_div(7, -2) == -3
+        assert c_div(-7, -2) == 3
+
+    def test_modulo_sign_follows_dividend(self):
+        assert c_mod(7, 3) == 1
+        assert c_mod(-7, 3) == -1
+        assert c_mod(7, -3) == 1
+        assert c_mod(-7, -3) == -1
+
+    def test_div_mod_identity(self):
+        for lhs in range(-9, 10):
+            for rhs in list(range(-4, 0)) + list(range(1, 5)):
+                assert c_div(lhs, rhs) * rhs + c_mod(lhs, rhs) == lhs
+
+    def test_division_by_zero_totalised(self):
+        assert c_div(5, 0) == 0
+        assert c_mod(5, 0) == 0
+
+    def test_negative_shift_totalised(self):
+        assert eval_op(OpKind.SHL, 1, -3) == 0
+        assert eval_op(OpKind.SHR, 8, -1) == 0
+
+    def test_arithmetic_shift_right(self):
+        assert eval_op(OpKind.SHR, -8, 1) == -4
+
+    def test_comparisons_produce_01(self):
+        assert eval_op(OpKind.LT, 1, 2) == 1
+        assert eval_op(OpKind.GE, 1, 2) == 0
+
+    def test_logical_ops(self):
+        assert eval_op(OpKind.LAND, 5, -3) == 1
+        assert eval_op(OpKind.LAND, 5, 0) == 0
+        assert eval_op(OpKind.LOR, 0, 0) == 0
+        assert eval_op(OpKind.LNOT, 0) == 1
+        assert eval_op(OpKind.LNOT, 7) == 0
+
+    def test_mux(self):
+        assert eval_op(OpKind.MUX, 1, 10, 20) == 10
+        assert eval_op(OpKind.MUX, 0, 10, 20) == 20
+        assert eval_op(OpKind.MUX, -5, 10, 20) == 10  # any non-zero
+
+    def test_intrinsics(self):
+        assert eval_op(OpKind.MIN, 3, -2) == -2
+        assert eval_op(OpKind.MAX, 3, -2) == 3
+        assert eval_op(OpKind.ABS, -9) == 9
+
+    def test_unknown_evaluator_raises(self):
+        with pytest.raises(ValueError):
+            eval_op(OpKind.ST, 1, 2, 3)
+
+
+class TestBasicExecution:
+    def test_run_main_convenience(self):
+        result = run_main("void main() { x = 2 + 3 * 4; }")
+        assert result.fetch("x") == 14
+
+    def test_initial_state_read(self):
+        result = run_main("void main() { y = x * x; }",
+                          StateSpace({"x": 9}))
+        assert result.fetch("y") == 81
+
+    def test_missing_input_raises(self):
+        graph = Graph()
+        node = graph.add(OpKind.INPUT, value="p")
+        graph.add(OpKind.OUTPUT, inputs=[node.out()], value="r")
+        with pytest.raises(InterpreterError):
+            run_graph(graph)
+
+    def test_outputs_collected(self):
+        result = run_main("int main() { return 5 * 5; }")
+        # run_main maps 'main' regardless of return type
+        assert result.outputs["return"] == 25
+
+    def test_state_untouched_without_ss_out_stores(self):
+        result = run_main("void main() { int x = 1; }",
+                          StateSpace({"keep": 3}))
+        assert result.fetch("keep") == 3
+
+    def test_strict_fetch_raises_on_missing(self):
+        graph = build_main_cdfg("void main() { y = x; }")
+        with pytest.raises(Exception):
+            Interpreter(strict_fetch=True).run(graph, StateSpace())
+
+    def test_lenient_fetch_defaults_zero(self):
+        assert run_main("void main() { y = x + 1; }").fetch("y") == 1
+
+
+class TestWidthWrapping:
+    def test_unbounded_by_default(self):
+        result = run_main("void main() { x = 1000 * 1000; }")
+        assert result.fetch("x") == 1_000_000
+
+    def test_sixteen_bit_wraps(self):
+        result = run_main("void main() { x = 300 * 300; }", width=16)
+        assert result.fetch("x") == ((300 * 300 + 2**15) % 2**16) - 2**15
+
+    def test_wrap_applies_to_constants(self):
+        result = run_main("void main() { x = 70000; }", width=16)
+        assert result.fetch("x") == 70000 - 65536
+
+    def test_negative_wrap(self):
+        result = run_main("void main() { x = 0 - 40000; }", width=16)
+        assert -2**15 <= result.fetch("x") < 2**15
+
+
+class TestCompoundExecution:
+    def test_loop_iteration_limit(self):
+        graph = build_main_cdfg(
+            "void main() { i = 0; while (i < 100) { i = i + 1; } }")
+        with pytest.raises(InterpreterError):
+            Interpreter(max_iterations=10).run(graph)
+
+    def test_loop_limit_sufficient(self):
+        graph = build_main_cdfg(
+            "void main() { i = 0; while (i < 100) { i = i + 1; } }")
+        result = Interpreter(max_iterations=101).run(graph)
+        assert result.fetch("i") == 100
+
+    def test_branch_missing_output_raises(self):
+        graph = Graph()
+        cond = graph.const(1)
+        then_body = Graph("then")
+        else_body = Graph("else")
+        branch = graph.add(OpKind.BRANCH, inputs=[cond.out()],
+                           value=((), ("x",)), bodies=(then_body,
+                                                       else_body),
+                           n_outputs=1)
+        graph.add(OpKind.OUTPUT, inputs=[branch.out()], value="r")
+        with pytest.raises(InterpreterError):
+            run_graph(graph)
+
+    def test_loop_missing_condition_raises(self):
+        graph = Graph()
+        init = graph.const(0)
+        body = Graph("body")
+        node_in = body.add(OpKind.INPUT, value="x")
+        body.add(OpKind.OUTPUT, inputs=[node_in.out()], value="x")
+        loop = graph.add(OpKind.LOOP, inputs=[init.out()], value=("x",),
+                         bodies=(body,), n_outputs=1)
+        graph.add(OpKind.OUTPUT, inputs=[loop.out()], value="r")
+        with pytest.raises(InterpreterError):
+            run_graph(graph)
+
+    def test_state_through_branch_and_loop(self):
+        source = """
+        void main() {
+          for (int i = 0; i < 6; i++) {
+            if (x[i] > 0) { pos = pos + x[i]; }
+            else { neg = neg + x[i]; }
+          }
+        }
+        """
+        state = (StateSpace({"pos": 0, "neg": 0})
+                 .store_array("x", [3, -1, 4, -1, -5, 9]))
+        result = run_main(source, state)
+        assert result.fetch("pos") == 16
+        assert result.fetch("neg") == -7
+
+    def test_del_node_executes(self):
+        graph = Graph()
+        ss = graph.add(OpKind.SS_IN)
+        addr = graph.addr("x")
+        deleted = graph.add(OpKind.DEL, inputs=[ss.out(), addr.out()])
+        graph.add(OpKind.SS_OUT, inputs=[deleted.out()])
+        result = run_graph(graph, StateSpace({"x": 5, "y": 6}))
+        assert Address("x") not in result.state
+        assert result.fetch("y") == 6
+
+    def test_bad_state_operand_raises(self):
+        graph = Graph()
+        bad = graph.const(1)
+        addr = graph.addr("x")
+        fetch = graph.add(OpKind.FE, inputs=[bad.out(), addr.out()])
+        graph.add(OpKind.OUTPUT, inputs=[fetch.out()], value="r")
+        with pytest.raises(InterpreterError):
+            run_graph(graph)
+
+    def test_bad_address_operand_raises(self):
+        graph = Graph()
+        ss = graph.add(OpKind.SS_IN)
+        bad = graph.const(1)
+        fetch = graph.add(OpKind.FE, inputs=[ss.out(), bad.out()])
+        graph.add(OpKind.OUTPUT, inputs=[fetch.out()], value="r")
+        with pytest.raises(InterpreterError):
+            run_graph(graph)
+
+    def test_addr_add_shifts_address(self):
+        result = run_main("void main() { i = 2; y = a[i + 1]; }",
+                          StateSpace().store_array("a", [0, 0, 0, 42]))
+        assert result.fetch("y") == 42

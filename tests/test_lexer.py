@@ -1,0 +1,175 @@
+"""Unit tests for the C-subset lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (token, __) = tokenize("counter")
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "counter"
+
+    def test_identifier_with_underscore_and_digits(self):
+        (token, __) = tokenize("_x2_y3")
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "_x2_y3"
+
+    def test_keyword_recognised(self):
+        (token, __) = tokenize("while")
+        assert token.kind is TokenKind.KEYWORD
+
+    def test_keyword_prefix_is_identifier(self):
+        (token, __) = tokenize("whiler")
+        assert token.kind is TokenKind.IDENT
+
+    def test_all_keywords(self):
+        for keyword in ("int", "void", "if", "else", "while", "for",
+                        "return", "do", "break", "continue", "const"):
+            (token, __) = tokenize(keyword)
+            assert token.kind is TokenKind.KEYWORD, keyword
+
+
+class TestNumbers:
+    def test_decimal(self):
+        (token, __) = tokenize("1234")
+        assert token.kind is TokenKind.INT
+        assert token.value == 1234
+
+    def test_zero(self):
+        (token, __) = tokenize("0")
+        assert token.value == 0
+
+    def test_hex(self):
+        (token, __) = tokenize("0x1F")
+        assert token.value == 31
+
+    def test_hex_uppercase_prefix(self):
+        (token, __) = tokenize("0XFF")
+        assert token.value == 255
+
+    def test_octal(self):
+        (token, __) = tokenize("0755")
+        assert token.value == 0o755
+
+    def test_char_constant(self):
+        (token, __) = tokenize("'A'")
+        assert token.value == 65
+
+    def test_char_escape(self):
+        (token, __) = tokenize(r"'\n'")
+        assert token.value == 10
+
+    def test_bad_suffix_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("123abc")
+
+    def test_empty_hex_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_unterminated_char_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(LexError):
+            tokenize(r"'\q'")
+
+
+class TestPunctuators:
+    def test_maximal_munch_shift(self):
+        assert texts("a >> b") == ["a", ">>", "b"]
+
+    def test_maximal_munch_compound_shift_assign(self):
+        assert texts("a >>= b") == ["a", ">>=", "b"]
+
+    def test_increment_vs_plus(self):
+        assert texts("a+++b") == ["a", "++", "+", "b"]
+
+    def test_le_vs_lt(self):
+        assert texts("a<=b<c") == ["a", "<=", "b", "<", "c"]
+
+    def test_logical_and_vs_bitand(self):
+        assert texts("a&&b&c") == ["a", "&&", "b", "&", "c"]
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_all_single_punctuators(self):
+        for punct in "+-*/%<>=!&|^~()[]{};,?:":
+            tokens = tokenize(punct)
+            assert tokens[0].text == punct, punct
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* hidden */ b") == ["a", "b"]
+
+    def test_block_comment_spanning_lines(self):
+        assert texts("a /* x\ny\nz */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_whitespace_variants(self):
+        assert texts("a\tb\rc\nd\fe") == ["a", "b", "c", "d", "e"]
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_location_after_comment(self):
+        tokens = tokenize("// line one\nx")
+        assert tokens[0].location.line == 2
+
+    def test_filename_in_location(self):
+        tokens = tokenize("x", filename="prog.c")
+        assert tokens[0].location.filename == "prog.c"
+        assert "prog.c" in str(tokens[0].location)
+
+    def test_error_carries_caret(self):
+        with pytest.raises(LexError) as info:
+            tokenize("int x = $;")
+        assert "^" in str(info.value)
+
+
+class TestTokenHelpers:
+    def test_is_punct(self):
+        (token, __) = tokenize("+")
+        assert token.is_punct("+")
+        assert not token.is_punct("-")
+
+    def test_is_keyword(self):
+        (token, __) = tokenize("if")
+        assert token.is_keyword("if")
+        assert not token.is_keyword("while")
+
+    def test_str_of_eof(self):
+        (token,) = tokenize("")
+        assert str(token) == "<eof>"

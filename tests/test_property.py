@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis).
+
+A random-program generator produces C-subset sources with bounded
+loops, branches, scalar and array traffic.  Properties:
+
+* the full simplification pipeline preserves behaviour on random
+  initial statespaces;
+* statically-indexed programs map end-to-end onto the tile and the
+  simulated program matches the interpreter;
+* the statespace primitives satisfy their algebraic laws;
+* random task graphs schedule within capacity and respect deps.
+"""
+
+from __future__ import annotations
+
+import random as stdrandom
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.interp import run_graph
+from repro.cdfg.ops import Address
+from repro.cdfg.statespace import StateSpace
+from repro.cdfg.validate import validate
+from repro.core.pipeline import map_graph, verify_mapping
+from repro.core.clustering import cluster_tasks
+from repro.core.scheduling import schedule_clusters
+from repro.eval.randomdag import random_task_graph
+from repro.transforms.pipeline import simplify
+
+# ---------------------------------------------------------------------------
+# Random program generation
+# ---------------------------------------------------------------------------
+
+_SCALARS = ["g0", "g1", "g2"]
+_ARRAYS = ["arr0", "arr1"]
+_ARRAY_LEN = 6
+_BINOPS = ["+", "-", "*", "&", "|", "^", "<", "==", "<=", "!="]
+
+
+class _Gen:
+    """Deterministic random program builder driven by one seed."""
+
+    def __init__(self, seed: int, static_only: bool):
+        self.rng = stdrandom.Random(seed)
+        self.static_only = static_only
+        self.loop_depth = 0
+        self.loop_vars: list[str] = []
+        self.counter = 0
+
+    def expr(self, depth: int = 0) -> str:
+        rng = self.rng
+        choice = rng.random()
+        if depth >= 3 or choice < 0.35:
+            leaf = rng.random()
+            if leaf < 0.4:
+                return str(rng.randint(-8, 8))
+            if leaf < 0.7:
+                pool = _SCALARS + self.loop_vars
+                return rng.choice(pool)
+            return self.array_read()
+        if choice < 0.85:
+            op = rng.choice(_BINOPS)
+            return (f"({self.expr(depth + 1)} {op} "
+                    f"{self.expr(depth + 1)})")
+        if choice < 0.93:
+            return (f"({self.expr(depth + 1)} ? {self.expr(depth + 1)}"
+                    f" : {self.expr(depth + 1)})")
+        intrinsic = rng.choice(["min", "max", "abs"])
+        if intrinsic == "abs":
+            return f"abs({self.expr(depth + 1)})"
+        return (f"{intrinsic}({self.expr(depth + 1)}, "
+                f"{self.expr(depth + 1)})")
+
+    def index(self) -> str:
+        if not self.static_only and self.loop_vars and \
+                self.rng.random() < 0.5:
+            return self.rng.choice(self.loop_vars)
+        if self.loop_vars and self.rng.random() < 0.6:
+            # loop vars are statically unrollable, still "static"
+            return self.rng.choice(self.loop_vars)
+        return str(self.rng.randint(0, _ARRAY_LEN - 1))
+
+    def array_read(self) -> str:
+        return f"{self.rng.choice(_ARRAYS)}[{self.index()}]"
+
+    def statement(self, depth: int = 0) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.45 or depth >= 2:
+            target = rng.choice(_SCALARS)
+            return f"{target} = {self.expr()};"
+        if roll < 0.65:
+            array = rng.choice(_ARRAYS)
+            return f"{array}[{self.index()}] = {self.expr()};"
+        if roll < 0.85:
+            then = self.block(depth + 1, max_statements=2)
+            if rng.random() < 0.5:
+                otherwise = self.block(depth + 1, max_statements=2)
+                return (f"if ({self.expr(2)}) {then} "
+                        f"else {otherwise}")
+            return f"if ({self.expr(2)}) {then}"
+        var = f"i{self.counter}"
+        self.counter += 1
+        bound = rng.randint(1, 3)
+        self.loop_vars.append(var)
+        body = self.block(depth + 1, max_statements=2)
+        self.loop_vars.pop()
+        return (f"for (int {var} = 0; {var} < {bound}; "
+                f"{var}++) {body}")
+
+    def block(self, depth: int, max_statements: int) -> str:
+        count = self.rng.randint(1, max_statements)
+        inner = " ".join(self.statement(depth) for __ in range(count))
+        return "{ " + inner + " }"
+
+    def program(self) -> str:
+        count = self.rng.randint(1, 5)
+        body = " ".join(self.statement() for __ in range(count))
+        return "void main() { " + body + " }"
+
+
+def random_source(seed: int, static_only: bool = False) -> str:
+    return _Gen(seed, static_only).program()
+
+
+def random_initial_state(seed: int) -> StateSpace:
+    rng = stdrandom.Random(seed)
+    state = StateSpace()
+    for name in _SCALARS:
+        state = state.store(name, rng.randint(-20, 20))
+    for array in _ARRAYS:
+        state = state.store_array(
+            array, [rng.randint(-20, 20) for __ in range(_ARRAY_LEN)])
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(program_seed=st.integers(0, 10_000),
+       state_seed=st.integers(0, 1_000))
+def test_simplification_preserves_behaviour(program_seed, state_seed):
+    source = random_source(program_seed)
+    state = random_initial_state(state_seed)
+    reference = build_main_cdfg(source)
+    expected = run_graph(reference, state)
+    transformed = build_main_cdfg(source)
+    simplify(transformed)
+    validate(transformed)
+    actual = run_graph(transformed, state)
+    assert actual.state == expected.state, source
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(program_seed=st.integers(0, 10_000),
+       state_seed=st.integers(0, 1_000))
+def test_static_programs_map_and_verify(program_seed, state_seed):
+    source = random_source(program_seed, static_only=True)
+    state = random_initial_state(state_seed)
+    graph = build_main_cdfg(source)
+    report = map_graph(graph, source=source)
+    verify_mapping(report, state)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["ST", "DEL"]),
+                          st.integers(0, 4), st.integers(-9, 9)),
+                max_size=20))
+def test_statespace_matches_model_dict(operations):
+    """The statespace behaves like a plain dict under ST/FE/DEL."""
+    state = StateSpace()
+    model: dict[int, int] = {}
+    for op, slot, value in operations:
+        address = Address("m", slot)
+        if op == "ST":
+            state = state.store(address, value)
+            model[slot] = value
+        else:
+            state = state.delete(address)
+            model.pop(slot, None)
+    for slot in range(5):
+        assert state.fetch(Address("m", slot)) == model.get(slot, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n_tasks=st.integers(1, 120), seed=st.integers(0, 9_999),
+       n_pps=st.integers(1, 8))
+def test_random_dags_schedule_within_capacity(n_tasks, seed, n_pps):
+    taskgraph = random_task_graph(n_tasks, seed)
+    clustered = cluster_tasks(taskgraph)
+    schedule = schedule_clusters(clustered, n_pps=n_pps)
+    predecessors = clustered.predecessors()
+    assert sum(len(level) for level in schedule.levels) == \
+        clustered.n_clusters
+    for level_index, level in enumerate(schedule.levels):
+        assert len(level) <= n_pps
+        for item in level:
+            for pred in predecessors[item.cluster.id]:
+                assert schedule.level_of(pred) < level_index
+    # levels never undercut the critical path
+    assert schedule.n_levels >= schedule.critical_path
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_tasks=st.integers(1, 60), seed=st.integers(0, 9_999))
+def test_clustering_covers_every_task_once(n_tasks, seed):
+    taskgraph = random_task_graph(n_tasks, seed)
+    clustered = cluster_tasks(taskgraph)
+    covered = [tid for cluster in clustered.clusters.values()
+               for tid in cluster.task_ids]
+    assert sorted(covered) == sorted(taskgraph.tasks)
+    assert set(clustered.owner) == set(taskgraph.tasks)

@@ -1,0 +1,129 @@
+"""Unit tests for semantic analysis (name classification, checks)."""
+
+import pytest
+
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse_program
+from repro.lang.sema import analyze
+
+
+def analyzed(body: str):
+    program = parse_program("void main() { " + body + " }")
+    return analyze(program).function("main")
+
+
+class TestClassification:
+    def test_undeclared_scalar_is_global(self):
+        info = analyzed("sum = 0;")
+        assert info.symbol("sum").is_global
+        assert not info.symbol("sum").is_array
+
+    def test_declared_scalar_is_local(self):
+        info = analyzed("int x = 1;")
+        assert not info.symbol("x").is_global
+
+    def test_undeclared_array_is_global_array(self):
+        info = analyzed("x = a[0];")
+        symbol = info.symbol("a")
+        assert symbol.is_global
+        assert symbol.is_array
+
+    def test_declared_array(self):
+        info = analyzed("int a[4]; a[0] = 1;")
+        symbol = info.symbol("a")
+        assert not symbol.is_global
+        assert symbol.is_array
+        assert symbol.array_size == 4
+
+    def test_parameter_is_declared(self):
+        program = parse_program("int f(int p) { return p + 1; }")
+        info = analyze(program).function("f")
+        assert info.symbol("p").is_param
+        assert not info.symbol("p").is_global
+
+    def test_fir_globals(self):
+        from tests.conftest import FIR_SOURCE
+        program = parse_program(FIR_SOURCE)
+        info = analyze(program).function("main")
+        assert {s.name for s in info.global_scalars} == {"sum", "i"}
+        assert {s.name for s in info.global_arrays} == {"a", "c"}
+
+    def test_read_write_flags(self):
+        info = analyzed("x = y + 1; z = x;")
+        assert info.symbol("x").is_written
+        assert info.symbol("x").is_read
+        assert info.symbol("y").read_before_write
+        assert not info.symbol("z").is_read
+
+
+class TestErrors:
+    def test_redeclaration_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed("int x; int x;")
+
+    def test_use_before_declaration_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed("x = 1; int x;")
+
+    def test_array_used_as_scalar_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed("int a[3]; x = a;")
+
+    def test_scalar_indexed_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed("int x; y = x[0];")
+
+    def test_scalar_assigned_as_array_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed("int x; x[1] = 2;")
+
+    def test_array_assigned_as_scalar_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed("int a[3]; a = 1;")
+
+    def test_const_assignment_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed("const int k = 1; k = 2;")
+
+    def test_static_bounds_checked_on_read(self):
+        with pytest.raises(SemanticError):
+            analyzed("int a[3]; x = a[3];")
+
+    def test_static_bounds_checked_on_write(self):
+        with pytest.raises(SemanticError):
+            analyzed("int a[3]; a[7] = 0;")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed("int a[3]; x = a[-1];")
+
+    def test_inbounds_access_accepted(self):
+        info = analyzed("int a[3]; x = a[2]; a[0] = 1;")
+        assert info.symbol("a").is_read
+
+    def test_dynamic_index_not_bounds_checked(self):
+        info = analyzed("int a[3]; x = a[i];")
+        assert info.symbol("a").is_read
+
+    def test_intrinsic_arity_checked(self):
+        with pytest.raises(SemanticError):
+            analyzed("x = min(1);")
+
+    def test_abs_arity_checked(self):
+        with pytest.raises(SemanticError):
+            analyzed("x = abs(1, 2);")
+
+    def test_duplicate_function_rejected(self):
+        program = parse_program("void f() { } void f() { }")
+        with pytest.raises(SemanticError):
+            analyze(program)
+
+    def test_duplicate_parameter_rejected(self):
+        program = parse_program("int f(int a, int a) { return a; }")
+        with pytest.raises(SemanticError):
+            analyze(program)
+
+    def test_global_array_not_bounds_checked(self):
+        # No declared size: any constant index is legal.
+        info = analyzed("x = a[999];")
+        assert info.symbol("a").is_array

@@ -1,0 +1,158 @@
+"""Unit tests for CDFG -> task graph lowering."""
+
+import pytest
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.graph import Graph
+from repro.cdfg.ops import Address, OpKind
+from repro.core.taskgraph import (
+    MappingError,
+    Operand,
+    OperandKind,
+    TaskGraph,
+)
+from repro.transforms.pipeline import simplify
+
+
+def lowered(body: str) -> TaskGraph:
+    graph = build_main_cdfg("void main() { " + body + " }")
+    simplify(graph)
+    return TaskGraph.from_cdfg(graph)
+
+
+class TestLowering:
+    def test_ops_become_tasks(self):
+        taskgraph = lowered("x = p * q + r;")
+        kinds = sorted(str(task.kind) for task in taskgraph.tasks.values())
+        assert kinds == ["*", "+"]
+
+    def test_fetches_become_memory_operands(self):
+        taskgraph = lowered("x = a[2] + 1;")
+        task = next(iter(taskgraph.tasks.values()))
+        mem_operands = [op for op in task.operands
+                        if op.kind is OperandKind.MEM]
+        assert mem_operands[0].value == Address("a", 2)
+
+    def test_constants_become_const_operands(self):
+        taskgraph = lowered("x = p + 7;")
+        task = next(iter(taskgraph.tasks.values()))
+        assert any(op.kind is OperandKind.CONST and op.value == 7
+                   for op in task.operands)
+
+    def test_task_dependencies(self):
+        taskgraph = lowered("x = (p + q) * (p - q);")
+        mul = [t for t in taskgraph.tasks.values()
+               if t.kind is OpKind.MUL][0]
+        assert len(list(mul.predecessor_ids())) == 2
+
+    def test_stores_collected_in_chain_order(self):
+        taskgraph = lowered("b[0] = p; b[1] = q;")
+        assert [str(store.address) for store in taskgraph.stores] == \
+            ["b", "b##1"]
+
+    def test_store_of_constant(self):
+        taskgraph = lowered("x = 5;")
+        (store,) = taskgraph.stores
+        assert store.source.kind is OperandKind.CONST
+        assert store.source.value == 5
+
+    def test_store_of_memory_copy(self):
+        taskgraph = lowered("x = a[3];")
+        (store,) = taskgraph.stores
+        assert store.source.kind is OperandKind.MEM
+
+    def test_duplicate_store_addresses_last_wins(self):
+        # after simplification the overwritten store is usually gone,
+        # but the lowering dedups defensively anyway
+        taskgraph = lowered("x = p; x = q;")
+        assert len([s for s in taskgraph.stores
+                    if str(s.address) == "x"]) == 1
+
+    def test_input_output_addresses(self):
+        taskgraph = lowered("x = a[0] + a[1]; y = b[2];")
+        assert Address("a", 0) in taskgraph.input_addresses()
+        assert Address("b", 2) in taskgraph.input_addresses()
+        assert {str(a) for a in taskgraph.output_addresses()} == \
+            {"x", "y"}
+
+    def test_del_lowers_to_store_zero(self):
+        graph = Graph()
+        ss = graph.add(OpKind.SS_IN)
+        addr = graph.addr("x")
+        deleted = graph.add(OpKind.DEL, inputs=[ss.out(), addr.out()])
+        graph.add(OpKind.SS_OUT, inputs=[deleted.out()])
+        taskgraph = TaskGraph.from_cdfg(graph)
+        (store,) = taskgraph.stores
+        assert store.source.kind is OperandKind.CONST
+        assert store.source.value == 0
+
+    def test_function_outputs_become_pseudo_stores(self):
+        from repro.cdfg.builder import build_cdfg
+        from repro.lang.parser import parse_program
+        program = parse_program("int f(int x) { return x * 2; }")
+        graph = build_cdfg(program, "f")
+        simplify(graph)
+        taskgraph = TaskGraph.from_cdfg(graph)
+        assert any(str(store.address).startswith("__out_")
+                   for store in taskgraph.stores)
+
+    def test_parameters_become_memory_operands(self):
+        from repro.cdfg.builder import build_cdfg
+        from repro.lang.parser import parse_program
+        program = parse_program("int f(int x) { return x * 2; }")
+        graph = build_cdfg(program, "f")
+        simplify(graph)
+        taskgraph = TaskGraph.from_cdfg(graph)
+        assert Address("x") in taskgraph.input_addresses()
+
+
+class TestDiagnostics:
+    def test_residual_loop_rejected(self):
+        graph = build_main_cdfg(
+            "void main() { i = 0; while (i < n) { i = i + 1; } }")
+        simplify(graph)
+        with pytest.raises(MappingError) as info:
+            TaskGraph.from_cdfg(graph)
+        assert "future work" in str(info.value)
+
+    def test_residual_branch_rejected(self):
+        graph = build_main_cdfg("void main() { if (c) b[i] = 1; }")
+        simplify(graph)
+        with pytest.raises(MappingError):
+            TaskGraph.from_cdfg(graph)
+
+    def test_dynamic_fetch_address_rejected(self):
+        graph = build_main_cdfg("void main() { x = a[i]; }")
+        simplify(graph)
+        with pytest.raises(MappingError) as info:
+            TaskGraph.from_cdfg(graph)
+        assert "dynamic" in str(info.value)
+
+    def test_dynamic_store_address_rejected(self):
+        graph = build_main_cdfg("void main() { b[i] = 1; }")
+        simplify(graph)
+        with pytest.raises(MappingError):
+            TaskGraph.from_cdfg(graph)
+
+
+class TestGraphQueries:
+    def test_topo_order_and_critical_path(self):
+        taskgraph = lowered("x = ((p + q) * r + s) * t;")
+        order = [task.id for task in taskgraph.topo_order()]
+        assert order == sorted(order)  # ids assigned in topo order here
+        assert taskgraph.critical_path_length() == 4
+
+    def test_consumers_table(self):
+        taskgraph = lowered("t0 = p + q; x = t0 * 2; y = t0 * 3;")
+        adders = [t for t in taskgraph.tasks.values()
+                  if t.kind is OpKind.ADD]
+        assert len(adders) == 1
+        consumers = taskgraph.consumers()[adders[0].id]
+        assert len(consumers) == 2
+
+    def test_str_representations(self):
+        taskgraph = lowered("x = a[0] + 1;")
+        task = next(iter(taskgraph.tasks.values()))
+        text = str(task)
+        assert "+" in text and "[a" in text and "#1" in text
+        assert "[x]" in str(taskgraph.stores[0])

@@ -1,0 +1,70 @@
+"""Unit tests for the transformation framework itself."""
+
+import pytest
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.graph import Graph
+from repro.transforms.base import PassManager, PassStats, Transform
+
+
+class CountingPass(Transform):
+    """Reports a fixed number of changes for its first N runs."""
+
+    name = "counting"
+
+    def __init__(self, active_runs: int):
+        self.active_runs = active_runs
+        self.calls = 0
+
+    def run_on(self, graph: Graph) -> int:
+        self.calls += 1
+        if self.calls <= self.active_runs:
+            return 1
+        return 0
+
+
+class NeverConvergingPass(Transform):
+    def run_on(self, graph: Graph) -> int:
+        return 1
+
+
+class TestPassManager:
+    def test_runs_to_fixpoint(self):
+        graph = build_main_cdfg("void main() { }")
+        transform = CountingPass(active_runs=3)
+        stats = PassManager([transform]).run(graph)
+        assert stats.rounds == 4  # 3 changing rounds + 1 clean
+        assert stats.by_pass["counting"] == 3
+
+    def test_non_convergence_detected(self):
+        graph = build_main_cdfg("void main() { }")
+        with pytest.raises(RuntimeError):
+            PassManager([NeverConvergingPass()], max_rounds=5).run(graph)
+
+    def test_stats_rendering(self):
+        stats = PassStats()
+        stats.rounds = 2
+        stats.record("a", 3)
+        stats.record("a", 2)
+        stats.record("b", 0)
+        text = str(stats)
+        assert "a: 5" in text
+        assert "b" not in text  # zero-change passes are not shown
+        assert stats.total == 5
+
+    def test_pass_recurses_into_bodies(self):
+        graph = build_main_cdfg(
+            "void main() { while (g < n) { g = g + 1; } }")
+        seen_graphs = []
+
+        class Recorder(Transform):
+            def run_on(self, inner_graph):
+                seen_graphs.append(inner_graph)
+                return 0
+
+        Recorder().run(graph)
+        assert len(seen_graphs) == 2  # body first, then top level
+        assert seen_graphs[-1] is graph
+
+    def test_default_name_is_class_name(self):
+        assert NeverConvergingPass().name == "NeverConvergingPass"

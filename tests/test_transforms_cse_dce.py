@@ -1,0 +1,122 @@
+"""Unit tests for common-subexpression elimination and dead code
+elimination."""
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.graph import Graph
+from repro.cdfg.ops import OpKind
+from repro.cdfg.statespace import StateSpace
+from repro.transforms.base import PassManager
+from repro.transforms.cse import CommonSubexpressionElimination
+from repro.transforms.dce import DeadCodeElimination
+
+from tests.conftest import assert_behaviour_preserved
+
+
+def cse(graph: Graph) -> Graph:
+    PassManager([CommonSubexpressionElimination(),
+                 DeadCodeElimination()]).run(graph)
+    return graph
+
+
+def build(body: str) -> Graph:
+    return build_main_cdfg("void main() { " + body + " }")
+
+
+class TestCse:
+    def test_repeated_expression_merged(self):
+        graph = cse(build("x = p * q + 1; y = p * q + 2;"))
+        assert len(graph.find(OpKind.MUL)) == 1
+
+    def test_commutative_operands_merged(self):
+        graph = cse(build("x = p * q; y = q * p;"))
+        assert len(graph.find(OpKind.MUL)) == 1
+
+    def test_non_commutative_not_merged_when_swapped(self):
+        graph = cse(build("x = p - q; y = q - p;"))
+        assert len(graph.find(OpKind.SUB)) == 2
+
+    def test_duplicate_constants_merged(self):
+        graph = cse(build("x = p + 7; y = q + 7;"))
+        consts = [node for node in graph.find(OpKind.CONST)
+                  if node.value == 7]
+        assert len(consts) == 1
+
+    def test_duplicate_addresses_merged(self):
+        graph = cse(build("x = a[2]; y = a[2] + 1;"))
+        addrs = graph.find(OpKind.ADDR)
+        assert len({node.value for node in addrs}) == len(addrs)
+
+    def test_fetches_of_same_address_same_state_merged(self):
+        graph = cse(build("x = a[1] + a[1];"))
+        assert len(graph.find(OpKind.FE)) == 1
+
+    def test_fetches_across_store_not_merged(self):
+        # The store may alias: the second fetch reads a new state.
+        # (3 fetches: a[1] twice on different state versions, plus i.)
+        graph = cse(build("x = a[1]; b[i] = 9; y = a[1];"))
+        assert len(graph.find(OpKind.FE)) == 3
+
+    def test_stores_never_merged(self):
+        graph = cse(build("b[0] = p; b[1] = p;"))
+        assert len(graph.find(OpKind.ST)) == 2
+
+    def test_cse_behaviour_preserved(self):
+        source = """
+        void main() {
+          x = (p + q) * (p + q);
+          y = (p + q) + (q + p);
+          z = a[0] * a[0];
+        }
+        """
+        states = [StateSpace({"p": 3, "q": 4}).store_array("a", [7]),
+                  StateSpace({"p": -1, "q": 0}).store_array("a", [2])]
+        assert_behaviour_preserved(source, lambda g: cse(g), states)
+
+    def test_cse_inside_compound_bodies(self):
+        graph = build("while (g < 9) { g = g + p * q + p * q; }")
+        changes = CommonSubexpressionElimination().run(graph)
+        assert changes >= 1
+
+
+class TestDce:
+    def test_unused_expression_removed(self):
+        graph = build("int dead = p * q; x = 1;")
+        DeadCodeElimination().run(graph)
+        assert not graph.find(OpKind.MUL)
+
+    def test_stores_on_chain_kept(self):
+        graph = build("b[0] = 1;")
+        DeadCodeElimination().run(graph)
+        assert graph.find(OpKind.ST)
+
+    def test_unreferenced_fetch_removed(self):
+        graph = build("int t = a[0]; x = 5;")
+        DeadCodeElimination().run(graph)
+        assert not graph.find(OpKind.FE)
+
+    def test_compound_bodies_cleaned(self):
+        # An expression statement's value is dropped: dead in the body.
+        # (A scalar *assigned* in the body would be loop-carried and
+        # thus live through its carried slot.)
+        graph = build("while (g < 3) { p * p; g = g + 1; }")
+        DeadCodeElimination().run(graph)
+        loop = graph.sole(OpKind.LOOP)
+        assert not loop.bodies[0].find(OpKind.MUL)
+
+    def test_dce_behaviour_preserved(self):
+        source = """
+        void main() {
+          int d1 = p * 99;
+          int d2 = a[5] + d1;
+          x = p + 1;
+        }
+        """
+        states = [StateSpace({"p": 4}),
+                  StateSpace({"p": 0}).store_array("a", [1] * 6)]
+        assert_behaviour_preserved(
+            source, lambda g: DeadCodeElimination().run(g), states)
+
+    def test_dce_idempotent(self):
+        graph = build("int dead = p; x = 1;")
+        DeadCodeElimination().run(graph)
+        assert DeadCodeElimination().run(graph) == 0

@@ -1,0 +1,152 @@
+"""Unit tests for if-conversion (BranchToMux) and store predication."""
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.graph import Graph
+from repro.cdfg.interp import run_graph
+from repro.cdfg.ops import OpKind
+from repro.cdfg.statespace import StateSpace
+from repro.transforms.base import PassManager
+from repro.transforms.dce import DeadCodeElimination
+from repro.transforms.mux import BranchToMux
+
+from tests.conftest import assert_behaviour_preserved
+
+
+def converted(body: str) -> Graph:
+    graph = build_main_cdfg("void main() { " + body + " }")
+    PassManager([BranchToMux(), DeadCodeElimination()]).run(graph)
+    return graph
+
+
+def build(body: str) -> Graph:
+    return build_main_cdfg("void main() { " + body + " }")
+
+
+class TestScalarIfConversion:
+    def test_branch_replaced_by_mux(self):
+        graph = converted("if (c) x = 1; else x = 2;")
+        assert not graph.find(OpKind.BRANCH)
+        assert graph.find(OpKind.MUX)
+
+    def test_behaviour_both_arms(self):
+        source = "void main() { if (c) x = p + 1; else x = p - 1; }"
+        states = [StateSpace({"c": 1, "p": 10}),
+                  StateSpace({"c": 0, "p": 10})]
+        transform = PassManager([BranchToMux(),
+                                 DeadCodeElimination()]).run
+        assert_behaviour_preserved(source, transform, states)
+
+    def test_if_without_else_passes_through(self):
+        graph = converted("x = 9; if (c) x = 1;")
+        for c, expected in [(1, 1), (0, 9)]:
+            assert run_graph(graph,
+                             StateSpace({"c": c})).fetch("x") == expected
+
+    def test_speculation_of_division_is_safe(self):
+        # else-arm divides by zero when taken path is then-arm.
+        source = "void main() { if (d != 0) x = p / d; else x = 0; }"
+        states = [StateSpace({"d": 0, "p": 10}),
+                  StateSpace({"d": 2, "p": 10})]
+        transform = PassManager([BranchToMux(),
+                                 DeadCodeElimination()]).run
+        assert_behaviour_preserved(source, transform, states)
+
+    def test_nested_branches_convert_bottom_up(self):
+        graph = converted(
+            "if (a0) { if (b0) x = 1; else x = 2; } else x = 3;")
+        assert not graph.find(OpKind.BRANCH)
+        for a0, b0, expected in [(1, 1, 1), (1, 0, 2), (0, 0, 3)]:
+            state = StateSpace({"a0": a0, "b0": b0})
+            assert run_graph(graph, state).fetch("x") == expected
+
+
+class TestConstantConditions:
+    def test_constant_true_splices_then_arm_only(self):
+        graph = build("if (1) x = 1; else x = 2;")
+        BranchToMux().run(graph)
+        DeadCodeElimination().run(graph)
+        assert not graph.find(OpKind.BRANCH)
+        assert not graph.find(OpKind.MUX)
+        assert run_graph(graph).fetch("x") == 1
+
+    def test_constant_false_splices_else_arm_only(self):
+        graph = build("if (0) x = 1; else x = 2;")
+        BranchToMux().run(graph)
+        assert run_graph(graph).fetch("x") == 2
+
+    def test_constant_condition_with_loop_in_arm(self):
+        # Arms with loops are not speculatively convertible, but a
+        # constant condition does not speculate.
+        graph = build(
+            "if (1) { while (g < 3) { g = g + 1; } } else { g = 0; }")
+        BranchToMux().run(graph)
+        assert not graph.find(OpKind.BRANCH)
+        assert run_graph(graph, StateSpace({"g": 0})).fetch("g") == 3
+
+
+class TestStorePredication:
+    def test_store_in_one_arm_predicated(self):
+        source = "void main() { if (c) b[0] = p; }"
+        states = [StateSpace({"c": 1, "p": 5}),
+                  StateSpace({"c": 0, "p": 5}),
+                  StateSpace({"c": 0, "p": 5}).store_array("b", [77])]
+        transform = PassManager([BranchToMux(),
+                                 DeadCodeElimination()]).run
+        graph = assert_behaviour_preserved(source, transform, states)
+        assert not graph.find(OpKind.BRANCH)
+
+    def test_stores_in_both_arms_merged(self):
+        source = """
+        void main() {
+          if (c) { b[0] = p; b[1] = 1; } else { b[0] = q; b[2] = 2; }
+        }
+        """
+        states = [StateSpace({"c": 1, "p": 5, "q": 9}),
+                  StateSpace({"c": 0, "p": 5, "q": 9})]
+        transform = PassManager([BranchToMux(),
+                                 DeadCodeElimination()]).run
+        graph = assert_behaviour_preserved(source, transform, states)
+        assert not graph.find(OpKind.BRANCH)
+
+    def test_double_store_in_arm_last_wins(self):
+        source = """
+        void main() {
+          if (c) { b[0] = 1; b[0] = 2; } else { b[0] = 3; }
+        }
+        """
+        states = [StateSpace({"c": 1}), StateSpace({"c": 0})]
+        transform = PassManager([BranchToMux(),
+                                 DeadCodeElimination()]).run
+        assert_behaviour_preserved(source, transform, states)
+
+    def test_arm_reading_own_store(self):
+        source = """
+        void main() {
+          if (c) { b[0] = p; x = b[0] + 1; } else { x = 0; }
+        }
+        """
+        states = [StateSpace({"c": 1, "p": 7}),
+                  StateSpace({"c": 0, "p": 7})]
+        transform = PassManager([BranchToMux(),
+                                 DeadCodeElimination()]).run
+        assert_behaviour_preserved(source, transform, states)
+
+
+class TestInfeasibleArms:
+    def test_dynamic_store_address_keeps_branch(self):
+        graph = build("if (c) b[i] = 1;")
+        assert BranchToMux().run(graph) == 0
+        assert graph.find(OpKind.BRANCH)
+
+    def test_loop_in_arm_keeps_branch(self):
+        graph = build("if (c) { while (g < 3) { g = g + 1; } }")
+        assert BranchToMux().run(graph) == 0
+        assert graph.find(OpKind.BRANCH)
+
+    def test_kept_branch_still_executes_correctly(self):
+        graph = build("if (c) b[i] = 9;")
+        BranchToMux().run(graph)
+        state = StateSpace({"c": 1, "i": 2})
+        result = run_graph(graph, state)
+        from repro.cdfg.ops import Address
+        assert result.fetch(Address("b", 2)) == 9

@@ -1,0 +1,182 @@
+"""Unit tests for reassociation (balanced accumulation trees) and
+loop slot pruning — the extension transformations (§VII future work).
+"""
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.graph import Graph
+from repro.cdfg.interp import run_graph
+from repro.cdfg.ops import OpKind
+from repro.cdfg.statespace import StateSpace
+from repro.cdfg.validate import validate
+from repro.core.pipeline import map_source, verify_mapping
+from repro.transforms import simplify
+from repro.transforms.loopslots import PruneLoopSlots
+from repro.transforms.reassociate import Reassociate, balance
+
+from tests.conftest import assert_behaviour_preserved
+
+
+def minimised(body: str) -> Graph:
+    graph = build_main_cdfg("void main() { " + body + " }")
+    simplify(graph)
+    return graph
+
+
+class TestReassociate:
+    def test_add_chain_becomes_balanced_tree(self):
+        graph = minimised("x = p0 + p1 + p2 + p3 + p4 + p5 + p6 + p7;")
+        assert graph.depth() >= 8  # serial chain
+        changed = balance(graph)
+        validate(graph)
+        assert changed == 1
+        adds = graph.find(OpKind.ADD)
+        assert len(adds) == 7  # same op count
+        # depth of the add tree is now log2(8) = 3
+        state = StateSpace({f"p{i}": i + 1 for i in range(8)})
+        assert run_graph(graph, state).fetch("x") == 36
+
+    def test_behaviour_preserved(self):
+        source = """
+        void main() {
+          x = p0 + p1 + p2 + p3 + p4;
+          y = p0 * p1 * p2 * p3;
+          z = min(min(min(p0, p1), p2), p3);
+        }
+        """
+        states = [StateSpace({f"p{i}": v * 7 - 3
+                              for i, v in enumerate(range(5))}),
+                  StateSpace({f"p{i}": -i for i in range(5)})]
+
+        def transform(graph):
+            simplify(graph)
+            balance(graph)
+            validate(graph)
+
+        assert_behaviour_preserved(source, transform, states)
+
+    def test_short_chains_untouched(self):
+        graph = minimised("x = p0 + p1;")
+        assert balance(graph) == 0
+
+    def test_non_associative_ops_untouched(self):
+        graph = minimised("x = p0 - p1 - p2 - p3 - p4;")
+        assert balance(graph) == 0
+
+    def test_multi_use_intermediate_blocks_absorption(self):
+        # t is read twice: the chain must not swallow it
+        graph = minimised("t = p0 + p1 + p2; x = t + p3; y = t + p4;")
+        balance(graph)
+        validate(graph)
+        state = StateSpace({f"p{i}": i for i in range(5)})
+        result = run_graph(graph, state)
+        assert result.fetch("x") == 0 + 1 + 2 + 3
+        assert result.fetch("y") == 0 + 1 + 2 + 4
+
+    def test_fir_critical_path_shrinks(self):
+        from repro.eval.kernels import get_kernel
+        kernel = get_kernel("fir16")
+        chain = map_source(kernel.source)
+        tree = map_source(kernel.source, balance=True)
+        verify_mapping(tree, kernel.initial_state(0))
+        assert tree.schedule.critical_path < chain.schedule.critical_path
+        assert tree.n_cycles < chain.n_cycles
+
+    def test_horner_recurrence_unaffected(self):
+        from repro.eval.kernels import get_kernel
+        kernel = get_kernel("horner6")
+        chain = map_source(kernel.source)
+        tree = map_source(kernel.source, balance=True)
+        verify_mapping(tree, kernel.initial_state(0))
+        assert tree.n_cycles == chain.n_cycles
+
+    def test_idempotent(self):
+        graph = minimised("x = p0 + p1 + p2 + p3 + p4 + p5;")
+        balance(graph)
+        assert balance(graph) == 0
+
+    def test_inside_loop_bodies(self):
+        graph = build_main_cdfg("""
+        void main() {
+          while (g < n) { g = g + a0 + a1 + a2 + a3 + a4 + a5; }
+        }
+        """)
+        changed = Reassociate().run(graph)
+        assert changed >= 1
+        validate(graph)
+        state = StateSpace({"g": 0, "n": 10, "a0": 1, "a1": 1, "a2": 1,
+                            "a3": 1, "a4": 1, "a5": 1})
+        assert run_graph(graph, state).fetch("g") == 12
+
+
+class TestPruneLoopSlots:
+    def test_dead_accumulator_pruned(self):
+        graph = build_main_cdfg("""
+        void main() {
+          int dead = 0;
+          i = 0;
+          while (i < n) { dead = dead + i; i = i + 1; }
+        }
+        """)
+        changed = PruneLoopSlots().run(graph)
+        assert changed == 1
+        validate(graph)
+        loop = graph.sole(OpKind.LOOP)
+        assert "dead" not in loop.value
+        assert run_graph(graph, StateSpace({"n": 4})).fetch("i") == 4
+
+    def test_slot_feeding_live_slot_kept(self):
+        graph = build_main_cdfg("""
+        void main() {
+          int d = 1; s = 0; i = 0;
+          while (i < n) { s = s + d; d = d * 2; i = i + 1; }
+        }
+        """)
+        PruneLoopSlots().run(graph)
+        validate(graph)
+        loop = graph.sole(OpKind.LOOP)
+        assert "d" in loop.value  # read by s's recurrence
+        assert run_graph(graph,
+                         StateSpace({"n": 4})).fetch("s") == 1 + 2 + 4 + 8
+
+    def test_slot_feeding_condition_kept(self):
+        graph = build_main_cdfg("""
+        void main() {
+          int k = 0; i = 0;
+          while (k < n) { k = k + 2; i = i + 1; }
+        }
+        """)
+        PruneLoopSlots().run(graph)
+        validate(graph)
+        loop = graph.sole(OpKind.LOOP)
+        assert "k" in loop.value
+
+    def test_behaviour_preserved(self):
+        source = """
+        void main() {
+          int waste = 7; total = 0;
+          for (int i = 0; i < 5; i++) {
+            waste = waste * 3;
+            total = total + i;
+          }
+        }
+        """
+        states = [StateSpace(), StateSpace({"total": 99})]
+        assert_behaviour_preserved(
+            source, lambda g: PruneLoopSlots().run(g), states)
+
+    def test_nothing_to_prune(self):
+        graph = build_main_cdfg(
+            "void main() { i = 0; while (i < n) { i = i + 1; } }")
+        assert PruneLoopSlots().run(graph) == 0
+
+    def test_in_default_pipeline(self):
+        graph = build_main_cdfg("""
+        void main() {
+          int dead = 0; i = 0;
+          while (i < n) { dead = dead + a[i]; i = i + 1; }
+        }
+        """)
+        simplify(graph)
+        validate(graph)
+        loop = graph.sole(OpKind.LOOP)  # n symbolic: loop remains
+        assert "dead" not in loop.value

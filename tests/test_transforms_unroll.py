@@ -1,0 +1,142 @@
+"""Unit tests for complete loop unrolling."""
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.graph import Graph
+from repro.cdfg.interp import run_graph
+from repro.cdfg.ops import OpKind
+from repro.cdfg.statespace import StateSpace
+from repro.transforms.unroll import UnrollLoops
+
+from tests.conftest import assert_behaviour_preserved
+
+
+def build(body: str) -> Graph:
+    return build_main_cdfg("void main() { " + body + " }")
+
+
+class TestCompleteUnrolling:
+    def test_static_while_unrolled(self):
+        graph = build("i = 0; while (i < 5) { s = s + i; i = i + 1; }")
+        changes = UnrollLoops().run(graph)
+        assert changes > 0
+        assert not graph.find(OpKind.LOOP)
+        assert run_graph(graph, StateSpace({"s": 0})).fetch("s") == 10
+
+    def test_zero_trip_loop_disappears(self):
+        graph = build("i = 9; while (i < 5) { i = i + 1; }")
+        UnrollLoops().run(graph)
+        assert not graph.find(OpKind.LOOP)
+        assert run_graph(graph).fetch("i") == 9
+
+    def test_for_loop_unrolled(self):
+        graph = build("for (int j = 0; j < 3; j++) { o[j] = j * j; }")
+        UnrollLoops().run(graph)
+        assert not graph.find(OpKind.LOOP)
+        result = run_graph(graph)
+        assert result.state.fetch_array("o", 3) == [0, 1, 4]
+
+    def test_fir_unrolls_to_five_products(self, fir_graph, fir_state):
+        UnrollLoops().run(fir_graph)
+        assert not fir_graph.find(OpKind.LOOP)
+        assert len(fir_graph.find(OpKind.MUL)) == 5
+        assert run_graph(fir_graph, fir_state).fetch("sum") == 550
+
+    def test_nested_loops_unroll_inner_first(self):
+        graph = build(
+            "for (int i = 0; i < 3; i++) {"
+            "  for (int j = 0; j < 2; j++) { s = s + 1; }"
+            "}")
+        UnrollLoops().run(graph)
+        assert not graph.find(OpKind.LOOP)
+        assert run_graph(graph, StateSpace({"s": 0})).fetch("s") == 6
+
+    def test_downward_counting_loop(self):
+        graph = build("i = 5; while (i > 0) { s = s + i; i = i - 1; }")
+        UnrollLoops().run(graph)
+        assert not graph.find(OpKind.LOOP)
+        assert run_graph(graph, StateSpace({"s": 0})).fetch("s") == 15
+
+    def test_step_by_two(self):
+        graph = build("for (int i = 0; i < 10; i += 2) { s = s + i; }")
+        UnrollLoops().run(graph)
+        assert run_graph(graph, StateSpace({"s": 0})).fetch("s") == 20
+
+    def test_condition_with_mux(self):
+        graph = build("i = 0; while ((i < 3 ? 1 : 0)) { i = i + 1; }")
+        UnrollLoops().run(graph)
+        assert not graph.find(OpKind.LOOP)
+
+
+class TestNonStaticLoops:
+    def test_symbolic_bound_not_unrolled(self):
+        graph = build("i = 0; while (i < n) { i = i + 1; }")
+        changes = UnrollLoops().run(graph)
+        assert changes == 0
+        assert graph.find(OpKind.LOOP)
+
+    def test_array_dependent_condition_not_unrolled(self):
+        graph = build("i = 0; while (a[i] > 0) { i = i + 1; }")
+        assert UnrollLoops().run(graph) == 0
+        assert graph.find(OpKind.LOOP)
+
+    def test_peeling_prefix_preserves_behaviour(self):
+        # First iteration statically true, then the bound is symbolic:
+        # i starts at 0 < 2 is static... use data-dependent step.
+        source = """
+        void main() {
+          i = 0;
+          while (i < 4) { i = i + step; }
+        }
+        """
+        states = [StateSpace({"step": 1}), StateSpace({"step": 3})]
+        assert_behaviour_preserved(source,
+                                   lambda g: UnrollLoops().run(g),
+                                   states)
+
+    def test_iteration_limit_leaves_residual_loop(self):
+        graph = build("i = 0; while (i < 100) { i = i + 1; }")
+        UnrollLoops(max_iterations=10).run(graph)
+        # 10 iterations peeled, loop remains, semantics intact
+        assert graph.find(OpKind.LOOP)
+        assert run_graph(graph).fetch("i") == 100
+
+    def test_limit_exactly_sufficient(self):
+        graph = build("i = 0; while (i < 8) { i = i + 1; }")
+        UnrollLoops(max_iterations=9).run(graph)
+        assert not graph.find(OpKind.LOOP)
+
+
+class TestUnrollingQuality:
+    def test_fold_on_copy_keeps_induction_constant(self):
+        graph = build("i = 0; while (i < 4) { s = s + a[i]; i = i + 1; }")
+        UnrollLoops().run(graph)
+        # all FE addresses must already be constant ADDR nodes
+        assert not graph.find(OpKind.ADDR_ADD)
+
+    def test_unroll_behaviour_preserved_with_stores(self):
+        source = """
+        void main() {
+          for (int i = 0; i < 3; i++) {
+            hist[i] = hist[i] + x[i];
+          }
+        }
+        """
+        states = [
+            StateSpace().store_array("hist", [1, 2, 3])
+                        .store_array("x", [10, 20, 30]),
+            StateSpace().store_array("x", [5, 5, 5]),
+        ]
+        assert_behaviour_preserved(source,
+                                   lambda g: UnrollLoops().run(g),
+                                   states)
+
+    def test_loop_with_branch_inside_unrolls(self):
+        graph = build(
+            "for (int i = 0; i < 4; i++) {"
+            "  if (x[i] > 0) { s = s + x[i]; }"
+            "}")
+        UnrollLoops().run(graph)
+        assert not graph.find(OpKind.LOOP)
+        assert len(graph.find(OpKind.BRANCH)) == 4
+        state = StateSpace({"s": 0}).store_array("x", [1, -2, 3, -4])
+        assert run_graph(graph, state).fetch("s") == 4

@@ -1,0 +1,196 @@
+"""Unit tests for CDFG structural validation."""
+
+import pytest
+
+from repro.cdfg.builder import STATE_NAME, build_main_cdfg
+from repro.cdfg.graph import COND_SLOT, Graph
+from repro.cdfg.ops import Address, OpKind
+from repro.cdfg.validate import ValidationError, validate
+
+
+def test_built_graphs_validate():
+    for source in [
+        "void main() { }",
+        "void main() { x = a[0] * 2; }",
+        "void main() { if (c) x = 1; else x = 2; }",
+        "void main() { while (i < 5) { i = i + 1; } }",
+    ]:
+        validate(build_main_cdfg(source))
+
+
+def test_wrong_arity_rejected():
+    graph = Graph()
+    a = graph.const(1)
+    node = graph.add(OpKind.ADD, inputs=[a.out(), a.out()])
+    node.inputs.append(a.out())  # surgery: ADD with 3 inputs
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_mux_arity_rejected():
+    graph = Graph()
+    a = graph.const(1)
+    node = graph.add(OpKind.MUX, inputs=[a.out(), a.out(), a.out()])
+    node.inputs.pop()
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_bad_const_payload_rejected():
+    graph = Graph()
+    node = graph.const(1)
+    node.value = "nope"
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_bad_addr_payload_rejected():
+    graph = Graph()
+    node = graph.addr("a")
+    node.value = 3
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_value_into_state_port_rejected():
+    graph = Graph()
+    number = graph.const(1)
+    addr = graph.addr("x")
+    store = graph.add(OpKind.ST,
+                      inputs=[number.out(), addr.out(), number.out()])
+    store_ok = store  # silence lint
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_address_into_value_port_rejected():
+    graph = Graph()
+    addr = graph.addr("x")
+    graph.add(OpKind.NEG, inputs=[addr.out()])
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_mux_type_mismatch_rejected():
+    graph = Graph()
+    cond = graph.const(1)
+    number = graph.const(2)
+    addr = graph.addr("x")
+    graph.add(OpKind.MUX, inputs=[cond.out(), number.out(), addr.out()])
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_mux_over_addresses_accepted():
+    graph = Graph()
+    cond = graph.const(1)
+    a = graph.addr("x")
+    b = graph.addr("y")
+    mux = graph.add(OpKind.MUX, inputs=[cond.out(), a.out(), b.out()])
+    ss = graph.add(OpKind.SS_IN)
+    fetch = graph.add(OpKind.FE, inputs=[ss.out(), mux.out()])
+    graph.add(OpKind.OUTPUT, inputs=[fetch.out()], value="r")
+    validate(graph)
+
+
+def test_two_ss_in_rejected():
+    graph = Graph()
+    graph.add(OpKind.SS_IN)
+    graph.add(OpKind.SS_IN)
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_cycle_rejected():
+    graph = Graph()
+    a = graph.const(1)
+    node = graph.add(OpKind.NEG, inputs=[a.out()])
+    node.inputs[0] = node.out()
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_dangling_reference_rejected():
+    graph = Graph()
+    a = graph.const(1)
+    node = graph.add(OpKind.NEG, inputs=[a.out()])
+    del graph.nodes[a.id]
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_loop_slot_mismatch_rejected():
+    graph = Graph()
+    init = graph.const(0)
+    body = Graph("body")
+    node_in = body.add(OpKind.INPUT, value="x")
+    body.add(OpKind.OUTPUT, inputs=[node_in.out()], value=COND_SLOT)
+    # missing OUTPUT for carried slot "x"
+    graph.add(OpKind.LOOP, inputs=[init.out()], value=("x",),
+              bodies=(body,), n_outputs=1)
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_loop_foreign_input_slot_rejected():
+    graph = Graph()
+    init = graph.const(0)
+    body = Graph("body")
+    node_in = body.add(OpKind.INPUT, value="stranger")
+    body.add(OpKind.OUTPUT, inputs=[node_in.out()], value=COND_SLOT)
+    body.add(OpKind.OUTPUT, inputs=[node_in.out()], value="x")
+    graph.add(OpKind.LOOP, inputs=[init.out()], value=("x",),
+              bodies=(body,), n_outputs=1)
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_branch_arm_missing_output_rejected():
+    graph = Graph()
+    cond = graph.const(1)
+    value = graph.const(2)
+    then_body = Graph("then")
+    then_in = then_body.add(OpKind.INPUT, value="x")
+    then_body.add(OpKind.OUTPUT, inputs=[then_in.out()], value="x")
+    else_body = Graph("else")  # missing output "x"
+    graph.add(OpKind.BRANCH, inputs=[cond.out(), value.out()],
+              value=(("x",), ("x",)), bodies=(then_body, else_body),
+              n_outputs=1)
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_branch_input_count_rejected():
+    graph = Graph()
+    cond = graph.const(1)
+    then_body = Graph("then")
+    else_body = Graph("else")
+    with pytest.raises(ValidationError):
+        node = graph.add(OpKind.BRANCH, inputs=[cond.out()],
+                         value=(("x",), ()), bodies=(then_body,
+                                                     else_body),
+                         n_outputs=0)
+        validate(graph)
+
+
+def test_ss_in_inside_body_rejected():
+    graph = Graph()
+    init = graph.const(0)
+    body = Graph("body")
+    node_in = body.add(OpKind.INPUT, value="x")
+    body.add(OpKind.SS_IN)
+    body.add(OpKind.OUTPUT, inputs=[node_in.out()], value=COND_SLOT)
+    body.add(OpKind.OUTPUT, inputs=[node_in.out()], value="x")
+    graph.add(OpKind.LOOP, inputs=[init.out()], value=("x",),
+              bodies=(body,), n_outputs=1)
+    with pytest.raises(ValidationError):
+        validate(graph)
+
+
+def test_state_typed_loop_output():
+    """A loop carrying $state exposes a STATE-typed output."""
+    graph = build_main_cdfg(
+        "void main() { for (int i = 0; i < 2; i++) { b[i] = i; } }")
+    validate(graph)
+    loop = graph.sole(OpKind.LOOP)
+    assert STATE_NAME in loop.value

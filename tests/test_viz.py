@@ -1,0 +1,97 @@
+"""Unit tests for the visualisation helpers."""
+
+from repro.core.pipeline import map_source
+from repro.eval.kernels import get_kernel
+from repro.viz import (
+    cluster_graph_dot,
+    memory_map,
+    program_gantt,
+    register_pressure,
+    schedule_gantt,
+)
+
+from tests.conftest import FIR_SOURCE
+
+
+def fir_report():
+    return map_source(FIR_SOURCE)
+
+
+class TestScheduleGantt:
+    def test_rows_per_pp(self):
+        report = fir_report()
+        chart = schedule_gantt(report.schedule, report.params.n_pps)
+        lines = chart.splitlines()
+        assert len(lines) == report.params.n_pps + 1
+        assert lines[1].startswith("PP0 |")
+
+    def test_every_cluster_appears(self):
+        report = fir_report()
+        chart = schedule_gantt(report.schedule)
+        for cluster_id in report.clustered.clusters:
+            assert f"Clu{cluster_id}" in chart
+
+    def test_empty_schedule(self):
+        report = map_source("void main() { }")
+        assert "empty" in schedule_gantt(report.schedule)
+
+
+class TestProgramGantt:
+    def test_marks_alu_and_stalls(self):
+        report = fir_report()
+        chart = program_gantt(report.program)
+        assert "#" in chart
+        assert "s" in chart  # fir has a leading load cycle
+        assert "xbar |" in chart
+
+    def test_column_count_matches_cycles(self):
+        report = fir_report()
+        chart = program_gantt(report.program)
+        pp0_row = [line for line in chart.splitlines()
+                   if line.startswith("PP0")][0]
+        cells = pp0_row.split("| ")[1]
+        assert len(cells) == report.n_cycles
+
+    def test_empty_program(self):
+        report = map_source("void main() { }")
+        assert "empty" in program_gantt(report.program)
+
+
+class TestRegisterPressure:
+    def test_within_bank_capacity(self):
+        report = map_source(get_kernel("fir16").source)
+        pressure = register_pressure(report.program)
+        for (pp, bank), peak in pressure.items():
+            assert 1 <= peak <= report.params.regs_per_bank
+
+    def test_some_pressure_exists(self):
+        report = fir_report()
+        assert register_pressure(report.program)
+
+
+class TestClusterGraphDot:
+    def test_contains_clusters_and_edges(self):
+        report = fir_report()
+        dot = cluster_graph_dot(report.clustered)
+        assert dot.startswith("digraph")
+        assert "Clu0" in dot
+        assert "->" in dot
+
+    def test_schedule_adds_ranks(self):
+        report = fir_report()
+        dot = cluster_graph_dot(report.clustered, report.schedule)
+        assert "rank=same" in dot
+        assert "Level0" in dot
+
+
+class TestMemoryMap:
+    def test_lists_inputs_and_outputs(self):
+        report = fir_report()
+        text = memory_map(report.program)
+        assert "(in)" in text
+        assert "(out)" in text
+        assert "sum" in text
+
+    def test_empty(self):
+        report = map_source("void main() { }")
+        assert "no data" in memory_map(report.program)

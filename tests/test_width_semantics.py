@@ -1,0 +1,121 @@
+"""Tests for finite data-path width semantics (the FPFA is 16-bit).
+
+Compile-time evaluation (constant folding, unroll-time folding) must
+wrap exactly like the target tile's ALUs — otherwise minimisation
+would change behaviour on overflowing programs.  These tests pin that
+property across interpreter, transforms and simulator.
+"""
+
+import pytest
+
+from repro.arch.params import TileParams
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.interp import run_graph
+from repro.cdfg.ops import OpKind, wrap_value
+from repro.cdfg.statespace import StateSpace
+from repro.core.pipeline import map_source, verify_mapping
+from repro.transforms.pipeline import simplify
+
+
+class TestWrapValue:
+    def test_identity_without_width(self):
+        assert wrap_value(10**9, None) == 10**9
+
+    def test_symmetric_range(self):
+        assert wrap_value(2**15, 16) == -2**15
+        assert wrap_value(2**15 - 1, 16) == 2**15 - 1
+        assert wrap_value(-2**15, 16) == -2**15
+        assert wrap_value(-2**15 - 1, 16) == 2**15 - 1
+
+    def test_multiple_wraps(self):
+        assert wrap_value(65536 * 3 + 5, 16) == 5
+
+    def test_eight_bit(self):
+        assert wrap_value(130, 8) == 130 - 256
+
+    def test_non_int_passthrough(self):
+        from repro.cdfg.ops import Address
+        address = Address("a", 1)
+        assert wrap_value(address, 16) is address
+
+
+class TestWidthAwareFolding:
+    def test_folding_matches_wrapped_interp(self):
+        source = "void main() { flag = (30000 + 30000) < 0; }"
+        reference = build_main_cdfg(source)
+        expected = run_graph(reference, width=16).fetch("flag")
+        assert expected == 1  # 60000 wraps negative on 16-bit
+        minimised = build_main_cdfg(source)
+        simplify(minimised, width=16)
+        assert run_graph(minimised, width=16).fetch("flag") == 1
+
+    def test_unbounded_folding_differs(self):
+        source = "void main() { flag = (30000 + 30000) < 0; }"
+        minimised = build_main_cdfg(source)
+        simplify(minimised)  # unbounded
+        assert run_graph(minimised).fetch("flag") == 0
+
+    def test_literal_wrapped_on_read(self):
+        source = "void main() { x = 70000 + 1; }"
+        minimised = build_main_cdfg(source)
+        simplify(minimised, width=16)
+        assert run_graph(minimised, width=16).fetch("x") == \
+            wrap_value(70000 + 1, 16)
+
+    def test_unrolling_wraps_induction(self):
+        # 8-bit: the loop counter wraps, but the bound keeps it sane —
+        # folding at width must agree with the wrapped interpreter.
+        source = """
+        void main() {
+          s = 0;
+          for (int i = 0; i < 6; i++) { s = s + 100; }
+        }
+        """
+        reference = build_main_cdfg(source)
+        expected = run_graph(reference, width=8).fetch("s")
+        minimised = build_main_cdfg(source)
+        simplify(minimised, width=8)
+        assert not minimised.find(OpKind.LOOP)
+        assert run_graph(minimised, width=8).fetch("s") == expected
+
+    def test_branch_on_overflowing_condition(self):
+        source = """
+        void main() {
+          if (200 * 200 > 0) { sel = 1; } else { sel = 2; }
+        }
+        """
+        minimised = build_main_cdfg(source)
+        simplify(minimised, width=16)
+        # 40000 wraps negative: the else arm must have been selected
+        assert run_graph(minimised, width=16).fetch("sel") == 2
+
+
+class TestWidthEndToEnd:
+    def test_overflowing_program_verifies_on_16bit_tile(self):
+        source = """
+        void main() {
+          big = in0 * in0;
+          flag = (30000 + 30000) < 0;
+        }
+        """
+        report = map_source(source, TileParams(width=16))
+        final = verify_mapping(report, StateSpace({"in0": 1000}))
+        assert final.fetch("big") == wrap_value(1_000_000, 16)
+        assert final.fetch("flag") == 1
+
+    def test_chained_alu_wraps_between_levels(self):
+        # (a*b)+c where a*b overflows: the inner level must wrap
+        # before the outer add, like the per-node interpreter.
+        source = "void main() { r = in0 * in1 + 1; }"
+        report = map_source(source, TileParams(width=16))
+        state = StateSpace({"in0": 300, "in1": 300})
+        final = verify_mapping(report, state)
+        assert final.fetch("r") == wrap_value(
+            wrap_value(90000, 16) + 1, 16)
+
+    @pytest.mark.parametrize("width", [8, 16, 32, None])
+    def test_fir_all_widths(self, width):
+        from repro.eval.kernels import get_kernel
+        kernel = get_kernel("fir16")
+        report = map_source(kernel.source, TileParams(width=width))
+        verify_mapping(report, kernel.initial_state(5))
