@@ -2,67 +2,66 @@
 
 The whole Fig. 1 tile is data (:class:`repro.TileParams`), so "what if
 the FPFA had 8 PPs / fewer buses / MAC-capable ALUs?" is a parameter
-sweep.  This example maps a 16-tap FIR across:
+sweep.  This example runs the sweeps on the :mod:`repro.dse` engine —
+each axis is a one-dimension :class:`DesignSpace` evaluated by the
+batch runner (which also verifies every mapping against the reference
+interpreter) — and reports cycles, utilisation and the energy proxy
+for each point of:
 
 * 1..8 processing parts;
 * 2..20 crossbar buses;
-* the three stock ALU data-path template libraries,
-
-and reports cycles, utilisation and the energy proxy for each point.
+* the three stock ALU data-path template libraries.
 
 Run:  python examples/custom_architecture.py
 """
 
-from repro import TemplateLibrary, TileParams, measure_energy
-from repro.core.pipeline import map_source, verify_mapping
+from repro import TileParams
+from repro.dse import DesignSpace, run_sweep
 from repro.eval.kernels import get_kernel
 from repro.eval.report import render_table
 
 
-def sweep_pps(kernel) -> list[dict]:
+def sweep_axis(kernel, dimension, values, columns) -> list[dict]:
+    """Evaluate a one-dimension space; one table row per point."""
+    space = DesignSpace({dimension: values})
+    # Axes this small map in milliseconds — pool startup would
+    # dominate, so evaluate in-process.
+    result = run_sweep(kernel.source, space.grid(), workers=1,
+                       verify_seed=0)
     rows = []
-    for n_pps in (1, 2, 3, 5, 8):
-        params = TileParams(n_pps=n_pps)
-        report = map_source(kernel.source, params)
-        verify_mapping(report, kernel.initial_state(0))
-        energy = measure_energy(report.program)
-        rows.append({
-            "PPs": n_pps,
-            "levels": report.n_levels,
-            "cycles": report.n_cycles,
-            "util": f"{report.program.alu_utilisation():.0%}",
-            "energy": round(energy.total, 0),
-        })
+    for point, record in zip(result.points, result.records):
+        assert record["ok"], record
+        row = {columns[0]: point.assignment()[dimension]}
+        for label, metric in columns[1].items():
+            row[label] = record["metrics"][metric]
+        rows.append(row)
+    return rows
+
+
+def sweep_pps(kernel) -> list[dict]:
+    rows = sweep_axis(kernel, "n_pps", [1, 2, 3, 5, 8],
+                      ("PPs", {"levels": "levels", "cycles": "cycles",
+                               "util": "alu_util",
+                               "energy": "energy"}))
+    for row in rows:
+        row["util"] = f"{row['util']:.0%}"
+        row["energy"] = round(row["energy"], 0)
     return rows
 
 
 def sweep_buses(kernel) -> list[dict]:
-    rows = []
-    for n_buses in (2, 3, 5, 10, 20):
-        params = TileParams(n_buses=n_buses)
-        report = map_source(kernel.source, params)
-        verify_mapping(report, kernel.initial_state(0))
-        rows.append({
-            "buses": n_buses,
-            "cycles": report.n_cycles,
-            "stalls": report.program.n_stall_cycles,
-            "moves": report.program.n_moves,
-        })
-    return rows
+    return sweep_axis(kernel, "n_buses", [2, 3, 5, 10, 20],
+                      ("buses", {"cycles": "cycles",
+                                 "stalls": "stalls",
+                                 "moves": "moves"}))
 
 
 def sweep_templates(kernel) -> list[dict]:
-    rows = []
-    for name, library in TemplateLibrary.stock().items():
-        report = map_source(kernel.source, library=library)
-        verify_mapping(report, kernel.initial_state(0))
-        rows.append({
-            "templates": name,
-            "clusters": report.n_clusters,
-            "levels": report.n_levels,
-            "cycles": report.n_cycles,
-        })
-    return rows
+    return sweep_axis(kernel, "library",
+                      ["single-op", "two-level", "mac"],
+                      ("templates", {"clusters": "clusters",
+                                     "levels": "levels",
+                                     "cycles": "cycles"}))
 
 
 def main() -> None:

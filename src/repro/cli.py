@@ -1,38 +1,58 @@
-"""Command-line driver: map a C file onto an FPFA tile.
+"""Command-line driver: map C onto an FPFA tile, or explore tiles.
 
-Usage::
+Two subcommands::
 
-    fpfa-map program.c [--listing] [--schedule] [--cdfg] [--dot out.dot]
-             [--taps] [--pps N] [--buses N] [--library two-level|single-op|mac]
-             [--verify-seed SEED]
+    fpfa-map map program.c [--listing] [--schedule] [--cdfg]
+             [--dot out.dot] [--pps N] [--buses N]
+             [--library two-level|single-op|mac] [--balance]
+             [--verify-seed SEED] [--json out.json]
 
-Prints the mapping summary (clusters, levels, cycles, locality) and,
-on request, the minimised CDFG statistics, the level schedule, the
-per-cycle program listing, a Graphviz dump of the CDFG, and an
-end-to-end verification run against the reference interpreter with
-deterministic random inputs.
+    fpfa-map explore program.c [--kernel NAME] [--sweep DIM=V1,V2,..]
+             [--pps LIST] [--buses LIST] [--libraries LIST]
+             [--balance off|on|both] [--strategy exhaustive|random|hill]
+             [--samples N] [--workers N] [--cache DIR]
+             [--objectives LIST] [--verify-seed SEED] [--json out.json]
+
+``map`` preserves the original single-point behaviour (and plain
+``fpfa-map program.c`` still works — a missing subcommand defaults to
+``map``): it prints the mapping summary (clusters, levels, cycles,
+locality) and, on request, CDFG statistics, the level schedule, the
+per-cycle listing, Graphviz output and an interpreter-verification
+run.  ``--json`` additionally dumps the full metric dict for scripts.
+
+``explore`` sweeps the design space with :mod:`repro.dse`: it builds
+a space from ``--sweep``/shortcut flags (default: the stock PP x bus
+x library grid), evaluates it on a multiprocessing pool with an
+optional persistent result cache, and reports the Pareto frontier
+plus the scalarised best point.
 """
 
 from __future__ import annotations
 
 import argparse
-import random
+import json
+import os.path
 import sys
 
 from repro.arch.params import TileParams
 from repro.arch.templates import TemplateLibrary
 from repro.cdfg.builder import build_main_cdfg
 from repro.cdfg.dot import to_dot
-from repro.cdfg.statespace import StateSpace
-from repro.core.pipeline import map_graph, verify_mapping
-from repro.eval.metrics import mapping_metrics
+from repro.core.pipeline import (
+    map_graph,
+    random_input_state,
+    verify_mapping,
+)
+from repro.eval.metrics import METRIC_FIELDS, mapping_metrics
+
+SUBCOMMANDS = ("map", "explore")
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="fpfa-map",
-        description="Map a C-subset program onto one FPFA tile "
-                    "(reproduction of Rosien et al., DATE 2003).")
+# ---------------------------------------------------------------------------
+# Parser construction
+# ---------------------------------------------------------------------------
+
+def _add_map_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("file", help="C source file (use '-' for stdin)")
     parser.add_argument("--pps", type=int, default=5,
                         help="processing parts per tile (default 5)")
@@ -60,26 +80,109 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="SEED",
                         help="verify program vs interpreter with random "
                              "inputs from SEED")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="dump the mapping metrics as JSON "
+                             "('-' for stdout)")
+
+
+def _add_explore_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", nargs="?",
+                        help="C source file ('-' for stdin); or use "
+                             "--kernel")
+    parser.add_argument("--kernel", metavar="NAME",
+                        help="explore a stock kernel from the suite "
+                             "instead of a file (e.g. fir16)")
+    parser.add_argument("--sweep", action="append", default=[],
+                        metavar="DIM=V1,V2,..",
+                        help="add one dimension: a TileParams field, "
+                             "'library', or a map option (balance); "
+                             "repeatable")
+    parser.add_argument("--pps", metavar="LIST",
+                        help="shortcut for --sweep n_pps=LIST")
+    parser.add_argument("--buses", metavar="LIST",
+                        help="shortcut for --sweep n_buses=LIST")
+    parser.add_argument("--libraries", metavar="LIST",
+                        help="shortcut for --sweep library=LIST")
+    parser.add_argument("--balance", choices=("off", "on", "both"),
+                        default=None,
+                        help="sweep the accumulation-balancing "
+                             "transform (both = off and on)")
+    parser.add_argument("--strategy", default="exhaustive",
+                        choices=("exhaustive", "random", "hill"),
+                        help="search strategy (default exhaustive)")
+    parser.add_argument("--samples", type=int, default=64,
+                        help="points for --strategy random")
+    parser.add_argument("--max-steps", type=int, default=32,
+                        help="steps per climb for --strategy hill")
+    parser.add_argument("--restarts", type=int, default=2,
+                        help="restarts for --strategy hill")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for random/hill strategies")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool processes (default: CPU count)")
+    parser.add_argument("--cache", metavar="DIR",
+                        help="persistent result-cache directory "
+                             "(repeated sweeps skip re-mapping)")
+    parser.add_argument("--objectives", default="cycles,energy,resource",
+                        metavar="LIST",
+                        help="minimised objectives; metric names, "
+                             "'resource', or '-metric' to maximise "
+                             "(write --objectives=-metric,.. so the "
+                             "leading '-' is not read as a flag; "
+                             "default cycles,energy,resource)")
+    parser.add_argument("--verify-seed", type=int, default=None,
+                        metavar="SEED",
+                        help="verify every fresh mapping against the "
+                             "interpreter with inputs from SEED")
+    parser.add_argument("--table", action="store_true",
+                        help="print the full sweep table, not just "
+                             "the frontier")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="dump records, frontier, best and stats "
+                             "as JSON ('-' for stdout)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fpfa-map",
+        description="Map a C-subset program onto one FPFA tile, or "
+                    "explore the tile design space (reproduction of "
+                    "Rosien et al., DATE 2003).")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_map_arguments(subparsers.add_parser(
+        "map", help="map one program onto one tile configuration"))
+    _add_explore_arguments(subparsers.add_parser(
+        "explore", help="sweep tile configurations with repro.dse"))
     return parser
 
 
-def _random_state_for(report, seed: int) -> StateSpace:
-    """Random values for every input address the program reads."""
-    rng = random.Random(seed)
-    state = StateSpace()
-    for address in report.taskgraph.input_addresses():
-        state = state.store(address, rng.randint(-99, 99))
-    return state
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
-    if args.file == "-":
-        source = sys.stdin.read()
+def _dump_json(payload: dict, path: str) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
     else:
-        with open(args.file, encoding="utf-8") as handle:
-            source = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\nwrote {path}")
 
+
+# ---------------------------------------------------------------------------
+# fpfa-map map
+# ---------------------------------------------------------------------------
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
     params = TileParams(n_pps=args.pps, n_buses=args.buses)
     library = TemplateLibrary.stock()[args.library]
     graph = build_main_cdfg(source)
@@ -115,12 +218,211 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(to_dot(report.minimised))
         print(f"\nwrote {args.dot}")
+    verified = None
     if args.verify_seed is not None:
-        state = _random_state_for(report, args.verify_seed)
+        state = random_input_state(report, args.verify_seed)
         verify_mapping(report, state)
+        verified = True
         print(f"\nverified against the interpreter "
               f"(seed {args.verify_seed})")
+    if args.json_path:
+        _dump_json({
+            "file": args.file,
+            "config": {"n_pps": args.pps, "n_buses": args.buses,
+                       "library": args.library,
+                       "balance": args.balance},
+            "metrics": metrics,
+            "verified": verified,
+        }, args.json_path)
     return 0
+
+
+# ---------------------------------------------------------------------------
+# fpfa-map explore
+# ---------------------------------------------------------------------------
+
+def _parse_value(text: str):
+    lowered = text.strip().lower()
+    if lowered in ("true", "on", "yes"):
+        return True
+    if lowered in ("false", "off", "no"):
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        return text.strip()
+
+
+def _parse_value_list(text: str) -> list:
+    return [_parse_value(item) for item in text.split(",")
+            if item.strip()]
+
+
+def _explore_space(args: argparse.Namespace):
+    from repro.dse import DesignSpace
+    from repro.dse.space import SpaceError
+
+    dimensions: dict[str, list] = {}
+
+    def set_dimension(name: str, values: list, flag: str) -> None:
+        if name in dimensions:
+            raise SystemExit(
+                f"{flag} conflicts with an earlier --sweep/shortcut "
+                f"for dimension {name!r}")
+        dimensions[name] = values
+
+    for spec in args.sweep:
+        name, separator, values = spec.partition("=")
+        if not separator or not values:
+            raise SystemExit(
+                f"--sweep expects DIM=V1,V2,.. got {spec!r}")
+        set_dimension(name.strip(), _parse_value_list(values),
+                      "--sweep")
+    if args.pps:
+        set_dimension("n_pps", _parse_value_list(args.pps), "--pps")
+    if args.buses:
+        set_dimension("n_buses", _parse_value_list(args.buses),
+                      "--buses")
+    if args.libraries:
+        set_dimension("library", _parse_value_list(args.libraries),
+                      "--libraries")
+    if args.balance == "both":
+        set_dimension("balance", [False, True], "--balance")
+    elif args.balance == "on":
+        set_dimension("balance", [True], "--balance")
+    elif args.balance == "off":
+        set_dimension("balance", [False], "--balance")
+    try:
+        if not dimensions:
+            return DesignSpace.default()
+        return DesignSpace(dimensions)
+    except SpaceError as error:
+        raise SystemExit(str(error))
+
+
+def _explore_source(args: argparse.Namespace) -> tuple[str, str]:
+    if args.kernel and args.file:
+        raise SystemExit(
+            f"explore takes a file OR --kernel, not both (got "
+            f"{args.file!r} and --kernel {args.kernel})")
+    if args.kernel:
+        from repro.eval.kernels import get_kernel
+        try:
+            kernel = get_kernel(args.kernel)
+        except KeyError as error:
+            raise SystemExit(error.args[0])
+        return kernel.source, f"kernel {kernel.name}: {kernel.description}"
+    if not args.file:
+        raise SystemExit("explore needs a C file or --kernel NAME")
+    return _read_source(args.file), args.file
+
+
+def _check_objectives(objectives: list[str], space) -> None:
+    """Reject unresolvable objective names *before* the sweep runs —
+    a typo must not surface as a crash after minutes of mapping.
+    Tile fields are only resolvable when the space actually sweeps
+    them (records carry swept dimensions in their config)."""
+    from repro.dse.space import TILE_FIELDS
+
+    if not objectives:
+        raise SystemExit("--objectives needs at least one name")
+    allowed = (set(METRIC_FIELDS) | {"resource"} |
+               (set(space.names) & set(TILE_FIELDS)))
+    for name in objectives:
+        base = name[1:] if name.startswith("-") else name
+        if base not in allowed:
+            raise SystemExit(
+                f"unknown or unswept objective {base!r}; known here: "
+                f"{', '.join(sorted(allowed))} (prefix with '-' to "
+                f"maximise)")
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.dse import frontier_table, pareto_front
+    from repro.dse.runner import SweepResult
+    from repro.dse.search import STRATEGIES
+    from repro.dse.space import DesignPoint
+    from repro.eval.report import render_table
+
+    source, workload = _explore_source(args)
+    space = _explore_space(args)
+    objectives = [item.strip() for item in args.objectives.split(",")
+                  if item.strip()]
+    _check_objectives(objectives, space)
+    strategy = STRATEGIES[args.strategy]
+    run_kwargs = dict(cache=args.cache,
+                      verify_seed=args.verify_seed)
+    if args.workers is not None:
+        # Leave the key out otherwise: each strategy picks its own
+        # default (hill-climb stays in-process, sweeps use all CPUs).
+        run_kwargs["workers"] = args.workers
+    if args.strategy == "random":
+        extra = dict(n_samples=args.samples, seed=args.seed)
+    elif args.strategy == "hill":
+        extra = dict(max_steps=args.max_steps, restarts=args.restarts,
+                     seed=args.seed)
+    else:
+        extra = {}
+
+    print(f"workload: {workload}")
+    print(space.describe())
+    result = strategy(source, space, objectives=objectives,
+                      **extra, **run_kwargs)
+    print(f"sweep: {result.stats.summary()}")
+    print()
+    # Extract the front once; rendering an already-non-dominated set
+    # through frontier_table is idempotent and cheap.
+    front = pareto_front(result.records, objectives)
+    print(frontier_table(front, objectives))
+    if args.table:
+        table = SweepResult(records=result.records)
+        print()
+        print(render_table(table.rows(), title="All evaluated points"))
+    print()
+    if result.best is not None:
+        best_label = DesignPoint.from_dict(result.best["point"]).label()
+        print(f"best ({', '.join(objectives)}): {best_label}")
+        print(f"  metrics: {result.best['metrics']}")
+    else:
+        print("best: no feasible point in the space")
+    failures = [record for record in result.records
+                if not record["ok"]]
+    if failures:
+        print(f"{len(failures)} point(s) failed; first: "
+              f"{failures[0]['error']}")
+    exit_code = 0 if result.best is not None else 1
+    if args.json_path:
+        _dump_json({
+            "workload": workload,
+            "strategy": args.strategy,
+            "objectives": objectives,
+            "stats": vars(result.stats),
+            "best": result.best,
+            "frontier": front,
+            "records": result.records,
+        }, args.json_path)
+    return exit_code
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: `fpfa-map program.c ...` still means `map`.  A
+    # lone argument that names an existing file wins over the
+    # subcommand reading even if the file is called `map`/`explore`;
+    # with further arguments the subcommand interpretation wins
+    # (write `./map` to map such a file).
+    if argv and (argv[0] not in SUBCOMMANDS
+                 or (len(argv) == 1 and os.path.isfile(argv[0]))) \
+            and argv[0] not in ("-h", "--help"):
+        argv.insert(0, "map")
+    args = _build_parser().parse_args(argv)
+    if args.command == "explore":
+        return _cmd_explore(args)
+    return _cmd_map(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

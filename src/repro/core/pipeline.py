@@ -14,6 +14,7 @@ untransformed* graph.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.arch.control import TileProgram
@@ -149,6 +150,18 @@ def map_source(source: str, params: TileParams | None = None,
     """Parse C *source* and map its ``main`` onto one FPFA tile."""
     graph = build_main_cdfg(source)
     return map_graph(graph, params, library, source=source, **kwargs)
+
+
+def random_input_state(report: MappingReport,
+                       seed: int) -> StateSpace:
+    """Deterministic random values for every input address *report*'s
+    program reads — the canonical seed → verification-input mapping
+    shared by the CLI and the DSE runner."""
+    rng = random.Random(seed)
+    state = StateSpace()
+    for address in report.taskgraph.input_addresses():
+        state = state.store(address, rng.randint(-99, 99))
+    return state
 
 
 def verify_mapping(report: MappingReport,

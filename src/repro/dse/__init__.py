@@ -1,0 +1,75 @@
+"""Design-space exploration over the FPFA mapping flow.
+
+The paper maps one program onto one fixed tile; §VI names the bus and
+port counts as *constraints*, which makes the architecture itself a
+search space.  This package treats every kernel x :class:`TileParams`
+x template-library x transform-option combination as one *design
+point* and explores sets of them as a batch workload:
+
+* :mod:`repro.dse.space` — declarative parameter spaces (grids,
+  random samples, explicit point lists) over tile fields, stock
+  template libraries and ``map_graph`` options;
+* :mod:`repro.dse.runner` — a chunked ``multiprocessing`` sweep
+  runner that tolerates per-point failures and records the
+  :func:`repro.eval.metrics.mapping_metrics` of every mapping;
+* :mod:`repro.dse.cache` — a content-addressed on-disk result cache
+  keyed by a stable hash of (source, design point), so repeated and
+  overlapping sweeps skip re-mapping entirely;
+* :mod:`repro.dse.pareto` — Pareto-frontier extraction and scalarised
+  best-point selection over cycles / energy / resource proxies;
+* :mod:`repro.dse.search` — exhaustive, random and greedy hill-climb
+  strategies sharing the same runner and cache.
+
+Quickstart::
+
+    from repro.dse import DesignSpace, run_sweep, pareto_front
+
+    space = DesignSpace({"n_pps": [1, 2, 3, 5, 8],
+                         "n_buses": [4, 10],
+                         "library": ["two-level", "mac"]})
+    result = run_sweep(source, space.grid(), workers=4,
+                       cache="~/.cache/fpfa-dse")
+    for record in pareto_front(result.ok_records()):
+        print(record["config"], record["metrics"]["cycles"])
+"""
+
+from repro.dse.cache import ResultCache
+from repro.dse.pareto import (
+    best_record,
+    dominates,
+    frontier_table,
+    objective_value,
+    pareto_front,
+)
+from repro.dse.runner import (
+    SweepResult,
+    SweepStats,
+    evaluate_point,
+    run_sweep,
+)
+from repro.dse.search import (
+    SearchResult,
+    exhaustive_search,
+    hill_climb,
+    random_search,
+)
+from repro.dse.space import DesignPoint, DesignSpace
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "ResultCache",
+    "SearchResult",
+    "SweepResult",
+    "SweepStats",
+    "best_record",
+    "dominates",
+    "evaluate_point",
+    "exhaustive_search",
+    "frontier_table",
+    "hill_climb",
+    "objective_value",
+    "pareto_front",
+    "random_search",
+    "run_sweep",
+]

@@ -1,0 +1,127 @@
+"""Content-addressed on-disk memoisation of design-point results.
+
+The mapping flow is deterministic: the same (source, design point)
+pair always yields the same metrics.  That makes every result safe to
+memoise by content hash — the cache key is the SHA-256 of a canonical
+JSON envelope of the program source, the point's canonical identity
+and a format version.  Overlapping sweeps (a bus sweep after a full
+grid, a hill-climb revisiting a ridge) then skip re-mapping entirely.
+
+Records are JSON dicts stored one-per-file under a two-hex-char
+shard directory, written atomically (temp file + ``os.replace``) so a
+killed sweep never leaves a truncated record behind.  Corrupt or
+unreadable entries degrade to cache misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Mapping
+
+from repro.dse.space import DesignPoint
+
+#: Bump when the record layout changes: stale entries become misses.
+CACHE_VERSION = 1
+
+
+def cache_key(source: str, point: DesignPoint) -> str:
+    """Stable content hash of one (source, design point) pair."""
+    envelope = json.dumps(
+        {"version": CACHE_VERSION, "source": source,
+         "point": point.to_dict()},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(envelope.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of memoised sweep records, keyed by content hash."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -- addressing ---------------------------------------------------
+
+    def key(self, source: str, point: DesignPoint) -> str:
+        return cache_key(source, point)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- access -------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """The memoised record for *key*, or None (counts hit/miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(record, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: Mapping) -> None:
+        """Atomically persist *record* under *key*."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Key order is preserved (no sort_keys): a cached record must
+        # round-trip exactly as the runner built it, column order and
+        # all, so warm and cold sweeps render identical tables.
+        payload = json.dumps(dict(record))
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def downgrade_hit(self) -> None:
+        """Reclassify the most recent hit as a miss — used when the
+        caller rejects a returned record (e.g. it lacks verification
+        this sweep promises), so hit_rate reflects records actually
+        served."""
+        if self.hits > 0:
+            self.hits -= 1
+            self.misses += 1
+
+    # -- bookkeeping --------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / total, 3) if total else 0.0,
+        }

@@ -1,0 +1,135 @@
+"""Pareto-frontier extraction and best-point selection.
+
+Sweep records carry several competing objectives — program cycles,
+the energy proxy, and the silicon the configuration would spend (a
+*resource* proxy).  No single point minimises them all, so reporting
+means two things: the set of non-dominated trade-offs (the Pareto
+frontier) and, when the caller does want one answer, a scalarised
+best point under min-max-normalised weights.
+
+All objectives are *minimised*.  Maximise-style metrics are exposed
+through negating aliases (``-alu_util``, ``-locality``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.arch.params import TileParams
+from repro.eval.report import render_table
+
+#: Fallback for dimensions a sweep left at their paper defaults.
+_DEFAULT_TILE = TileParams()
+
+#: Default trade-off axes: time, the energy proxy, and area.
+DEFAULT_OBJECTIVES = ("cycles", "energy", "resource")
+
+
+def objective_value(record: Mapping, name: str) -> float:
+    """The value of objective *name* for one ok record.
+
+    Resolution order: a leading ``-`` negates (turns a
+    bigger-is-better metric into a minimised objective); ``resource``
+    is the derived area proxy ALUs x crossbar buses; otherwise the
+    name is looked up in the record's metrics, then its config.
+    """
+    if name.startswith("-"):
+        return -objective_value(record, name[1:])
+    if name == "resource":
+        config = record.get("config", {})
+        return float(config.get("n_pps", _DEFAULT_TILE.n_pps) *
+                     config.get("n_buses", _DEFAULT_TILE.n_buses))
+    metrics = record.get("metrics", {})
+    if name in metrics:
+        return float(metrics[name])
+    config = record.get("config", {})
+    if name in config:
+        return float(config[name])
+    raise KeyError(f"record has no objective {name!r}")
+
+
+def dominates(first: Mapping, second: Mapping,
+              objectives: Sequence[str] = DEFAULT_OBJECTIVES) -> bool:
+    """True when *first* is no worse everywhere and better somewhere."""
+    strictly_better = False
+    for name in objectives:
+        a = objective_value(first, name)
+        b = objective_value(second, name)
+        if a > b:
+            return False
+        if a < b:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_front(records: Sequence[Mapping],
+                 objectives: Sequence[str] = DEFAULT_OBJECTIVES
+                 ) -> list[dict]:
+    """The non-dominated subset of the ok *records*, input order
+    preserved; duplicate objective vectors keep their first witness."""
+    objectives = tuple(objectives)
+    if not objectives:
+        raise ValueError("pareto_front needs >= 1 objective")
+    candidates = [record for record in records if record.get("ok")]
+    # Resolve every objective vector once; dominance checks are then
+    # pure float compares instead of O(n^2 * k) metric lookups.
+    vectors = [tuple(objective_value(record, name)
+                     for name in objectives)
+               for record in candidates]
+
+    def dominated(vector: tuple) -> bool:
+        return any(other != vector and
+                   all(a <= b for a, b in zip(other, vector))
+                   for other in vectors)
+
+    front: list[dict] = []
+    seen_vectors: set[tuple] = set()
+    for record, vector in zip(candidates, vectors):
+        if vector in seen_vectors or dominated(vector):
+            continue
+        seen_vectors.add(vector)
+        front.append(record)
+    return front
+
+
+def best_record(records: Sequence[Mapping],
+                objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                weights: Mapping[str, float] | None = None
+                ) -> dict | None:
+    """The single record minimising the weighted sum of min-max
+    normalised objectives (ties break toward earlier records)."""
+    candidates = [record for record in records if record.get("ok")]
+    if not candidates:
+        return None
+    weights = dict(weights or {})
+    spans = {}
+    for name in objectives:
+        values = [objective_value(record, name)
+                  for record in candidates]
+        low, high = min(values), max(values)
+        spans[name] = (low, (high - low) or 1.0)
+
+    def score(record) -> float:
+        total = 0.0
+        for name in objectives:
+            low, span = spans[name]
+            normalised = (objective_value(record, name) - low) / span
+            total += weights.get(name, 1.0) * normalised
+        return total
+
+    return min(candidates, key=score)
+
+
+def frontier_table(records: Sequence[Mapping],
+                   objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                   title: str | None = "Pareto frontier") -> str:
+    """Render the frontier of *records* as a fixed-width table."""
+    front = pareto_front(records, objectives)
+    rows = []
+    for record in front:
+        row = dict(record.get("config", {}))
+        for name in objectives:
+            row[name] = objective_value(record, name)
+        rows.append(row)
+    rows.sort(key=lambda row: row[objectives[0]])
+    return render_table(rows, title=title)

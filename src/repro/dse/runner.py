@@ -1,0 +1,239 @@
+"""Chunked, fault-tolerant batch evaluation of design points.
+
+``run_sweep`` is the one engine every exploration strategy shares.
+It deduplicates the requested points, satisfies what it can from the
+:class:`repro.dse.cache.ResultCache`, evaluates the rest — serially
+or on a ``multiprocessing`` pool in configurable chunks — and returns
+one JSON-able *record* per requested point.
+
+Per-point failures (an infeasible :class:`TileParams` combination, a
+scheduling overflow, a verification mismatch) are captured inside the
+worker and returned as ``{"ok": False, "error": ...}`` records, so a
+120-point sweep survives its pathological corners and still reports
+them.  Because the flow is deterministic, records are cached by
+content hash; a repeated sweep is pure cache reads and never touches
+the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.pipeline import (
+    map_source,
+    random_input_state,
+    verify_mapping,
+)
+from repro.dse.cache import ResultCache, cache_key
+from repro.dse.space import DesignPoint
+from repro.eval.metrics import mapping_metrics
+
+
+def evaluate_point(source: str, point: DesignPoint,
+                   verify_seed: int | None = None) -> dict:
+    """Map *source* at *point*; never raises — failures are records.
+
+    With *verify_seed*, the mapped program is additionally checked
+    against the reference interpreter on deterministic random inputs,
+    and a mismatch fails the record.
+    """
+    record = {"point": point.to_dict(), "config": point.assignment()}
+    try:
+        params = point.tile_params()
+        library = point.template_library()
+        report = map_source(source, params, library,
+                            **point.options_dict())
+        if verify_seed is not None:
+            verify_mapping(report,
+                           random_input_state(report, verify_seed))
+            record["verified"] = True
+        record["ok"] = True
+        record["metrics"] = mapping_metrics(report)
+    except Exception as error:  # noqa: BLE001 — fault isolation
+        record["ok"] = False
+        record["error"] = f"{type(error).__name__}: {error}"
+    return record
+
+
+def _worker(payload: tuple) -> tuple:
+    """Pool entry point: evaluate one point from its serialised form."""
+    key, source, point_dict, verify_seed = payload
+    point = DesignPoint.from_dict(point_dict)
+    return key, evaluate_point(source, point, verify_seed)
+
+
+@dataclass
+class SweepStats:
+    """Where each record of one sweep came from, and how long it took."""
+
+    total: int = 0          #: points requested (duplicates included)
+    unique: int = 0         #: distinct (source, point) keys
+    cached: int = 0         #: unique points served from the cache
+    evaluated: int = 0      #: unique points actually mapped
+    failed: int = 0         #: unique points whose record is not ok
+    workers: int = 1        #: pool size used (1 = in-process serial)
+    elapsed: float = 0.0    #: wall-clock seconds for the whole sweep
+
+    def summary(self) -> str:
+        rate = self.cached / self.unique if self.unique else 0.0
+        return (f"{self.total} points ({self.unique} unique): "
+                f"{self.cached} cached ({rate:.0%}), "
+                f"{self.evaluated} evaluated on {self.workers} "
+                f"worker(s), {self.failed} failed, "
+                f"{self.elapsed:.2f}s")
+
+
+@dataclass
+class SweepResult:
+    """Aligned (point, record) pairs plus provenance stats."""
+
+    points: list = field(default_factory=list)
+    records: list = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def ok_records(self) -> list[dict]:
+        return [record for record in self.records if record["ok"]]
+
+    def failures(self) -> list[dict]:
+        return [record for record in self.records if not record["ok"]]
+
+    def rows(self, metric_columns: Sequence[str] = (
+            "cycles", "alu_util", "locality", "energy")) -> list[dict]:
+        """Flat dict rows (config + chosen metrics) for
+        :func:`repro.eval.report.render_table`.
+
+        Every row carries the same column set — the union of config
+        dimensions, the metric columns, and (when any point failed)
+        an error column — so the rendered table is stable no matter
+        which record happens to come first.
+        """
+        config_columns: list[str] = []
+        for record in self.records:
+            for name in record["config"]:
+                if name not in config_columns:
+                    config_columns.append(name)
+        any_failed = any(not record["ok"] for record in self.records)
+        rows = []
+        for record in self.records:
+            row = {name: record["config"].get(name, "")
+                   for name in config_columns}
+            for column in metric_columns:
+                row[column] = (record["metrics"].get(column, "")
+                               if record["ok"] else "")
+            if any_failed:
+                row["error"] = ("" if record["ok"]
+                                else record["error"])
+            rows.append(row)
+        return rows
+
+
+def _resolve_cache(cache) -> ResultCache | None:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _resolve_workers(workers: int | None, n_jobs: int) -> int:
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, n_jobs)) if n_jobs else 1
+
+
+def run_sweep(source: str, points: Iterable[DesignPoint], *,
+              workers: int | None = None, cache=None,
+              chunksize: int | None = None,
+              verify_seed: int | None = None) -> SweepResult:
+    """Evaluate every design point of *points* against *source*.
+
+    Parameters
+    ----------
+    workers:
+        Pool processes; ``None`` uses ``os.cpu_count()``.  ``1`` (or a
+        single uncached point) evaluates in-process.
+    cache:
+        ``None``, a directory path, or a :class:`ResultCache`.  Hits
+        skip evaluation; fresh records are written back.
+    chunksize:
+        Points per pool task (default: balanced for ~4 chunks per
+        worker).
+    verify_seed:
+        When set, every mapping is verified against the interpreter.
+        The seed is deliberately not part of the cache key — the flow
+        is deterministic, so a record once *verified* holds for any
+        seed — but cache hits that were never verified at all are
+        re-evaluated rather than trusted.
+    """
+    started = time.perf_counter()
+    points = list(points)
+    cache = _resolve_cache(cache)
+    stats = SweepStats(total=len(points))
+
+    by_key: dict[str, dict | None] = {}
+    key_order: list[str] = []
+    point_keys: list[str] = []
+    key_points: dict[str, DesignPoint] = {}
+    for point in points:
+        key = cache_key(source, point)
+        point_keys.append(key)
+        if key not in by_key:
+            by_key[key] = None
+            key_order.append(key)
+            key_points[key] = point
+    stats.unique = len(key_order)
+
+    pending: list[str] = []
+    for key in key_order:
+        record = cache.get(key) if cache is not None else None
+        if record is not None and verify_seed is not None \
+                and record.get("ok") and not record.get("verified"):
+            # The cached record was computed by a sweep that never
+            # verified; this sweep promises verification, so the hit
+            # does not satisfy it — re-evaluate (and re-cache with
+            # the verified flag).
+            cache.downgrade_hit()
+            record = None
+        if record is not None:
+            by_key[key] = record
+            stats.cached += 1
+        else:
+            pending.append(key)
+
+    workers = _resolve_workers(workers, len(pending))
+    stats.workers = workers
+    if pending:
+        jobs = [(key, source, key_points[key].to_dict(), verify_seed)
+                for key in pending]
+        if workers > 1:
+            if chunksize is None:
+                chunksize = max(1, len(jobs) // (workers * 4))
+            context = multiprocessing.get_context(
+                "fork" if "fork" in
+                multiprocessing.get_all_start_methods() else None)
+            with context.Pool(processes=workers) as pool:
+                outcomes = pool.imap_unordered(_worker, jobs,
+                                               chunksize=chunksize)
+                for key, record in outcomes:
+                    by_key[key] = record
+        else:
+            for job in jobs:
+                key, record = _worker(job)
+                by_key[key] = record
+        stats.evaluated = len(jobs)
+        if cache is not None:
+            # Only successful records are memoised: a failure may be
+            # transient (resource exhaustion in a worker), and caching
+            # it would poison the (source, point) key for every later
+            # sweep sharing this cache directory.
+            for key in pending:
+                if by_key[key]["ok"]:
+                    cache.put(key, by_key[key])
+
+    records = [by_key[key] for key in point_keys]
+    stats.failed = sum(1 for key in key_order
+                       if not by_key[key]["ok"])
+    stats.elapsed = time.perf_counter() - started
+    return SweepResult(points=points, records=records, stats=stats)

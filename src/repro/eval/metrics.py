@@ -11,6 +11,15 @@ from __future__ import annotations
 from repro.arch.energy import EnergyModel, measure_energy
 from repro.core.pipeline import MappingReport
 
+#: Keys of the dict :func:`mapping_metrics` returns — the stable
+#: reporting schema sweep objectives are validated against.
+METRIC_FIELDS = (
+    "tasks", "clusters", "critical_path", "levels",
+    "inserted_levels", "cycles", "stalls", "moves", "alu_util",
+    "speedup", "reuse", "bypass", "mem_moves", "locality",
+    "energy", "energy_per_op",
+)
+
 
 def mapping_metrics(report: MappingReport,
                     energy_model: EnergyModel | None = None) -> dict:

@@ -81,31 +81,41 @@ class PruneLoopSlots(Transform):
     def _dead_slots(self, graph: Graph, loop: Node, names: list,
                     body: Graph, uses) -> set:
         """Slots whose loop output is unused and whose removal cannot
-        change the surviving outputs or the condition."""
+        change the surviving outputs or the condition.
+
+        Liveness is a fixpoint: a slot kept alive (used output, or its
+        INPUT marker read by a live cone) keeps its own next-value
+        OUTPUT in the body, whose cone may read further INPUT markers
+        — e.g. a store chain reading ``g2`` whose recurrence reads
+        ``g1`` must keep both carried, even though neither loop output
+        has parent users.
+        """
         outputs = Graph.body_outputs(body)
         unused = {name for index, name in enumerate(names)
                   if not uses.get(loop.out(index))}
         if not unused:
             return set()
-        # A candidate slot survives only if no *live* output (cond or
-        # kept slot) depends on its INPUT marker.
         inputs_by_slot = Graph.body_inputs(body)
-        live_roots = [outputs[COND_SLOT]] if COND_SLOT in outputs else []
-        live_roots += [outputs[name] for name in names
-                       if name not in unused and name in outputs]
-        reachable: set[int] = set()
-        stack = [root.id for root in live_roots]
-        while stack:
-            node_id = stack.pop()
-            if node_id in reachable:
-                continue
-            reachable.add(node_id)
-            for ref in body.node(node_id).inputs:
-                stack.append(ref[0])
-        dead = set()
-        for name in unused:
-            marker = inputs_by_slot.get(name)
-            if marker is not None and marker.id in reachable:
-                continue  # a live computation still reads this slot
-            dead.add(name)
-        return dead
+        live_slots = set(names) - unused
+        while True:
+            live_roots = ([outputs[COND_SLOT]]
+                          if COND_SLOT in outputs else [])
+            live_roots += [outputs[name] for name in names
+                           if name in live_slots and name in outputs]
+            reachable: set[int] = set()
+            stack = [root.id for root in live_roots]
+            while stack:
+                node_id = stack.pop()
+                if node_id in reachable:
+                    continue
+                reachable.add(node_id)
+                for ref in body.node(node_id).inputs:
+                    stack.append(ref[0])
+            newly_live = set()
+            for name in unused - live_slots:
+                marker = inputs_by_slot.get(name)
+                if marker is not None and marker.id in reachable:
+                    newly_live.add(name)  # a live computation reads it
+            if not newly_live:
+                return unused - live_slots
+            live_slots |= newly_live

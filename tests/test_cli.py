@@ -1,5 +1,7 @@
 """Unit tests for the fpfa-map command-line driver."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -82,3 +84,152 @@ def test_gantt_flag(fir_file, capsys):
 def test_balance_flag(fir_file, capsys):
     main([fir_file, "--balance", "--verify-seed", "1"])
     assert "verified" in capsys.readouterr().out
+
+
+def test_legacy_file_named_map(tmp_path, monkeypatch, capsys):
+    # A lone argument naming an existing file maps it even when the
+    # file is called `map`.
+    (tmp_path / "map").write_text(FIR_SOURCE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["map"]) == 0
+    assert "clusters" in capsys.readouterr().out
+
+
+# -- subcommands ----------------------------------------------------------
+
+def test_explicit_map_subcommand(fir_file, capsys):
+    assert main(["map", fir_file]) == 0
+    out = capsys.readouterr().out
+    assert "clusters" in out and "locality" in out
+
+
+def test_map_json_file(fir_file, tmp_path, capsys):
+    json_path = tmp_path / "metrics.json"
+    main(["map", fir_file, "--json", str(json_path),
+          "--verify-seed", "2"])
+    payload = json.loads(json_path.read_text())
+    assert payload["config"] == {"n_pps": 5, "n_buses": 10,
+                                 "library": "two-level",
+                                 "balance": False}
+    assert payload["metrics"]["cycles"] > 0
+    assert payload["verified"] is True
+
+
+def test_map_json_stdout_legacy_form(fir_file, capsys):
+    main([fir_file, "--json", "-"])
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{"):])
+    assert payload["verified"] is None
+    assert "locality" in payload["metrics"]
+
+
+def test_explore_kernel(capsys):
+    assert main(["explore", "--kernel", "fir5", "--pps", "1,2",
+                 "--buses", "4,10", "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "design space: 4 points" in out
+    assert "Pareto frontier" in out
+    assert "best (" in out
+
+
+def test_explore_file_with_sweep_and_table(fir_file, capsys):
+    assert main(["explore", fir_file, "--sweep", "n_pps=1,2",
+                 "--sweep", "balance=off,on", "--workers", "1",
+                 "--table"]) == 0
+    out = capsys.readouterr().out
+    assert "design space: 4 points" in out
+    assert "All evaluated points" in out
+    assert "balance" in out
+
+
+def test_explore_json(fir_file, tmp_path, capsys):
+    json_path = tmp_path / "sweep.json"
+    main(["explore", fir_file, "--pps", "1,2", "--workers", "1",
+          "--objectives", "cycles,energy",
+          "--json", str(json_path)])
+    payload = json.loads(json_path.read_text())
+    assert payload["strategy"] == "exhaustive"
+    assert payload["objectives"] == ["cycles", "energy"]
+    assert len(payload["records"]) == 2
+    assert payload["best"]["ok"] is True
+    assert payload["stats"]["unique"] == 2
+    assert payload["frontier"]
+
+
+def test_explore_random_strategy(capsys):
+    assert main(["explore", "--kernel", "fir5",
+                 "--pps", "1,2,3,4,5", "--buses", "2,4,10",
+                 "--strategy", "random", "--samples", "4",
+                 "--seed", "7", "--workers", "1"]) == 0
+    assert "4 points (4 unique)" in capsys.readouterr().out
+
+
+def test_explore_hill_strategy(capsys):
+    assert main(["explore", "--kernel", "fir5",
+                 "--pps", "1,2,3,5", "--buses", "4,10",
+                 "--strategy", "hill", "--restarts", "1",
+                 "--workers", "1"]) == 0
+    assert "Pareto frontier" in capsys.readouterr().out
+
+
+def test_explore_rejects_unknown_objective_before_sweeping(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["explore", "--kernel", "fir5",
+              "--objectives", "cylces"])
+    assert "objective 'cylces'" in str(excinfo.value)
+
+
+def test_explore_rejects_unswept_tile_field_objective(capsys):
+    # memory_words is a real TileParams field, but records only carry
+    # swept dimensions — so it cannot be resolved in this space.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["explore", "--kernel", "fir5", "--pps", "1,2",
+              "--objectives", "memory_words"])
+    assert "memory_words" in str(excinfo.value)
+
+
+def test_explore_accepts_swept_tile_field_objective(capsys):
+    assert main(["explore", "--kernel", "fir5", "--pps", "1,2",
+                 "--objectives", "cycles,n_pps",
+                 "--workers", "1"]) == 0
+    assert "best (" in capsys.readouterr().out
+
+
+def test_explore_rejects_empty_objectives(capsys):
+    with pytest.raises(SystemExit):
+        main(["explore", "--kernel", "fir5", "--objectives", ","])
+
+
+def test_explore_rejects_conflicting_shortcut_and_sweep(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["explore", "--kernel", "fir5",
+              "--sweep", "n_pps=1,2,3,4", "--pps", "5"])
+    assert "conflicts" in str(excinfo.value)
+
+
+def test_explore_rejects_bad_sweep_spec(capsys):
+    with pytest.raises(SystemExit):
+        main(["explore", "--kernel", "fir5", "--sweep", "n_pps"])
+
+
+def test_explore_needs_a_workload(capsys):
+    with pytest.raises(SystemExit):
+        main(["explore", "--pps", "1,2"])
+
+
+def test_explore_rejects_file_and_kernel_together(fir_file, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["explore", fir_file, "--kernel", "fir16"])
+    assert "not both" in str(excinfo.value)
+
+
+def test_explore_exit_code_nonzero_without_feasible_point(capsys):
+    assert main(["explore", "--kernel", "fir5",
+                 "--sweep", "n_pps=0", "--workers", "1"]) == 1
+    assert "no feasible point" in capsys.readouterr().out
+
+
+def test_explore_rejects_typoed_sweep_value_before_running(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["explore", "--kernel", "fir5", "--pps", "1,x"])
+    assert "takes integers" in str(excinfo.value)

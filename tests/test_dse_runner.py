@@ -1,0 +1,154 @@
+"""Integration tests for the sweep runner: parallelism, fault
+tolerance, and the persistent cache's speed and reproducibility
+guarantees (the ISSUE's acceptance criteria)."""
+
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.dse.cache import ResultCache, cache_key
+from repro.dse.runner import evaluate_point, run_sweep
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.eval.kernels import get_kernel
+
+FIR5 = get_kernel("fir5").source
+
+
+class TestRunSweep:
+    def test_serial_sweep_without_cache(self):
+        points = DesignSpace({"n_pps": [1, 2, 3]}).grid()
+        result = run_sweep(FIR5, points, workers=1)
+        assert result.stats.evaluated == 3
+        assert result.stats.cached == 0
+        assert [r["ok"] for r in result.records] == [True] * 3
+
+    def test_duplicate_points_are_evaluated_once(self):
+        point = DesignPoint.make({"n_pps": 2})
+        result = run_sweep(FIR5, [point, point, point], workers=1)
+        assert result.stats.total == 3
+        assert result.stats.unique == 1
+        assert result.stats.evaluated == 1
+        assert result.records[0] is result.records[2]
+
+    def test_per_point_failures_do_not_kill_the_sweep(self):
+        good = DesignPoint.make({"n_pps": 2})
+        bad = DesignPoint(tile=(("n_buses", 0),))
+        result = run_sweep(FIR5, [good, bad], workers=1)
+        assert result.stats.failed == 1
+        assert len(result.ok_records()) == 1
+        assert "n_buses" in result.failures()[0]["error"]
+
+    def test_rows_flatten_config_and_metrics(self):
+        points = [DesignPoint.make({"n_pps": 2}),
+                  DesignPoint(tile=(("n_pps", 0),))]
+        rows = run_sweep(FIR5, points, workers=1).rows(("cycles",))
+        assert rows[0]["n_pps"] == 2 and rows[0]["cycles"] > 0
+        assert "n_pps" in rows[1]["error"]
+        # Column set is identical regardless of record order, so the
+        # rendered table never drops metric or error columns.
+        assert list(rows[0]) == list(rows[1])
+        reversed_rows = run_sweep(
+            FIR5, points[::-1], workers=1).rows(("cycles",))
+        assert list(reversed_rows[0]) == list(rows[0])
+        assert reversed_rows[1]["cycles"] == rows[0]["cycles"]
+
+    def test_pool_matches_serial_results(self):
+        points = DesignSpace({"n_pps": [1, 2, 3, 5],
+                              "n_buses": [4, 10]}).grid()
+        serial = run_sweep(FIR5, points, workers=1)
+        pooled = run_sweep(FIR5, points, workers=2)
+        assert pooled.stats.workers == 2
+        assert pooled.records == serial.records
+
+
+class TestCacheAcceptance:
+    """The ISSUE's hard acceptance criteria, asserted end to end."""
+
+    def test_explore_100_configs_parallel_then_5x_faster_cached(
+            self, tmp_path, capsys):
+        """>= 100 configurations on multiple worker processes with a
+        Pareto table, through the real CLI; an identical second run is
+        served from the cache at least 5x faster."""
+        cache_dir = str(tmp_path / "dse-cache")
+        argv = ["explore", "--kernel", "fir16",
+                "--pps", "1,2,3,4,5,6,7,8",
+                "--buses", "2,4,6,8,10",
+                "--libraries", "single-op,two-level,mac",
+                "--workers", "2", "--cache", cache_dir]
+
+        started = time.perf_counter()
+        assert main(argv) == 0
+        cold_elapsed = time.perf_counter() - started
+        cold_out = capsys.readouterr().out
+        assert "design space: 120 points" in cold_out
+        assert "120 evaluated on 2 worker(s)" in cold_out
+        assert "Pareto frontier" in cold_out
+        assert "best (" in cold_out
+
+        started = time.perf_counter()
+        assert main(argv) == 0
+        warm_elapsed = time.perf_counter() - started
+        warm_out = capsys.readouterr().out
+        assert "120 cached (100%)" in warm_out
+        assert "0 evaluated" in warm_out
+        assert warm_elapsed * 5 <= cold_elapsed, (
+            f"cached run not 5x faster: cold {cold_elapsed:.3f}s, "
+            f"warm {warm_elapsed:.3f}s")
+        # Both runs report the identical frontier and best point.
+        assert warm_out.split("Pareto frontier", 1)[1] == \
+            cold_out.split("Pareto frontier", 1)[1]
+
+    def test_cached_record_identical_to_fresh_computation(
+            self, tmp_path):
+        """Reproducibility: for the same (source, config) hash the
+        cached record equals a from-scratch evaluation, metric for
+        metric."""
+        space = DesignSpace({"n_pps": [1, 3, 5],
+                             "n_buses": [4, 10],
+                             "library": ["two-level", "mac"]})
+        cache = ResultCache(tmp_path)
+        swept = run_sweep(FIR5, space.grid(), workers=2, cache=cache)
+        assert swept.stats.evaluated == space.size
+        for point in space.grid():
+            fresh = evaluate_point(FIR5, point)
+            cached = cache.get(cache_key(FIR5, point))
+            assert cached == fresh, point.label()
+            assert cached["metrics"] == fresh["metrics"]
+
+    def test_failures_are_not_cached(self, tmp_path):
+        """A failure may be transient, so it must be retried by the
+        next sweep rather than poisoning the cache key."""
+        cache = ResultCache(tmp_path)
+        bad = DesignPoint(tile=(("n_pps", 0),))
+        first = run_sweep(FIR5, [bad], workers=1, cache=cache)
+        assert first.stats.failed == 1
+        assert len(cache) == 0
+        second = run_sweep(FIR5, [bad], workers=1, cache=cache)
+        assert second.stats.cached == 0
+        assert second.stats.evaluated == 1
+
+    def test_unverified_cache_hits_reverified_on_demand(self,
+                                                        tmp_path):
+        """A sweep that promises verification must not trust records
+        cached by a sweep that never verified."""
+        cache = ResultCache(tmp_path)
+        points = DesignSpace({"n_pps": [1, 2]}).grid()
+        run_sweep(FIR5, points, workers=1, cache=cache)
+        checked = run_sweep(FIR5, points, workers=1, cache=cache,
+                            verify_seed=0)
+        assert checked.stats.evaluated == 2  # hits not trusted
+        assert all(r["verified"] for r in checked.records)
+        assert cache.hits == 0  # discarded hits count as misses
+        again = run_sweep(FIR5, points, workers=1, cache=cache,
+                          verify_seed=5)
+        assert again.stats.cached == 2  # verified once is enough
+
+    def test_overlapping_sweep_reuses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = DesignSpace({"n_pps": [1, 2, 3]}).grid()
+        wider = DesignSpace({"n_pps": [1, 2, 3, 5, 8]}).grid()
+        run_sweep(FIR5, first, workers=1, cache=cache)
+        result = run_sweep(FIR5, wider, workers=1, cache=cache)
+        assert result.stats.cached == 3
+        assert result.stats.evaluated == 2

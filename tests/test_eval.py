@@ -50,6 +50,18 @@ class TestRandomDag:
         assert {t.id: str(t) for t in first.tasks.values()} == \
             {t.id: str(t) for t in second.tasks.values()}
 
+    def test_same_seed_identical_including_stores(self):
+        first = random_task_graph(40, seed=21)
+        second = random_task_graph(40, seed=21)
+        assert [str(store) for store in first.stores] == \
+            [str(store) for store in second.stores]
+
+    def test_different_seeds_differ(self):
+        first = random_task_graph(40, seed=1)
+        second = random_task_graph(40, seed=2)
+        assert {t.id: str(t) for t in first.tasks.values()} != \
+            {t.id: str(t) for t in second.tasks.values()}
+
     def test_size_exact(self):
         for n in (1, 7, 50):
             assert random_task_graph(n, seed=0).n_tasks == n
@@ -74,6 +86,11 @@ class TestRandomDag:
 
 
 class TestMetrics:
+    def test_metric_fields_match_schema(self):
+        from repro.eval.metrics import METRIC_FIELDS
+        report = map_source(get_kernel("fir5").source)
+        assert set(mapping_metrics(report)) == set(METRIC_FIELDS)
+
     def test_metric_keys(self):
         report = map_source(get_kernel("fir5").source)
         metrics = mapping_metrics(report)
@@ -114,3 +131,29 @@ class TestRenderTable:
     def test_float_formatting(self):
         table = render_table([{"v": 0.123456}])
         assert "0.123" in table
+
+    def test_empty_without_title(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_mixed_numeric_and_string_columns(self):
+        table = render_table([
+            {"library": "two-level", "cycles": 5},
+            {"library": "mac", "cycles": 123},
+        ])
+        lines = table.splitlines()
+        # Strings left-aligned, numbers right-aligned, widths shared.
+        assert lines[2].startswith("two-level  ")
+        assert lines[3].startswith("mac        ")
+        assert lines[2].endswith("  5")
+        assert lines[3].endswith("123")
+
+    def test_missing_keys_render_blank(self):
+        table = render_table([{"a": 1, "b": 2}, {"a": 3}],
+                             columns=["a", "b"])
+        last = table.splitlines()[-1]
+        assert "3" in last
+        assert "None" not in table
+
+    def test_ragged_rows_use_first_row_columns(self):
+        table = render_table([{"a": 1}, {"a": 2, "extra": 9}])
+        assert "extra" not in table

@@ -1,5 +1,6 @@
 """Smoke tests: every example script runs and prints what it promises."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,6 +8,7 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+SRC_DIR = pathlib.Path(__file__).parent.parent / "src"
 
 EXPECTED_MARKERS = {
     "quickstart.py": ["verified execution", "sum = 35"],
@@ -15,14 +17,27 @@ EXPECTED_MARKERS = {
     "custom_architecture.py": ["Sweep: processing parts",
                                "Sweep: crossbar buses"],
     "visual_inspection.py": ["xbar |", "reassociation"],
+    "dse_explore.py": ["cold sweep", "warm sweep", "Pareto frontier",
+                       "hill-climb"],
 }
+
+
+def _example_env() -> dict:
+    """The examples import repro from the source tree; the path must
+    stay absolute because the scripts run with an arbitrary cwd."""
+    env = dict(os.environ)
+    extra = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (str(SRC_DIR.resolve()) +
+                         (os.pathsep + extra if extra else ""))
+    return env
 
 
 @pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
 def test_example_runs(script, tmp_path):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script)],
-        capture_output=True, text=True, timeout=300, cwd=tmp_path)
+        capture_output=True, text=True, timeout=300, cwd=tmp_path,
+        env=_example_env())
     assert result.returncode == 0, result.stderr
     for marker in EXPECTED_MARKERS[script]:
         assert marker in result.stdout, (script, marker)

@@ -157,6 +157,30 @@ def test_simplification_preserves_behaviour(program_seed, state_seed):
     assert actual.state == expected.state, source
 
 
+def test_prune_keeps_slots_feeding_store_recurrence():
+    """Regression (hypothesis seed 36): g1 is read-only and g2 is
+    overwritten after the loop, so neither loop output has parent
+    users — but the store chain reads g2 and g2's recurrence reads
+    g1, so pruning either slot orphans a live INPUT marker (slot
+    liveness is a fixpoint, not a single pass)."""
+    source = """
+    void main() {
+      g2 = 1;
+      for (int i0 = 0; i0 < 3; i0++) {
+        arr0[i0] = g2;
+        g2 = g2 + g1;
+      }
+      g2 = -1;
+    }
+    """
+    report = map_graph(build_main_cdfg(source))
+    state = (StateSpace({"g1": 3})
+             .store_array("arr0", [0] * 3))
+    final = verify_mapping(report, state)
+    assert [final.fetch(Address("arr0", i)) for i in range(3)] == \
+        [1, 4, 7]
+
+
 @settings(max_examples=25, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(program_seed=st.integers(0, 10_000),
