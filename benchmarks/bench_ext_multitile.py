@@ -1,0 +1,84 @@
+"""EXT-H — multi-tile scaling: partitioning kernels over a tile array.
+
+The paper's FPFA is an array of tiles but its flow targets one tile;
+the multi-tile stage (:mod:`repro.multitile`) opens the array axis.
+This experiment sweeps tile count (1, 2, 4) for narrow 2-PP tiles
+across the kernel subset, in the crossbar and mesh interconnects.
+
+Findings asserted and recorded:
+
+* a 1-tile array is the identity — makespan equals the single-tile
+  level count, with zero cut and zero transfer energy;
+* every cut edge is paid for: transfer energy grows monotonically
+  with the hop count, and mesh routes are never shorter than the
+  array crossbar's single hop;
+* for parallel kernels on narrow tiles, at least one multi-tile
+  configuration beats the single tile on makespan — the payoff that
+  motivates the array in the first place.
+"""
+
+from conftest import write_result
+
+from repro.arch.params import TileParams
+from repro.arch.tilearray import TileArrayParams
+from repro.core.pipeline import map_source
+from repro.eval.kernels import get_kernel
+from repro.eval.metrics import multitile_metrics
+from repro.eval.report import render_table
+
+TILE_COUNTS = (1, 2, 4)
+KERNEL_NAMES = ("fir16", "matmul3", "fft4", "cmul4")
+NARROW = TileParams(n_pps=2, n_buses=4)
+
+
+def sweep():
+    rows = []
+    for name in KERNEL_NAMES:
+        kernel = get_kernel(name)
+        row = {"kernel": name}
+        for n_tiles in TILE_COUNTS:
+            for topology in ("crossbar", "mesh"):
+                report = map_source(
+                    kernel.source, NARROW,
+                    array=TileArrayParams(n_tiles=n_tiles,
+                                          topology=topology))
+                metrics = multitile_metrics(report)
+                tag = {"crossbar": "xb", "mesh": "mesh"}[topology]
+                row[f"{tag}@{n_tiles}"] = metrics["makespan"]
+                row[f"hops/{tag}@{n_tiles}"] = \
+                    metrics["transfer_hops"]
+        rows.append(row)
+    return rows
+
+
+def test_ext_h_multitile_scaling(benchmark):
+    kernel = get_kernel("fir16")
+    benchmark(map_source, kernel.source, NARROW,
+              array=TileArrayParams(n_tiles=4, topology="mesh"))
+
+    rows = sweep()
+    for row in rows:
+        # 1-tile identity: no transfers in either topology, and the
+        # makespan does not depend on the (unused) interconnect.
+        assert row["hops/xb@1"] == row["hops/mesh@1"] == 0, row
+        assert row["xb@1"] == row["mesh@1"], row
+        for n_tiles in TILE_COUNTS[1:]:
+            # mesh routes are never shorter than one crossbar hop
+            assert row[f"hops/mesh@{n_tiles}"] >= \
+                row[f"hops/xb@{n_tiles}"], row
+            assert row[f"mesh@{n_tiles}"] >= row[f"xb@{n_tiles}"], row
+    # the array pays off somewhere: narrow tiles leave parallelism on
+    # the table that a second tile buys back
+    assert any(row[f"xb@{n}"] < row["xb@1"]
+               for row in rows for n in TILE_COUNTS[1:]), rows
+
+    table = render_table(
+        rows,
+        columns=["kernel"]
+        + [f"xb@{n}" for n in TILE_COUNTS]
+        + [f"mesh@{n}" for n in TILE_COUNTS]
+        + [f"hops/xb@{n}" for n in TILE_COUNTS[1:]]
+        + [f"hops/mesh@{n}" for n in TILE_COUNTS[1:]],
+        title="EXT-H — array makespan / transfer hops vs tile count "
+              "(2-PP tiles; xb: array crossbar, mesh: 2D mesh)")
+    write_result("ext_h_multitile", table)

@@ -3,20 +3,48 @@
 Each benchmark regenerates one paper artifact (figure) or one extended
 experiment (EXT-*) from DESIGN.md.  Besides timing the underlying
 algorithm with pytest-benchmark, every bench *asserts* the reproduced
-shape and writes its result table to ``benchmarks/results/<exp>.txt``
-so the numbers recorded in EXPERIMENTS.md can be regenerated at will.
+shape and writes its result table through :func:`write_result`.
+
+Result tables land in ``benchmarks/results/`` by default — a
+generated-output directory that is gitignored, never committed.  Run
+with ``--out DIR`` to write somewhere else explicitly::
+
+    pytest benchmarks/bench_ext_dse.py --out /tmp/bench-run-42
 """
 
 from __future__ import annotations
 
 import pathlib
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+#: Default output directory; ``--out`` overrides it per run.
+DEFAULT_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_results_dir = DEFAULT_RESULTS_DIR
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--out", default=None, metavar="DIR",
+        help="directory for benchmark result tables "
+             "(default: benchmarks/results/)")
+
+
+def pytest_configure(config):
+    global _results_dir
+    out = config.getoption("--out", default=None)
+    if out:
+        _results_dir = pathlib.Path(out)
+
+
+def results_dir() -> pathlib.Path:
+    """The directory this run's result tables are written to."""
+    return _results_dir
 
 
 def write_result(name: str, text: str) -> pathlib.Path:
-    """Persist one experiment's output table."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
+    """Persist one experiment's output table under ``results_dir()``."""
+    directory = results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     return path

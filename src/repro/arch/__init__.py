@@ -16,6 +16,7 @@ output).
 
 from repro.arch.params import TileParams
 from repro.arch.templates import ClusterShape, TemplateLibrary
+from repro.arch.tilearray import TOPOLOGIES, TileArrayParams
 from repro.arch.control import (
     AluConfig,
     Cycle,
@@ -48,7 +49,9 @@ __all__ = [
     "RegLoc",
     "SimulationError",
     "Source",
+    "TOPOLOGIES",
     "TemplateLibrary",
+    "TileArrayParams",
     "TileParams",
     "TileProgram",
     "TileSimulator",

@@ -5,13 +5,18 @@ Two subcommands::
     fpfa-map map program.c [--listing] [--schedule] [--cdfg]
              [--dot out.dot] [--pps N] [--buses N]
              [--library two-level|single-op|mac] [--balance]
+             [--tiles N] [--topology crossbar|ring|mesh]
+             [--hop-latency N] [--hop-energy E] [--link-bandwidth N]
              [--verify-seed SEED] [--json out.json]
 
     fpfa-map explore program.c [--kernel NAME] [--sweep DIM=V1,V2,..]
              [--pps LIST] [--buses LIST] [--libraries LIST]
+             [--tiles LIST] [--topologies LIST]
              [--balance off|on|both] [--strategy exhaustive|random|hill]
              [--samples N] [--workers N] [--cache DIR]
              [--objectives LIST] [--verify-seed SEED] [--json out.json]
+
+(See ``docs/cli.md`` for the full flag reference.)
 
 ``map`` preserves the original single-point behaviour (and plain
 ``fpfa-map program.c`` still works — a missing subcommand defaults to
@@ -36,6 +41,7 @@ import sys
 
 from repro.arch.params import TileParams
 from repro.arch.templates import TemplateLibrary
+from repro.arch.tilearray import TOPOLOGIES, TileArrayParams
 from repro.cdfg.builder import build_main_cdfg
 from repro.cdfg.dot import to_dot
 from repro.core.pipeline import (
@@ -43,7 +49,11 @@ from repro.core.pipeline import (
     random_input_state,
     verify_mapping,
 )
-from repro.eval.metrics import METRIC_FIELDS, mapping_metrics
+from repro.eval.metrics import (
+    METRIC_FIELDS,
+    MULTITILE_METRIC_FIELDS,
+    mapping_metrics,
+)
 
 SUBCOMMANDS = ("map", "explore")
 
@@ -64,6 +74,26 @@ def _add_map_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--balance", action="store_true",
                         help="reassociate accumulation chains into "
                              "balanced trees (shorter critical path)")
+    parser.add_argument("--tiles", type=int, default=None, metavar="N",
+                        help="run the multi-tile stage: partition the "
+                             "clustered graph over N tiles (--tiles 1 "
+                             "keeps metrics identical to the "
+                             "single-tile flow)")
+    parser.add_argument("--topology", default="crossbar",
+                        choices=TOPOLOGIES,
+                        help="tile-array interconnect (default "
+                             "crossbar)")
+    parser.add_argument("--hop-latency", type=int, default=1,
+                        metavar="N",
+                        help="scheduling steps per link hop "
+                             "(default 1)")
+    parser.add_argument("--hop-energy", type=float, default=6.0,
+                        metavar="E",
+                        help="energy units per word per hop "
+                             "(default 6)")
+    parser.add_argument("--link-bandwidth", type=int, default=1,
+                        metavar="N",
+                        help="words per link per step (default 1)")
     parser.add_argument("--listing", action="store_true",
                         help="print the per-cycle program")
     parser.add_argument("--schedule", action="store_true",
@@ -103,6 +133,13 @@ def _add_explore_arguments(parser: argparse.ArgumentParser) -> None:
                         help="shortcut for --sweep n_buses=LIST")
     parser.add_argument("--libraries", metavar="LIST",
                         help="shortcut for --sweep library=LIST")
+    parser.add_argument("--tiles", metavar="LIST",
+                        help="shortcut for --sweep tiles=LIST "
+                             "(sweeps the multi-tile partitioning "
+                             "stage over tile counts)")
+    parser.add_argument("--topologies", metavar="LIST",
+                        help="shortcut for --sweep topology=LIST "
+                             "(crossbar, ring, mesh)")
     parser.add_argument("--balance", choices=("off", "on", "both"),
                         default=None,
                         help="sweep the accumulation-balancing "
@@ -183,12 +220,22 @@ def _dump_json(payload: dict, path: str) -> None:
 
 def _cmd_map(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
-    params = TileParams(n_pps=args.pps, n_buses=args.buses)
+    try:
+        params = TileParams(n_pps=args.pps, n_buses=args.buses)
+        array = None
+        if args.tiles is not None:
+            array = TileArrayParams(
+                n_tiles=args.tiles, topology=args.topology,
+                hop_latency=args.hop_latency,
+                hop_energy=args.hop_energy,
+                link_bandwidth=args.link_bandwidth)
+    except ValueError as error:
+        raise SystemExit(f"invalid configuration: {error}")
     library = TemplateLibrary.stock()[args.library]
     graph = build_main_cdfg(source)
     original_stats = graph.stats()
     report = map_graph(graph, params, library, source=source,
-                       balance=args.balance)
+                       balance=args.balance, array=array)
 
     if args.cdfg:
         print(f"CDFG before simplification: {original_stats}")
@@ -200,9 +247,22 @@ def _cmd_map(args: argparse.Namespace) -> int:
     metrics = mapping_metrics(report)
     print(f"locality: {metrics['locality']:.0%}  "
           f"energy proxy: {metrics['energy']}")
+    multitile = None
+    if report.multitile is not None:
+        from repro.eval.metrics import multitile_metrics
+        from repro.eval.report import multitile_table
+        multitile = multitile_metrics(report)
+        print()
+        print(report.multitile.summary())
+        print()
+        print(multitile_table(report.multitile))
     if args.schedule:
         print()
         print(report.schedule.table())
+        if report.multitile is not None and \
+                report.multitile.n_tiles > 1:
+            print()
+            print(report.multitile.schedule.table())
     if args.gantt:
         from repro.viz import memory_map, program_gantt, schedule_gantt
         print()
@@ -226,14 +286,23 @@ def _cmd_map(args: argparse.Namespace) -> int:
         print(f"\nverified against the interpreter "
               f"(seed {args.verify_seed})")
     if args.json_path:
-        _dump_json({
+        config = {"n_pps": args.pps, "n_buses": args.buses,
+                  "library": args.library, "balance": args.balance}
+        if array is not None:
+            config.update({"tiles": array.n_tiles,
+                           "topology": array.topology,
+                           "hop_latency": array.hop_latency,
+                           "hop_energy": array.hop_energy,
+                           "link_bandwidth": array.link_bandwidth})
+        payload = {
             "file": args.file,
-            "config": {"n_pps": args.pps, "n_buses": args.buses,
-                       "library": args.library,
-                       "balance": args.balance},
+            "config": config,
             "metrics": metrics,
             "verified": verified,
-        }, args.json_path)
+        }
+        if multitile is not None:
+            payload["multitile"] = multitile
+        _dump_json(payload, args.json_path)
     return 0
 
 
@@ -286,6 +355,12 @@ def _explore_space(args: argparse.Namespace):
     if args.libraries:
         set_dimension("library", _parse_value_list(args.libraries),
                       "--libraries")
+    if args.tiles:
+        set_dimension("tiles", _parse_value_list(args.tiles),
+                      "--tiles")
+    if args.topologies:
+        set_dimension("topology", _parse_value_list(args.topologies),
+                      "--topologies")
     if args.balance == "both":
         set_dimension("balance", [False, True], "--balance")
     elif args.balance == "on":
@@ -321,13 +396,18 @@ def _check_objectives(objectives: list[str], space) -> None:
     """Reject unresolvable objective names *before* the sweep runs —
     a typo must not surface as a crash after minutes of mapping.
     Tile fields are only resolvable when the space actually sweeps
-    them (records carry swept dimensions in their config)."""
-    from repro.dse.space import TILE_FIELDS
+    them (records carry swept dimensions in their config); multi-tile
+    metrics only exist when the space has an array dimension."""
+    from repro.dse.space import ARRAY_FIELDS, TILE_FIELDS
 
     if not objectives:
         raise SystemExit("--objectives needs at least one name")
     allowed = (set(METRIC_FIELDS) | {"resource"} |
                (set(space.names) & set(TILE_FIELDS)))
+    if set(space.names) & set(ARRAY_FIELDS):
+        # "topology" is categorical — it cannot be minimised.
+        allowed |= set(MULTITILE_METRIC_FIELDS) | \
+            ((set(space.names) & set(ARRAY_FIELDS)) - {"topology"})
     for name in objectives:
         base = name[1:] if name.startswith("-") else name
         if base not in allowed:

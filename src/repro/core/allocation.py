@@ -41,6 +41,20 @@ memory/register-bank ports.  Exactly as in Fig. 5:
 Options ``enable_bypass`` / ``enable_reuse`` / ``stage_window`` exist
 for the locality ablation (EXT-C): disabling them yields the
 memory-only staging baseline.
+
+Invariants
+----------
+* The emitted program respects *every* per-cycle resource limit of
+  :class:`repro.arch.params.TileParams` — bank/memory sizes, bus
+  count, read/write ports; the fully-checked simulator would raise
+  on any violation, and the property tests drive it across random
+  tiles.
+* A value is never read in the cycle it is written (end-of-cycle
+  commit), and a staged operand is staged at most
+  ``stage_window`` cycles ahead.
+* Allocation is deterministic: candidate locations are tried in a
+  fixed order, so the same schedule and params always yield the
+  same program, stall count and move count.
 """
 
 from __future__ import annotations

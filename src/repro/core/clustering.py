@@ -18,6 +18,18 @@ Following Sarkar's reasoning, merging a producer into its consumer
 leaves the ALU data-path, saving a store/load round-trip and a level.
 The number of ALUs is unbounded here; the 5-ALU limit is phase 2's
 problem.
+
+Invariants
+----------
+* Clustering is a **partition** of the task graph: every task is
+  covered by exactly one cluster (``owner`` is total), and a value
+  merged into a cluster has no consumer outside it.
+* The cluster graph is a DAG whenever the task graph is one (merging
+  only follows single-consumer producer edges, which cannot create a
+  cycle) — the property phase 2, the multi-tile partitioner and the
+  array scheduler all rely on.
+* Cluster ids are assigned in reverse topological visit order and
+  are deterministic for a given task graph and template library.
 """
 
 from __future__ import annotations

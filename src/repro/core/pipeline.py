@@ -10,6 +10,23 @@ artifact for inspection, metrics and the experiment harness.
 cycle-level simulator, must leave exactly the values at its output
 addresses that the CDFG interpreter computes for the *original,
 untransformed* graph.
+
+An optional multi-tile stage (``map_graph(..., array=...)``) runs
+after allocation: the clustered graph is partitioned over an FPFA
+tile array and rescheduled with explicit inter-tile transfers
+(:mod:`repro.multitile`), attached as ``report.multitile``.
+
+Invariants
+----------
+* The flow is **deterministic**: the same (source, params, library,
+  options) always produces the same report, program and metrics —
+  the property the DSE result cache is built on.
+* The mapped program is **semantics-preserving**; ``verify_mapping``
+  enforces observational equality against the interpreter on the
+  original graph, not the transformed one.
+* The multi-tile stage is **additive**: it never alters the
+  single-tile artifacts, and with ``n_tiles == 1`` it is the
+  identity (zero transfers, unchanged metrics).
 """
 
 from __future__ import annotations
@@ -19,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.arch.control import TileProgram
 from repro.arch.params import TileParams
+from repro.arch.tilearray import TileArrayParams
 from repro.arch.simulator import simulate
 from repro.arch.templates import TemplateLibrary
 from repro.cdfg.builder import build_main_cdfg
@@ -29,6 +47,7 @@ from repro.core.allocation import AllocationStats, allocate
 from repro.core.clustering import ClusterGraph, cluster_tasks
 from repro.core.scheduling import Schedule, schedule_clusters
 from repro.core.taskgraph import TaskGraph
+from repro.multitile.mapping import MultiTileReport, map_multitile
 from repro.transforms.base import PassStats
 from repro.transforms.pipeline import simplify as run_simplify
 
@@ -52,6 +71,9 @@ class MappingReport:
     alloc_stats: AllocationStats
     params: TileParams
     library: TemplateLibrary
+    #: The optional multi-tile stage outcome (None for the pure
+    #: single-tile flow the paper describes).
+    multitile: MultiTileReport | None = None
 
     # -- headline metrics -------------------------------------------------
 
@@ -105,12 +127,20 @@ def map_graph(graph: Graph, params: TileParams | None = None,
               simplify: bool = True, balance: bool = False,
               source: str | None = None,
               max_loop_iterations: int = 4096,
+              array: TileArrayParams | None = None,
               **alloc_options) -> MappingReport:
     """Map a CDFG onto one FPFA tile; see :class:`MappingReport`.
 
     ``balance=True`` additionally reassociates accumulation chains
     into balanced trees before mapping (shorter critical path; an
     extension beyond the paper — its Fig. 3 keeps the chain form).
+
+    ``array`` additionally runs the multi-tile stage
+    (:func:`repro.multitile.mapping.map_multitile`): the clustered
+    graph is partitioned over ``array.n_tiles`` tiles and rescheduled
+    with explicit inter-tile transfers; the outcome is attached as
+    ``report.multitile``.  The single-tile artifacts and metrics are
+    never altered by this stage — a 1-tile array is the identity.
     """
     params = params or TileParams()
     library = library or TemplateLibrary.two_level()
@@ -137,11 +167,15 @@ def map_graph(graph: Graph, params: TileParams | None = None,
     schedule = schedule_clusters(clustered, n_pps=capacity)
     program, alloc_stats = allocate(clustered, schedule, params,
                                     **alloc_options)
+    multitile = None
+    if array is not None:
+        multitile = map_multitile(clustered, array, capacity=capacity,
+                                  base_levels=schedule.n_levels)
     return MappingReport(
         source=source, original=original, minimised=working,
         pass_stats=pass_stats, taskgraph=taskgraph, clustered=clustered,
         schedule=schedule, program=program, alloc_stats=alloc_stats,
-        params=params, library=library)
+        params=params, library=library, multitile=multitile)
 
 
 def map_source(source: str, params: TileParams | None = None,

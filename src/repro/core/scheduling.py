@@ -20,6 +20,20 @@ critical clusters overflow the 5 slots, the surplus spills into a
 freshly *inserted level* and every downstream level shifts, exactly
 the Fig. 4 scenario.  One bucket-queue pass over clusters and edges:
 O(V + E).
+
+Invariants
+----------
+* Dependences map to strictly increasing levels: a cluster's level
+  is greater than every predecessor's.
+* No level holds more than ``n_pps`` clusters, and every cluster is
+  placed exactly once.
+* The schedule is deterministic: the ready queue is ordered by
+  (slack, ASAP, id), all total orders.
+* ``n_levels >= critical_path`` always; the difference is exactly
+  Fig. 4's inserted levels.
+* The same (slack, ASAP, id) priority drives the multi-tile array
+  scheduler (:mod:`repro.multitile.schedule`), which therefore
+  degenerates to this leveller on a 1-tile array.
 """
 
 from __future__ import annotations
@@ -84,7 +98,7 @@ class Schedule:
 def _asap_levels(graph: ClusterGraph,
                  predecessors: dict[int, set[int]]) -> dict[int, int]:
     asap: dict[int, int] = {}
-    for cluster_id in _topo_ids(graph, predecessors):
+    for cluster_id in topo_cluster_ids(graph, predecessors):
         preds = predecessors[cluster_id]
         asap[cluster_id] = (max(asap[p] for p in preds) + 1) if preds \
             else 0
@@ -94,7 +108,7 @@ def _asap_levels(graph: ClusterGraph,
 def _alap_levels(graph: ClusterGraph, successors: dict[int, set[int]],
                  depth: int) -> dict[int, int]:
     alap: dict[int, int] = {}
-    for cluster_id in reversed(_topo_ids(graph,
+    for cluster_id in reversed(topo_cluster_ids(graph,
                                          _invert(successors, graph))):
         succs = successors[cluster_id]
         alap[cluster_id] = (min(alap[s] for s in succs) - 1) if succs \
@@ -112,8 +126,11 @@ def _invert(successors: dict[int, set[int]],
     return predecessors
 
 
-def _topo_ids(graph: ClusterGraph,
-              predecessors: dict[int, set[int]]) -> list[int]:
+def topo_cluster_ids(graph: ClusterGraph,
+                     predecessors: dict[int, set[int]]) -> list[int]:
+    """Deterministic topological order of the cluster ids (smallest
+    ready id first) — shared by the levelers and the multi-tile
+    partitioner.  Raises on a cyclic cluster graph."""
     import heapq
     indegree = {cid: len(preds) for cid, preds in predecessors.items()}
     successors: dict[int, list[int]] = {cid: [] for cid in graph.clusters}
@@ -135,14 +152,28 @@ def _topo_ids(graph: ClusterGraph,
     return order
 
 
-def schedule_clusters(graph: ClusterGraph, n_pps: int = 5) -> Schedule:
-    """Level-schedule *graph* with at most *n_pps* clusters per level."""
+def cluster_mobility(graph: ClusterGraph) -> tuple[dict, dict, dict, int]:
+    """ASAP level, ALAP level, slack per cluster, and graph depth.
+
+    The mobility quadruple drives both this module's single-tile level
+    scheduler and the multi-tile array scheduler
+    (:mod:`repro.multitile.schedule`): slack-0 clusters sit on a
+    critical path and are always placed first.
+    """
     predecessors = graph.predecessors()
     successors = graph.successors()
     asap = _asap_levels(graph, predecessors)
     depth = (max(asap.values()) + 1) if asap else 0
     alap = _alap_levels(graph, successors, depth)
     slack = {cid: alap[cid] - asap[cid] for cid in graph.clusters}
+    return asap, alap, slack, depth
+
+
+def schedule_clusters(graph: ClusterGraph, n_pps: int = 5) -> Schedule:
+    """Level-schedule *graph* with at most *n_pps* clusters per level."""
+    predecessors = graph.predecessors()
+    successors = graph.successors()
+    asap, _, slack, depth = cluster_mobility(graph)
 
     schedule = Schedule(critical_path=depth, slack=slack)
 

@@ -20,6 +20,17 @@ Anything the paper's flow does not map — residual loops/branches
 (future work in §VII), dynamic addresses, fetches still depending on
 stores — raises :class:`MappingError` with a precise diagnostic
 instead of producing a wrong program.
+
+Invariants
+----------
+* The task graph is a DAG over ALU-executable tasks only; lowering
+  either succeeds completely or raises :class:`MappingError` —
+  there is no partially-mapped state.
+* Operand order is preserved from the CDFG (operand *i* later feeds
+  ALU input *i*), and every ``TASK`` operand references a task in
+  the graph.
+* Task ids follow a fixed traversal of the CDFG, so lowering is
+  deterministic.
 """
 
 from __future__ import annotations

@@ -8,7 +8,9 @@ point* and explores sets of them as a batch workload:
 
 * :mod:`repro.dse.space` — declarative parameter spaces (grids,
   random samples, explicit point lists) over tile fields, stock
-  template libraries and ``map_graph`` options;
+  template libraries, ``map_graph`` options and tile-array fields
+  (``tiles``, ``topology``, ... — the multi-tile axis of
+  :mod:`repro.multitile`);
 * :mod:`repro.dse.runner` — a chunked ``multiprocessing`` sweep
   runner that tolerates per-point failures and records the
   :func:`repro.eval.metrics.mapping_metrics` of every mapping;

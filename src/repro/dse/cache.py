@@ -11,6 +11,22 @@ Records are JSON dicts stored one-per-file under a two-hex-char
 shard directory, written atomically (temp file + ``os.replace``) so a
 killed sweep never leaves a truncated record behind.  Corrupt or
 unreadable entries degrade to cache misses.
+
+Invariants
+----------
+* **Cache records are bit-identical to fresh ones.**  A record read
+  back from disk must be indistinguishable from re-evaluating the
+  point: key order is preserved on write (no ``sort_keys``) so warm
+  and cold sweeps render identical tables, and the key hashes the
+  full program source plus the point's canonical identity, so no two
+  distinct evaluations can alias.
+* Only ``ok`` records are memoised (the runner's policy); a failure
+  is never served from the cache.
+* ``CACHE_VERSION`` is part of every key: bumping it invalidates the
+  whole store without touching files.
+* A pure single-tile :class:`DesignPoint` serialises without an
+  ``array`` key, so keys minted before the multi-tile axis existed
+  remain valid.
 """
 
 from __future__ import annotations

@@ -9,6 +9,17 @@ best point under min-max-normalised weights.
 
 All objectives are *minimised*.  Maximise-style metrics are exposed
 through negating aliases (``-alu_util``, ``-locality``, ...).
+
+Invariants
+----------
+* ``pareto_front`` preserves input order, keeps the first witness of
+  duplicate objective vectors, and is idempotent: the frontier of a
+  frontier is itself.
+* Only ``ok`` records participate; failure records can never
+  dominate or win.
+* ``best_record`` is reproducible: min-max normalisation is computed
+  over the candidate set itself and ties break toward earlier
+  records.
 """
 
 from __future__ import annotations

@@ -13,6 +13,21 @@ worker and returned as ``{"ok": False, "error": ...}`` records, so a
 them.  Because the flow is deterministic, records are cached by
 content hash; a repeated sweep is pure cache reads and never touches
 the pool.
+
+Invariants
+----------
+* ``run_sweep`` returns exactly one record per requested point, in
+  request order, duplicates included (duplicates share one
+  evaluation).
+* The mapping flow is deterministic, so worker count, chunking and
+  cache state never change a record's content — only how fast it is
+  produced.  Cached records are bit-identical to fresh ones.
+* A ``verify_seed`` sweep never *trusts* an unverified cache hit: it
+  re-evaluates and re-caches with the ``verified`` flag.
+* Points with array dimensions additionally carry the multi-tile
+  metrics (:func:`repro.eval.metrics.multitile_metrics`) in the same
+  flat ``metrics`` dict; single-tile points are byte-for-byte what
+  they were before the multi-tile axis existed.
 """
 
 from __future__ import annotations
@@ -30,7 +45,7 @@ from repro.core.pipeline import (
 )
 from repro.dse.cache import ResultCache, cache_key
 from repro.dse.space import DesignPoint
-from repro.eval.metrics import mapping_metrics
+from repro.eval.metrics import mapping_metrics, multitile_metrics
 
 
 def evaluate_point(source: str, point: DesignPoint,
@@ -46,6 +61,7 @@ def evaluate_point(source: str, point: DesignPoint,
         params = point.tile_params()
         library = point.template_library()
         report = map_source(source, params, library,
+                            array=point.tile_array_params(),
                             **point.options_dict())
         if verify_seed is not None:
             verify_mapping(report,
@@ -53,6 +69,12 @@ def evaluate_point(source: str, point: DesignPoint,
             record["verified"] = True
         record["ok"] = True
         record["metrics"] = mapping_metrics(report)
+        if report.multitile is not None:
+            # Array-dimension points carry the multi-tile aggregates
+            # (per-tile utilisation, cut, transfer steps/energy) in
+            # the same flat metrics dict, so objectives and tables
+            # address them by name like any other metric.
+            record["metrics"].update(multitile_metrics(report))
     except Exception as error:  # noqa: BLE001 — fault isolation
         record["ok"] = False
         record["error"] = f"{type(error).__name__}: {error}"

@@ -14,6 +14,16 @@ free, and a random probe of a bigger space costs only its sample.
 Every strategy minimises a weighted scalarisation of the requested
 objectives and returns the full evaluation trace, so callers can
 still extract a Pareto frontier from whatever the search touched.
+
+Invariants
+----------
+* Strategies are deterministic in their ``seed`` (the underlying
+  flow is deterministic, sampling and restarts are seeded).
+* ``SearchResult.records`` contains every record the strategy
+  evaluated — the best point is always among them, and extracting a
+  frontier from the trace is always legal.
+* The hill-climb freezes objective scales on its first batch, so one
+  climb's scores are mutually comparable across steps and restarts.
 """
 
 from __future__ import annotations

@@ -9,14 +9,35 @@ values.  Three kinds of names are legal:
 * ``library`` — a stock :class:`repro.arch.templates.TemplateLibrary`
   name (``single-op``, ``two-level``, ``mac``);
 * a ``map_graph`` keyword option (``balance``, ``simplify``) —
-  swept transform choices.
+  swept transform choices;
+* an array field (``tiles``, ``topology``, ``hop_latency``,
+  ``hop_energy``, ``link_bandwidth``) — the multi-tile axis; any of
+  them makes the point run the multi-tile stage
+  (:mod:`repro.multitile`) with the corresponding
+  :class:`repro.arch.tilearray.TileArrayParams`.
 
 A :class:`DesignPoint` is one frozen assignment; it knows how to
-materialise its :class:`TileParams` / library and how to serialise
-itself to a canonical JSON-able dict (the unit the result cache
-hashes).  A :class:`DesignSpace` enumerates points as a full grid, a
-seeded random sample, or wraps an explicit point list, and produces
-the one-step neighbourhoods the hill-climb strategy walks.
+materialise its :class:`TileParams` / library / array and how to
+serialise itself to a canonical JSON-able dict (the unit the result
+cache hashes).  A :class:`DesignSpace` enumerates points as a full
+grid, a seeded random sample, or wraps an explicit point list, and
+produces the one-step neighbourhoods the hill-climb strategy walks.
+
+Invariants
+----------
+* Name and value validation happens at construction: an unknown
+  dimension name, a mistyped value, an unknown topology/library or
+  an out-of-range array field raises :class:`SpaceError` *before*
+  any sweep runs.  :class:`TileParams` *feasibility* (e.g.
+  ``n_pps=0``, or combinations the allocator cannot satisfy) is
+  deliberately left to evaluation time, where it surfaces as an
+  ``{"ok": False}`` record instead of aborting the sweep.
+* Point identity is canonical: ``(name, value)`` tuples are sorted,
+  so points built from dicts in any order compare, hash and
+  serialise identically.
+* A point without array dimensions serialises exactly as it did
+  before the multi-tile axis existed (no ``array`` key), keeping
+  every previously-minted cache key valid.
 """
 
 from __future__ import annotations
@@ -30,6 +51,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.arch.params import TileParams
 from repro.arch.templates import TemplateLibrary
+from repro.arch.tilearray import TOPOLOGIES, TileArrayParams
 
 #: TileParams field names that may appear as dimensions.
 TILE_FIELDS = tuple(field.name for field in
@@ -37,6 +59,16 @@ TILE_FIELDS = tuple(field.name for field in
 
 #: ``map_graph`` keyword options that may appear as dimensions.
 OPTION_FIELDS = ("balance", "simplify")
+
+#: Array-level dimension names -> the TileArrayParams field each one
+#: sets (the multi-tile axis of the design space).
+ARRAY_FIELDS = {
+    "tiles": "n_tiles",
+    "topology": "topology",
+    "hop_latency": "hop_latency",
+    "hop_energy": "hop_energy",
+    "link_bandwidth": "link_bandwidth",
+}
 
 #: The dimension selecting the ALU data-path template library.
 LIBRARY_FIELD = "library"
@@ -76,11 +108,39 @@ def _validate_dimension(name: str, values: Sequence) -> tuple:
                 raise SpaceError(
                     f"tile dimension {name!r} takes integers, "
                     f"got {value!r}")
+    elif name == "topology":
+        for value in values:
+            if value not in TOPOLOGIES:
+                raise SpaceError(
+                    f"unknown topology {value!r}; known: "
+                    f"{', '.join(TOPOLOGIES)}")
+    elif name in ARRAY_FIELDS:
+        for value in values:
+            is_number = isinstance(value, (int, float)) and \
+                not isinstance(value, bool)
+            if not is_number or (name != "hop_energy"
+                                 and not isinstance(value, int)):
+                raise SpaceError(
+                    f"array dimension {name!r} takes "
+                    f"{'numbers' if name == 'hop_energy' else 'integers'}"
+                    f", got {value!r}")
+            # Range-check up front: an out-of-range array value would
+            # otherwise fail every point of the sweep one by one.
+            if name == "hop_energy":
+                if value < 0:
+                    raise SpaceError(
+                        f"array dimension 'hop_energy' must be >= 0, "
+                        f"got {value!r}")
+            elif value < 1:
+                raise SpaceError(
+                    f"array dimension {name!r} must be >= 1, "
+                    f"got {value!r}")
     else:
         raise SpaceError(
             f"unknown dimension {name!r}; legal: TileParams fields "
             f"({', '.join(TILE_FIELDS)}), {LIBRARY_FIELD!r}, "
-            f"options ({', '.join(OPTION_FIELDS)})")
+            f"options ({', '.join(OPTION_FIELDS)}), array fields "
+            f"({', '.join(ARRAY_FIELDS)})")
     return values
 
 
@@ -96,14 +156,19 @@ class DesignPoint:
     tile: tuple = ()
     library: str = DEFAULT_LIBRARY
     options: tuple = ()
+    #: Array-level dimensions (``tiles``, ``topology``, ...); empty
+    #: means the pure single-tile flow (and an unchanged cache key).
+    array: tuple = ()
 
     @classmethod
     def make(cls, tile: Mapping | None = None,
              library: str = DEFAULT_LIBRARY,
-             options: Mapping | None = None) -> "DesignPoint":
+             options: Mapping | None = None,
+             array: Mapping | None = None) -> "DesignPoint":
         """Build a point from plain dicts, validating every name."""
         tile = dict(tile or {})
         options = dict(options or {})
+        array = dict(array or {})
         for name in tile:
             if name not in TILE_FIELDS:
                 raise SpaceError(f"unknown TileParams field {name!r}")
@@ -111,23 +176,30 @@ class DesignPoint:
             if name not in OPTION_FIELDS:
                 raise SpaceError(f"unknown map_graph option {name!r}")
             _validate_dimension(name, [value])
+        for name, value in array.items():
+            if name not in ARRAY_FIELDS:
+                raise SpaceError(f"unknown array field {name!r}")
+            _validate_dimension(name, [value])
         _validate_dimension(LIBRARY_FIELD, [library])
         return cls(tile=tuple(sorted(tile.items())), library=library,
-                   options=tuple(sorted(options.items())))
+                   options=tuple(sorted(options.items())),
+                   array=tuple(sorted(array.items())))
 
     @classmethod
     def from_assignment(cls, assignment: Mapping) -> "DesignPoint":
         """Build a point from one flat dimension-name -> value dict."""
-        tile, options = {}, {}
+        tile, options, array = {}, {}, {}
         library = DEFAULT_LIBRARY
         for name, value in assignment.items():
             if name == LIBRARY_FIELD:
                 library = value
             elif name in OPTION_FIELDS:
                 options[name] = value
+            elif name in ARRAY_FIELDS:
+                array[name] = value
             else:
                 tile[name] = value
-        return cls.make(tile, library, options)
+        return cls.make(tile, library, options, array)
 
     # -- materialisation ----------------------------------------------
 
@@ -137,9 +209,21 @@ class DesignPoint:
     def options_dict(self) -> dict:
         return dict(self.options)
 
+    def array_dict(self) -> dict:
+        return dict(self.array)
+
     def tile_params(self) -> TileParams:
         """The :class:`TileParams` this point configures (validates)."""
         return TileParams(**self.tile_dict())
+
+    def tile_array_params(self) -> TileArrayParams | None:
+        """The :class:`TileArrayParams` this point configures, or
+        ``None`` when the point has no array dimensions (pure
+        single-tile flow — the multi-tile stage is skipped)."""
+        if not self.array:
+            return None
+        return TileArrayParams(**{ARRAY_FIELDS[name]: value
+                                  for name, value in self.array})
 
     def template_library(self) -> TemplateLibrary:
         return TemplateLibrary.stock()[self.library]
@@ -149,19 +233,28 @@ class DesignPoint:
         flat = self.tile_dict()
         flat[LIBRARY_FIELD] = self.library
         flat.update(self.options_dict())
+        flat.update(self.array_dict())
         return flat
 
     # -- identity -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {"tile": self.tile_dict(), "library": self.library,
-                "options": self.options_dict()}
+        # The "array" key is omitted when empty so the canonical
+        # identity (and thus every existing cache key) of a pure
+        # single-tile point is byte-for-byte what it was before the
+        # multi-tile axis existed.
+        payload = {"tile": self.tile_dict(), "library": self.library,
+                   "options": self.options_dict()}
+        if self.array:
+            payload["array"] = self.array_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "DesignPoint":
         return cls.make(payload.get("tile"),
                         payload.get("library", DEFAULT_LIBRARY),
-                        payload.get("options"))
+                        payload.get("options"),
+                        payload.get("array"))
 
     def key(self) -> str:
         """Canonical JSON identity (the cache hashes this + source)."""
@@ -173,6 +266,7 @@ class DesignPoint:
         parts = [f"{name}={value}" for name, value in self.tile]
         parts.append(f"lib={self.library}")
         parts.extend(f"{name}={value}" for name, value in self.options)
+        parts.extend(f"{name}={value}" for name, value in self.array)
         return " ".join(parts)
 
     def with_(self, **changes) -> "DesignPoint":

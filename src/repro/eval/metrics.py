@@ -20,6 +20,15 @@ METRIC_FIELDS = (
     "energy", "energy_per_op",
 )
 
+#: Extra keys :func:`multitile_metrics` adds when the multi-tile
+#: stage ran (``fpfa-map map --tiles`` / an array-dimension sweep).
+MULTITILE_METRIC_FIELDS = (
+    "tiles", "makespan", "step_speedup", "cut_edges", "transfers",
+    "transfer_hops", "transfer_cycles", "transfer_energy",
+    "array_energy", "tile_util_mean", "tile_util_min",
+    "load_imbalance",
+)
+
 
 def mapping_metrics(report: MappingReport,
                     energy_model: EnergyModel | None = None) -> dict:
@@ -46,6 +55,38 @@ def mapping_metrics(report: MappingReport,
         "energy": round(energy.total, 1),
         "energy_per_op": round(
             energy.total / max(report.n_tasks, 1), 2),
+    }
+
+
+def multitile_metrics(report: MappingReport,
+                      energy_model: EnergyModel | None = None) -> dict:
+    """Array-level metrics of a report whose multi-tile stage ran.
+
+    ``array_energy`` is the single-tile energy proxy plus the per-hop
+    communication adder — transfers only ever *add* energy.  Raises
+    :class:`ValueError` when the report has no multi-tile stage.
+    """
+    multitile = report.multitile
+    if multitile is None:
+        raise ValueError("report has no multi-tile stage; map with "
+                         "array=TileArrayParams(...) first")
+    energy = measure_energy(report.program, energy_model)
+    utils = multitile.tile_utilisations()
+    return {
+        "tiles": multitile.n_tiles,
+        "makespan": multitile.makespan,
+        "step_speedup": round(multitile.step_speedup, 2),
+        "cut_edges": multitile.cut_edges,
+        "transfers": multitile.n_transfers,
+        "transfer_hops": multitile.transfer_hops,
+        "transfer_cycles": multitile.transfer_cycles,
+        "transfer_energy": round(multitile.transfer_energy, 1),
+        "array_energy": round(
+            energy.total + multitile.transfer_energy, 1),
+        "tile_util_mean": round(sum(utils) / max(len(utils), 1), 3),
+        "tile_util_min": round(min(utils), 3) if utils else 0.0,
+        "load_imbalance": round(
+            multitile.partition.imbalance(multitile.clustered), 3),
     }
 
 

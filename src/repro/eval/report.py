@@ -39,6 +39,18 @@ def render_table(rows: Sequence[Mapping], columns: Iterable[str]
     return "\n".join(lines)
 
 
+def multitile_table(multitile, title: str | None = None) -> str:
+    """Per-tile breakdown of a :class:`MultiTileReport`.
+
+    One row per tile: clusters placed, ALU ops, utilisation over the
+    array makespan, transfers sent/received, first/last busy step.
+    """
+    if title is None:
+        title = (f"Per-tile breakdown ({multitile.n_tiles} tiles, "
+                 f"{multitile.array.topology})")
+    return render_table(multitile.tile_rows(), title=title)
+
+
 def _format(value) -> str:
     if isinstance(value, float):
         return f"{value:.3g}" if abs(value) < 1000 else f"{value:.1f}"

@@ -1,0 +1,59 @@
+"""Multi-tile mapping: one program across an FPFA tile *array*.
+
+The paper maps applications to a single FPFA tile; the FPFA itself is
+an array of such tiles (§II).  This package lifts the flow from one
+tile to many, treating inter-tile communication as a first-class cost
+(the stance of BandMap and TileLoom in PAPERS.md):
+
+* :mod:`repro.arch.tilearray` — the array-level architecture model
+  (:class:`TileArrayParams`: tile count, crossbar/ring/mesh topology,
+  per-hop latency and energy, per-link bandwidth);
+* :mod:`repro.multitile.partition` — a deterministic greedy +
+  KL/FM-refinement min-cut partitioner over the phase-1 cluster
+  graph, with per-tile load balancing;
+* :mod:`repro.multitile.schedule` — an array-level list scheduler
+  that places clusters per (step, tile, slot) and inserts explicit
+  :class:`Transfer` nodes for cross-tile values, under per-link
+  bandwidth limits;
+* :mod:`repro.multitile.mapping` — the :class:`MultiTileReport`
+  aggregate (per-tile utilisation, cut size, transfer steps/energy)
+  the pipeline attaches to its :class:`~repro.core.pipeline.
+  MappingReport` and the DSE engine sweeps via the ``tiles`` /
+  ``topology`` dimensions.
+
+Invariant: a 1-tile array is bit-identical to the paper's single-tile
+flow — no transfers, no cut, unchanged metrics.
+
+Quickstart::
+
+    from repro.arch.tilearray import TileArrayParams
+    from repro.core.pipeline import map_source
+
+    report = map_source(source,
+                        array=TileArrayParams(n_tiles=4,
+                                              topology="mesh"))
+    print(report.multitile.summary())
+"""
+
+from repro.arch.tilearray import TOPOLOGIES, TileArrayParams
+from repro.multitile.mapping import MultiTileReport, map_multitile
+from repro.multitile.partition import Partition, partition_clusters
+from repro.multitile.schedule import (
+    ArraySchedule,
+    PlacedCluster,
+    Transfer,
+    schedule_array,
+)
+
+__all__ = [
+    "ArraySchedule",
+    "MultiTileReport",
+    "Partition",
+    "PlacedCluster",
+    "TOPOLOGIES",
+    "TileArrayParams",
+    "Transfer",
+    "map_multitile",
+    "partition_clusters",
+    "schedule_array",
+]

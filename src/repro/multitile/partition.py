@@ -1,0 +1,160 @@
+"""Partitioning the clustered CDFG across an FPFA tile array.
+
+The multi-tile stage starts where the paper's phase 1 ends: the
+cluster graph (:class:`repro.core.clustering.ClusterGraph`) is split
+into one part per tile.  Every inter-cluster edge that crosses the
+partition becomes an inter-tile word transfer, so the partitioner
+minimises the weighted cut while keeping the per-tile computational
+load balanced — the classic min-cut / load-balance trade-off of
+spatial-accelerator mapping (BandMap and TileLoom treat inter-unit
+bandwidth exactly this way; see PAPERS.md).
+
+The algorithm is a deterministic two-stage heuristic:
+
+1. *Greedy seeding* — clusters are visited in topological order and
+   assigned to the tile where most of their already-placed producers
+   live (maximal affinity), subject to a load cap of
+   ``ceil(total_load / n_tiles) * (1 + balance_slack)``.  Exact ties
+   are broken by the seeded RNG so independent runs stay reproducible.
+2. *KL/FM-style refinement* — boundary clusters are repeatedly
+   offered to every other tile; a move is taken when it strictly
+   reduces the cut without breaking the load cap.  The pass repeats
+   until a full round makes no move (or ``refine_rounds`` is
+   exhausted).
+
+Invariants
+----------
+* Every cluster is assigned to exactly one tile — ``assignment`` is a
+  total function from cluster ids onto ``range(n_tiles)``.
+* ``partition_clusters`` is deterministic for a fixed
+  ``(graph, n_tiles, seed)`` triple.
+* With ``n_tiles == 1`` the partition is the trivial all-zeros map
+  and the cut is empty — the single-tile flow is unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.clustering import ClusterGraph
+from repro.core.scheduling import topo_cluster_ids
+
+
+@dataclass
+class Partition:
+    """An assignment of every cluster to one tile of the array."""
+
+    n_tiles: int
+    #: cluster id -> tile index (total over the cluster graph).
+    assignment: dict[int, int] = field(default_factory=dict)
+
+    def tile_of(self, cluster_id: int) -> int:
+        return self.assignment[cluster_id]
+
+    def clusters_on(self, tile: int) -> list[int]:
+        """Cluster ids assigned to *tile*, ascending."""
+        return sorted(cid for cid, t in self.assignment.items()
+                      if t == tile)
+
+    def loads(self, graph: ClusterGraph) -> list[int]:
+        """ALU operations (cluster tree nodes) per tile."""
+        loads = [0] * self.n_tiles
+        for cid, tile in self.assignment.items():
+            loads[tile] += graph.clusters[cid].n_ops
+        return loads
+
+    def cut_edges(self, graph: ClusterGraph) -> list[tuple[int, int]]:
+        """(producer, consumer) cluster edges crossing tiles, sorted.
+
+        Parallel task-level edges between the same cluster pair are
+        already merged by :meth:`ClusterGraph.predecessors`; each
+        crossing pair appears once.
+        """
+        crossing = []
+        for cid, preds in graph.predecessors().items():
+            for pred in preds:
+                if self.assignment[pred] != self.assignment[cid]:
+                    crossing.append((pred, cid))
+        return sorted(crossing)
+
+    def imbalance(self, graph: ClusterGraph) -> float:
+        """max tile load / mean tile load (1.0 = perfectly balanced)."""
+        loads = self.loads(graph)
+        mean = sum(loads) / max(len(loads), 1)
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean
+
+
+def partition_clusters(graph: ClusterGraph, n_tiles: int, *,
+                       balance_slack: float = 0.25,
+                       refine_rounds: int = 8,
+                       seed: int = 0) -> Partition:
+    """Split *graph* over *n_tiles* tiles, min-cut with load balance."""
+    if n_tiles < 1:
+        raise ValueError(f"n_tiles must be >= 1, got {n_tiles}")
+    if n_tiles == 1 or not graph.clusters:
+        return Partition(n_tiles=n_tiles,
+                         assignment={cid: 0 for cid in graph.clusters})
+
+    rng = random.Random(seed)
+    predecessors = graph.predecessors()
+    successors = graph.successors()
+    weight = {cid: cluster.n_ops
+              for cid, cluster in graph.clusters.items()}
+    total = sum(weight.values())
+    cap = max(max(weight.values()),
+              -(-total // n_tiles) * (1.0 + balance_slack))
+
+    # -- stage 1: greedy topological seeding --------------------------
+    assignment: dict[int, int] = {}
+    loads = [0.0] * n_tiles
+    for cid in topo_cluster_ids(graph, predecessors):
+        affinity = [0] * n_tiles
+        for pred in predecessors[cid]:
+            affinity[assignment[pred]] += 1
+        fits = [t for t in range(n_tiles)
+                if loads[t] + weight[cid] <= cap]
+        candidates = fits or list(range(n_tiles))
+        best = max((affinity[t], -loads[t]) for t in candidates)
+        tied = [t for t in candidates
+                if (affinity[t], -loads[t]) == best]
+        tile = tied[0] if len(tied) == 1 else rng.choice(tied)
+        assignment[cid] = tile
+        loads[tile] += weight[cid]
+
+    # -- stage 2: KL/FM-style boundary refinement ----------------------
+    neighbours = {cid: predecessors[cid] | successors[cid]
+                  for cid in graph.clusters}
+    order = sorted(graph.clusters)
+    for _ in range(max(0, refine_rounds)):
+        rng.shuffle(order)
+        moved = False
+        for cid in order:
+            home = assignment[cid]
+            degree = [0] * n_tiles
+            for other in neighbours[cid]:
+                degree[assignment[other]] += 1
+            if degree[home] == sum(degree):
+                continue  # interior cluster: no crossing edges
+            best_gain, best_tile = 0, home
+            for tile in range(n_tiles):
+                if tile == home or \
+                        loads[tile] + weight[cid] > cap:
+                    continue
+                gain = degree[tile] - degree[home]
+                if gain > best_gain or (gain == best_gain
+                                        and best_tile != home
+                                        and loads[tile] <
+                                        loads[best_tile]):
+                    best_gain, best_tile = gain, tile
+            if best_tile != home and best_gain > 0:
+                loads[home] -= weight[cid]
+                loads[best_tile] += weight[cid]
+                assignment[cid] = best_tile
+                moved = True
+        if not moved:
+            break
+
+    return Partition(n_tiles=n_tiles, assignment=assignment)

@@ -18,6 +18,17 @@ interface.  This keeps unrollable loops small and, for residual
 Example: ``for (i = 0; i < n; i++) { dead = dead + x[i]; s = s + 1; }``
 with ``dead`` never read after the loop — the whole ``dead``
 accumulation disappears.
+
+Invariants
+----------
+* Slot liveness is a **fixpoint**: a slot whose only consumers are
+  the next-value cones of other *dead* slots is itself dead, so
+  liveness is propagated until stable before anything is removed
+  (mutually-recurrent dead slots, e.g. two accumulators feeding each
+  other, are pruned together; seeding from external users alone
+  would miss them).
+* Pruning never changes the observable statespace: only values
+  provably unread outside the loop are dropped.
 """
 
 from __future__ import annotations

@@ -233,3 +233,61 @@ def test_explore_rejects_typoed_sweep_value_before_running(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["explore", "--kernel", "fir5", "--pps", "1,x"])
     assert "takes integers" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# Multi-tile flags
+# ---------------------------------------------------------------------------
+
+def test_map_tiles_one_is_identity(fir_file, tmp_path, capsys):
+    """Acceptance: --tiles 1 produces metrics identical to the plain
+    single-tile flow."""
+    plain_path = tmp_path / "plain.json"
+    tiled_path = tmp_path / "tiled.json"
+    main(["map", fir_file, "--json", str(plain_path)])
+    main(["map", fir_file, "--tiles", "1", "--json", str(tiled_path)])
+    capsys.readouterr()
+    plain = json.loads(plain_path.read_text())
+    tiled = json.loads(tiled_path.read_text())
+    assert plain["metrics"] == tiled["metrics"]
+    assert tiled["multitile"]["transfers"] == 0
+    assert tiled["multitile"]["cut_edges"] == 0
+
+
+def test_map_tiles_prints_per_tile_breakdown(fir_file, capsys):
+    main(["map", fir_file, "--pps", "2", "--buses", "4",
+          "--tiles", "2", "--topology", "ring"])
+    out = capsys.readouterr().out
+    assert "Per-tile breakdown" in out
+    assert "ring" in out
+    assert "transfers:" in out
+
+
+def test_map_tiles_schedule_shows_steps(fir_file, capsys):
+    main(["map", fir_file, "--pps", "2", "--buses", "4",
+          "--tiles", "2", "--schedule"])
+    out = capsys.readouterr().out
+    assert "Level0:" in out
+    assert "Step0:" in out
+
+
+def test_explore_tiles_sweep_reports_transfer_metrics(capsys):
+    assert main(["explore", "--kernel", "fir5", "--tiles", "1,2",
+                 "--workers", "1",
+                 "--objectives", "makespan,transfer_energy"]) == 0
+    out = capsys.readouterr().out
+    assert "tiles" in out
+    assert "makespan" in out
+    assert "transfer_energy" in out
+
+
+def test_explore_rejects_multitile_objective_without_array_dim():
+    with pytest.raises(SystemExit, match="unknown or unswept"):
+        main(["explore", "--kernel", "fir5", "--pps", "1,2",
+              "--objectives", "makespan"])
+
+
+def test_explore_rejects_bad_topology(capsys):
+    with pytest.raises(SystemExit):
+        main(["explore", "--kernel", "fir5",
+              "--topologies", "torus"])

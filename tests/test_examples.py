@@ -19,6 +19,8 @@ EXPECTED_MARKERS = {
     "visual_inspection.py": ["xbar |", "reassociation"],
     "dse_explore.py": ["cold sweep", "warm sweep", "Pareto frontier",
                        "hill-climb"],
+    "multitile_mapping.py": ["Tile sweep", "Per-tile breakdown",
+                             "transfer energy"],
 }
 
 

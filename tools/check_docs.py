@@ -1,0 +1,93 @@
+"""Check internal links in the Markdown docs.
+
+Walks ``docs/*.md`` plus the repo-root ``README.md``, extracts every
+Markdown link and image, and verifies:
+
+* relative file targets exist (anchors are split off first);
+* pure-anchor targets (``#section``) match a heading in the same
+  file, using GitHub's slug rules (lowercase, spaces to dashes,
+  punctuation dropped);
+* no link target is an absolute filesystem path.
+
+External links (``http://``, ``https://``, ``mailto:``) are not
+fetched — this checker is for the internal graph only.  Exits 1 and
+prints one line per broken link, so it can gate CI.
+
+Usage: ``python tools/check_docs.py`` from the repository root (or
+anywhere; paths are resolved relative to this file).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: [text](target) and ![alt](target); target ends at the first ')'.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks — links inside them are examples."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    prose = _strip_code_blocks(text)
+    slugs = {github_slug(h) for h in HEADING_PATTERN.findall(text)}
+    problems = []
+    for target in LINK_PATTERN.findall(prose):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        if target.startswith("/"):
+            problems.append(f"{path}: absolute path link {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        if not file_part:
+            if anchor and github_slug(anchor) not in slugs \
+                    and anchor not in slugs:
+                problems.append(
+                    f"{path}: broken anchor {target!r}")
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path}: broken link {target!r} "
+                f"(no such file {resolved})")
+    return problems
+
+
+def main() -> int:
+    docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    readme = REPO_ROOT / "README.md"
+    files = docs + ([readme] if readme.exists() else [])
+    if not docs:
+        print("check_docs: no files under docs/", file=sys.stderr)
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in files)
+    if not problems:
+        print(f"check_docs: OK ({checked})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
