@@ -1,0 +1,100 @@
+"""EXT-G — empirical complexity of the CDFG transform frontend.
+
+The transform pipeline used to rebuild use lists and topological
+orders from scratch inside analyse-mutate loops, making full
+simplification quadratic in graph size.  With the incremental
+versioned index of :mod:`repro.cdfg.graph`, frontend compilation must
+scale near-linearly: doubling an unrolled FIR's tap count must not
+quadruple the simplification time.
+
+The bench times parse + full simplification over growing tap counts,
+asserts near-linear scaling, cross-checks the index against a
+from-scratch recomputation at the largest size, and records the
+series (``tools/bench.py`` tracks the same hot path in the committed
+``BENCH_pipeline.json`` baseline).
+"""
+
+import time
+
+from conftest import write_result
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.eval.kernels import fir_source
+from repro.eval.report import render_table
+from repro.transforms.pipeline import simplify
+
+SIZES = (16, 32, 64, 128)
+
+
+def compile_frontend_timed(taps: int) -> tuple:
+    graph = build_main_cdfg(fir_source(taps))
+    started = time.perf_counter()
+    stats = simplify(graph)
+    elapsed = time.perf_counter() - started
+    return graph, stats, elapsed
+
+
+def median_seconds(taps: int, repeats: int = 3) -> float:
+    samples = sorted(compile_frontend_timed(taps)[2]
+                     for __ in range(repeats))
+    return samples[repeats // 2]
+
+
+def test_ext_g_transform_scaling(benchmark):
+    benchmark(compile_frontend_timed, 64)
+
+    rows = []
+    series: dict[int, float] = {}
+    for taps in SIZES:
+        seconds = median_seconds(taps)
+        series[taps] = seconds
+        graph, stats, __ = compile_frontend_timed(taps)
+        rows.append({
+            "taps": taps,
+            "nodes": len(graph),
+            "rounds": stats.rounds,
+            "rewrites": stats.total,
+            "t_simplify_ms": round(seconds * 1e3, 2),
+        })
+
+    # Near-linear: 8x taps may cost at most ~24x time (3x headroom
+    # over proportional, same budget as EXT-A's phase-scaling check).
+    ratio = series[SIZES[-1]] / max(series[SIZES[0]], 1e-9)
+    growth = SIZES[-1] / SIZES[0]
+    assert ratio < 3 * growth, (
+        f"simplification grew {ratio:.1f}x for {growth:.0f}x taps")
+
+    # The incremental index is exactly a from-scratch recomputation.
+    graph, __, __ = compile_frontend_timed(SIZES[-1])
+    graph.check_index()
+
+    table = render_table(rows, title="EXT-G — frontend compile time "
+                                     "vs unrolled FIR size "
+                                     "(incremental CDFG analyses)")
+    write_result("ext_g_graphscaling", table)
+
+
+def test_ext_g_incremental_lookups_cheap(benchmark):
+    """uses()/users_of()/topo_order() on an already-simplified graph
+    are index lookups, not rescans: a full query pass over every node
+    costs a small multiple of one simplification round."""
+    graph, __, __ = compile_frontend_timed(64)
+
+    def query_pass():
+        uses = graph.uses()
+        total = 0
+        for node in graph.topo_order():
+            for index in range(node.n_outputs):
+                total += len(uses.get(node.out(index), ()))
+            total += len(graph.users_of(node.id))
+        return total
+
+    benchmark(query_pass)
+    started = time.perf_counter()
+    for __ in range(50):
+        query_pass()
+    per_pass = (time.perf_counter() - started) / 50
+    # 64-tap FIR: a full query sweep should be well under 50 ms even
+    # on slow CI hardware; the pre-index implementation rescanned the
+    # whole graph per users_of() call and blew far past this.
+    assert per_pass < 0.05

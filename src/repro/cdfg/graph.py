@@ -23,11 +23,32 @@ control the iteration and selection statements") is represented by
 
 The statespace, when touched inside a loop/branch, is threaded through
 as just another carried value — its port type is STATE.
+
+Incremental analyses
+--------------------
+The graph maintains a *versioned* use/def index alongside the node
+table: every structural mutation (``add``, ``remove``, ``remove_dead``,
+``replace_uses``, ``set_input``, ``set_inputs``, ``splice``) updates a
+reverse-adjacency map (``ref -> {(consumer_id, slot)}``) and a per-kind
+id set, and bumps :attr:`version`.  ``uses()`` / ``users_of()`` /
+``find()`` / ``counts()`` are then O(fan-out) lookups instead of whole
+graph rescans, and ``topo_order()`` / ``sorted_nodes()`` memoise their
+result against the current version, so the common
+analyse-mutate-reanalyse loops of the transform passes stop being
+quadratic in graph size.
+
+Mutating ``node.inputs`` directly bypasses the index; rewiring must go
+through :meth:`Graph.set_input` / :meth:`Graph.set_inputs` (or
+``replace_uses``).  :meth:`check_index` compares the incremental index
+against a from-scratch recomputation and is wired into
+:func:`repro.cdfg.validate.validate`, and the hypothesis property
+tests drive it across randomized transform sequences.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
@@ -55,7 +76,9 @@ class Node:
     kind:
         The operation.
     inputs:
-        Ordered input references.
+        Ordered input references.  Treat as read-only outside
+        :class:`Graph`; rewire through :meth:`Graph.set_input` /
+        :meth:`Graph.set_inputs` so the use index stays current.
     value:
         Payload: ``int`` for CONST, :class:`Address` for ADDR, a slot
         index or :data:`COND_SLOT` for INPUT/OUTPUT nodes.
@@ -103,6 +126,60 @@ class Node:
         return f"<Node {self.id} {self.describe()}>"
 
 
+class UsesView(Mapping):
+    """Live, deterministic mapping view over a graph's use index.
+
+    Behaves like the dict ``uses()`` historically returned —
+    ``view[ref]`` is the list of ``(consumer_id, slot)`` pairs in
+    ascending order, refs with no consumers are absent — but reads
+    straight from the incremental index, so it is always current and
+    each lookup costs O(fan-out log fan-out) instead of a full-graph
+    rescan.
+
+    Per-ref lookups (``get``/``[]``/``in``) are always mutation-safe.
+    Iteration (``items()``/``values()``/``iter``) walks a snapshot of
+    the refs and silently skips any whose uses vanish mid-iteration,
+    so rewiring the graph while iterating never raises.
+    """
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "Graph"):
+        self._graph = graph
+
+    def get(self, ref, default=None):
+        users = self._graph._users.get(ref)
+        return sorted(users) if users else default
+
+    def __getitem__(self, ref) -> list[tuple[int, int]]:
+        users = self._graph._users.get(ref)
+        if not users:
+            raise KeyError(ref)
+        return sorted(users)
+
+    def __contains__(self, ref) -> bool:
+        return bool(self._graph._users.get(ref))
+
+    def __iter__(self):
+        return iter(sorted(self._graph._users))
+
+    def items(self):
+        for ref in sorted(self._graph._users):
+            users = self._graph._users.get(ref)
+            if users:
+                yield ref, sorted(users)
+
+    def values(self):
+        for __, consumers in self.items():
+            yield consumers
+
+    def __len__(self) -> int:
+        return len(self._graph._users)
+
+    def __repr__(self) -> str:
+        return f"<UsesView of {self._graph!r}>"
+
+
 class Graph:
     """A mutable CDFG.
 
@@ -110,13 +187,115 @@ class Graph:
     and wired by passing producer references as inputs.  The graph
     offers the navigation and surgery primitives that the transform
     passes and the mapper rely on: topological iteration, use lists,
-    use replacement, dead-node removal and deep cloning.
+    use replacement, dead-node removal and deep cloning — all backed
+    by the incremental versioned index described in the module
+    docstring.
     """
 
     def __init__(self, name: str = "cdfg"):
         self.name = name
         self.nodes: dict[int, Node] = {}
         self._ids = itertools.count(0)
+        #: ref -> {(consumer_id, slot)} — incremental reverse adjacency.
+        self._users: dict[ValueRef, set[tuple[int, int]]] = {}
+        #: kind -> {node ids} — incremental kind partition.
+        self._kind_ids: dict[OpKind, set[int]] = {}
+        #: Bumped on every structural mutation; memoised analyses key
+        #: their cache on it.
+        self._version = 0
+        self._topo_cache: tuple[int, list[Node]] | None = None
+        self._sorted_cache: tuple[int, list[Node]] | None = None
+
+    # -- index maintenance -------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone structural-mutation counter."""
+        return self._version
+
+    def _touch(self) -> None:
+        self._version += 1
+
+    def _index_added(self, node: Node) -> None:
+        self._kind_ids.setdefault(node.kind, set()).add(node.id)
+        for slot, ref in enumerate(node.inputs):
+            self._users.setdefault(ref, set()).add((node.id, slot))
+        self._touch()
+
+    def _index_removed(self, node: Node) -> None:
+        kind_ids = self._kind_ids.get(node.kind)
+        if kind_ids is not None:
+            kind_ids.discard(node.id)
+            if not kind_ids:
+                del self._kind_ids[node.kind]
+        for slot, ref in enumerate(node.inputs):
+            self._drop_use(ref, node.id, slot)
+        self._touch()
+
+    def _drop_use(self, ref: ValueRef, consumer_id: int,
+                  slot: int) -> None:
+        users = self._users.get(ref)
+        if users is not None:
+            users.discard((consumer_id, slot))
+            if not users:
+                del self._users[ref]
+
+    def _rebuild_index(self) -> None:
+        """Recompute the whole index from the node table (used by
+        clone/unpickle, and by :meth:`check_index` as the oracle)."""
+        self._users = {}
+        self._kind_ids = {}
+        for node in self.nodes.values():
+            self._kind_ids.setdefault(node.kind, set()).add(node.id)
+            for slot, ref in enumerate(node.inputs):
+                self._users.setdefault(ref, set()).add((node.id, slot))
+        self._topo_cache = None
+        self._sorted_cache = None
+        self._touch()
+
+    def check_index(self, recursive: bool = True) -> None:
+        """Verify the incremental index against a from-scratch scan.
+
+        Raises :class:`GraphError` on any divergence — the symptom of
+        a transform mutating ``node.inputs`` behind the graph's back.
+        """
+        fresh_users: dict[ValueRef, set[tuple[int, int]]] = {}
+        fresh_kinds: dict[OpKind, set[int]] = {}
+        for node in self.nodes.values():
+            fresh_kinds.setdefault(node.kind, set()).add(node.id)
+            for slot, ref in enumerate(node.inputs):
+                fresh_users.setdefault(ref, set()).add((node.id, slot))
+        if fresh_users != self._users:
+            stale = set(self._users) ^ set(fresh_users)
+            raise GraphError(
+                f"use index out of date (refs {sorted(stale)} differ); "
+                f"node.inputs was mutated directly — use "
+                f"Graph.set_input/set_inputs")
+        if fresh_kinds != self._kind_ids:
+            raise GraphError("kind index out of date")
+        if recursive:
+            for node in self.nodes.values():
+                for body in node.bodies:
+                    body.check_index(recursive=True)
+
+    # -- pickling -----------------------------------------------------
+    #
+    # Ships only the node table (the DSE runner sends compiled
+    # frontend graphs to worker processes); the index and memoised
+    # analyses are rebuilt on arrival, keeping the payload compact.
+
+    def __getstate__(self) -> dict:
+        return {"name": self.name, "nodes": self.nodes,
+                "next_id": max(self.nodes, default=-1) + 1}
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.nodes = state["nodes"]
+        self._ids = itertools.count(state["next_id"])
+        self._version = 0
+        self._topo_cache = None
+        self._sorted_cache = None
+        self._rebuild_index()
 
     # -- construction -------------------------------------------------
 
@@ -135,6 +314,7 @@ class Graph:
                     value=value, name=name, bodies=bodies,
                     n_outputs=n_outputs)
         self.nodes[node.id] = node
+        self._index_added(node)
         return node
 
     def const(self, value: int) -> Node:
@@ -174,12 +354,23 @@ class Graph:
         return iter(list(self.nodes.values()))
 
     def find(self, kind: OpKind) -> list[Node]:
-        """All nodes of the given kind, in id order."""
-        return [node for node in self.sorted_nodes() if node.kind is kind]
+        """All nodes of the given kind, in id order (O(matches))."""
+        return [self.nodes[node_id]
+                for node_id in sorted(self._kind_ids.get(kind, ()))]
 
     def sorted_nodes(self) -> list[Node]:
-        """All nodes in ascending id order (deterministic)."""
-        return [self.nodes[node_id] for node_id in sorted(self.nodes)]
+        """All nodes in ascending id order (deterministic).
+
+        Memoised against :attr:`version`; do not mutate the returned
+        list.  The list is a snapshot — iterating it while mutating
+        the graph is safe.
+        """
+        cached = self._sorted_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        ordered = [self.nodes[node_id] for node_id in sorted(self.nodes)]
+        self._sorted_cache = (self._version, ordered)
+        return ordered
 
     def sole(self, kind: OpKind) -> Node:
         """The unique node of *kind* (GraphError if 0 or >1)."""
@@ -191,54 +382,94 @@ class Graph:
 
     def counts(self) -> dict[OpKind, int]:
         """Histogram of node kinds (used by the Fig. 3 experiment)."""
-        histogram: dict[OpKind, int] = {}
-        for node in self.nodes.values():
-            histogram[node.kind] = histogram.get(node.kind, 0) + 1
-        return histogram
+        return {kind: len(ids)
+                for kind, ids in self._kind_ids.items() if ids}
 
     # -- uses ----------------------------------------------------------
 
-    def uses(self) -> dict[ValueRef, list[tuple[int, int]]]:
+    def uses(self) -> UsesView:
         """Map each referenced output to its consumers.
 
-        Returns ``{(producer_id, out_idx): [(consumer_id, in_slot), ...]}``
-        with consumers in deterministic (id, slot) order.
+        Returns a live :class:`UsesView`:
+        ``view[(producer_id, out_idx)]`` is
+        ``[(consumer_id, in_slot), ...]`` in deterministic (id, slot)
+        order.  The view always reflects the current graph — callers
+        that mutate while iterating no longer need to re-request it.
         """
-        table: dict[ValueRef, list[tuple[int, int]]] = {}
-        for node in self.sorted_nodes():
-            for slot, ref in enumerate(node.inputs):
-                table.setdefault(ref, []).append((node.id, slot))
-        return table
+        return UsesView(self)
 
     def users_of(self, node_id: int) -> list[Node]:
         """Nodes consuming any output of *node_id* (deduplicated)."""
-        seen: dict[int, Node] = {}
-        for node in self.sorted_nodes():
-            for ref in node.inputs:
-                if ref[0] == node_id:
-                    seen[node.id] = node
-        return list(seen.values())
+        node = self.nodes[node_id]
+        seen = {consumer_id
+                for index in range(node.n_outputs)
+                for consumer_id, __ in self._users.get((node_id, index),
+                                                       ())}
+        return [self.nodes[consumer_id] for consumer_id in sorted(seen)]
 
     def replace_uses(self, old: ValueRef, new: ValueRef) -> int:
-        """Rewire every input reading *old* to read *new*; return count."""
+        """Rewire every input reading *old* to read *new*; return count.
+
+        O(number of rewired inputs) via the use index.
+        """
         if old == new:
             return 0
         self._check_ref(new)
-        replaced = 0
-        for node in self.nodes.values():
-            for slot, ref in enumerate(node.inputs):
-                if ref == old:
-                    node.inputs[slot] = new
-                    replaced += 1
-        return replaced
+        users = self._users.pop(old, None)
+        if not users:
+            return 0
+        new_users = self._users.setdefault(new, set())
+        for consumer_id, slot in users:
+            self.nodes[consumer_id].inputs[slot] = new
+            new_users.add((consumer_id, slot))
+        self._touch()
+        return len(users)
+
+    def set_input(self, node: Node | int, slot: int,
+                  ref: ValueRef) -> None:
+        """Rewire one input of one node, keeping the index current.
+
+        This is the supported way to mutate ``node.inputs[slot]``.
+        """
+        if isinstance(node, int):
+            node = self.nodes[node]
+        self._check_ref(ref)
+        old = node.inputs[slot]
+        if old == ref:
+            return
+        self._drop_use(old, node.id, slot)
+        node.inputs[slot] = ref
+        self._users.setdefault(ref, set()).add((node.id, slot))
+        self._touch()
+
+    def set_inputs(self, node: Node | int,
+                   refs: Iterable[ValueRef]) -> None:
+        """Replace a node's whole input list, keeping the index
+        current (the supported way to write ``node.inputs = [...]``)."""
+        if isinstance(node, int):
+            node = self.nodes[node]
+        refs = list(refs)
+        for ref in refs:
+            self._check_ref(ref)
+        for slot, old in enumerate(node.inputs):
+            self._drop_use(old, node.id, slot)
+        node.inputs = refs
+        for slot, ref in enumerate(refs):
+            self._users.setdefault(ref, set()).add((node.id, slot))
+        self._touch()
 
     def remove(self, node_id: int) -> None:
         """Remove a node; it must have no remaining users."""
-        users = self.users_of(node_id)
-        if users:
+        node = self.nodes[node_id]
+        user_ids = sorted({consumer_id
+                           for index in range(node.n_outputs)
+                           for consumer_id, __ in self._users.get(
+                               (node_id, index), ())})
+        if user_ids:
             raise GraphError(
                 f"cannot remove node {node_id}: still used by "
-                f"{[user.id for user in users]}")
+                f"{user_ids}")
+        self._index_removed(node)
         del self.nodes[node_id]
 
     def remove_dead(self, keep: Iterable[int] = ()) -> int:
@@ -247,8 +478,8 @@ class Graph:
         Roots are OUTPUT / SS_OUT nodes plus anything listed in *keep*.
         Returns the number of removed nodes.
         """
-        roots = {node.id for node in self.nodes.values()
-                 if node.kind in (OpKind.OUTPUT, OpKind.SS_OUT)}
+        roots = set(self._kind_ids.get(OpKind.OUTPUT, ()))
+        roots |= set(self._kind_ids.get(OpKind.SS_OUT, ()))
         roots.update(keep)
         live: set[int] = set()
         stack = list(roots)
@@ -261,6 +492,7 @@ class Graph:
                 stack.append(ref[0])
         dead = [node_id for node_id in self.nodes if node_id not in live]
         for node_id in dead:
+            self._index_removed(self.nodes[node_id])
             del self.nodes[node_id]
         return len(dead)
 
@@ -270,8 +502,14 @@ class Graph:
         """Nodes in dependence order (inputs before users).
 
         Raises :class:`GraphError` on a cycle.  Ties are broken by node
-        id so the order is deterministic.
+        id so the order is deterministic.  Memoised against
+        :attr:`version` — repeated calls between mutations are O(1);
+        do not mutate the returned list.
         """
+        cached = self._topo_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        version = self._version
         indegree: dict[int, int] = {node_id: 0 for node_id in self.nodes}
         consumers: dict[int, list[int]] = {n: [] for n in self.nodes}
         for node in self.nodes.values():
@@ -295,6 +533,7 @@ class Graph:
             scheduled = {node.id for node in order}
             stuck = sorted(set(self.nodes) - scheduled)
             raise GraphError(f"cycle through nodes {stuck}")
+        self._topo_cache = (version, order)
         return order
 
     def depth(self) -> int:
@@ -339,6 +578,7 @@ class Graph:
                 value=node.value, name=node.name,
                 bodies=tuple(body.clone() for body in node.bodies),
                 n_outputs=node.n_outputs)
+        fresh._rebuild_index()
         return fresh
 
     def splice(self, other: "Graph",

@@ -157,6 +157,12 @@ def _check_branch(graph: Graph, node: Node) -> None:
 
 def validate(graph: Graph, *, top_level: bool = True) -> Graph:
     """Check all structural invariants; raise or return *graph*."""
+    # The incremental use/def index must agree with a from-scratch
+    # scan (bodies are covered by their own validate() call below).
+    try:
+        graph.check_index(recursive=False)
+    except GraphError as error:
+        raise ValidationError(str(error)) from None
     # References and acyclicity.
     for node in graph.sorted_nodes():
         for ref in node.inputs:

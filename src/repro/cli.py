@@ -3,7 +3,7 @@
 Two subcommands::
 
     fpfa-map map program.c [--listing] [--schedule] [--cdfg]
-             [--dot out.dot] [--pps N] [--buses N]
+             [--profile] [--dot out.dot] [--pps N] [--buses N]
              [--library two-level|single-op|mac] [--balance]
              [--tiles N] [--topology crossbar|ring|mesh]
              [--hop-latency N] [--hop-energy E] [--link-bandwidth N]
@@ -42,10 +42,10 @@ import sys
 from repro.arch.params import TileParams
 from repro.arch.templates import TemplateLibrary
 from repro.arch.tilearray import TOPOLOGIES, TileArrayParams
-from repro.cdfg.builder import build_main_cdfg
 from repro.cdfg.dot import to_dot
 from repro.core.pipeline import (
-    map_graph,
+    compile_frontend,
+    map_frontend,
     random_input_state,
     verify_mapping,
 )
@@ -104,6 +104,10 @@ def _add_map_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cdfg", action="store_true",
                         help="print CDFG statistics before/after "
                              "simplification")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-stage wall-time breakdown "
+                             "(parse, transforms, cluster, schedule, "
+                             "allocate)")
     parser.add_argument("--dot", metavar="PATH",
                         help="write the minimised CDFG as Graphviz DOT")
     parser.add_argument("--verify-seed", type=int, default=None,
@@ -218,6 +222,30 @@ def _dump_json(payload: dict, path: str) -> None:
 # fpfa-map map
 # ---------------------------------------------------------------------------
 
+#: Canonical stage order for the --profile breakdown.
+_PROFILE_STAGES = ("parse", "transforms", "taskgraph", "cluster",
+                   "schedule", "allocate", "multitile")
+
+
+def _render_profile(timings: dict[str, float]) -> str:
+    """The --profile table: one line per stage, milliseconds, share.
+
+    Known stages render in canonical pipeline order; any stage the
+    pipeline grows later still shows up (appended, name order), so
+    the shares always sum to the printed total.
+    """
+    total = sum(timings.values()) or 1e-12
+    ordered = [stage for stage in _PROFILE_STAGES if stage in timings]
+    ordered += sorted(set(timings) - set(_PROFILE_STAGES))
+    lines = ["stage timings:"]
+    for stage in ordered:
+        seconds = timings[stage]
+        lines.append(f"  {stage:<11} {seconds * 1e3:9.2f} ms "
+                     f"({seconds / total:5.1%})")
+    lines.append(f"  {'total':<11} {total * 1e3:9.2f} ms")
+    return "\n".join(lines)
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
     try:
@@ -232,10 +260,10 @@ def _cmd_map(args: argparse.Namespace) -> int:
     except ValueError as error:
         raise SystemExit(f"invalid configuration: {error}")
     library = TemplateLibrary.stock()[args.library]
-    graph = build_main_cdfg(source)
-    original_stats = graph.stats()
-    report = map_graph(graph, params, library, source=source,
-                       balance=args.balance, array=array)
+    frontend = compile_frontend(source, width=params.width,
+                                balance=args.balance)
+    original_stats = frontend.original.stats()
+    report = map_frontend(frontend, params, library, array=array)
 
     if args.cdfg:
         print(f"CDFG before simplification: {original_stats}")
@@ -247,6 +275,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
     metrics = mapping_metrics(report)
     print(f"locality: {metrics['locality']:.0%}  "
           f"energy proxy: {metrics['energy']}")
+    if args.profile:
+        print()
+        print(_render_profile(report.timings))
     multitile = None
     if report.multitile is not None:
         from repro.eval.metrics import multitile_metrics

@@ -38,6 +38,14 @@ memory/register-bank ports.  Exactly as in Fig. 5:
   (load) cycle is inserted before it, and the level is replanned —
   "insert one or more clock cycles before the current one".
 
+Backtracking is journal-based: every mutation a level attempt makes
+(a claimed register, a booked bus, a drafted move, a residency-table
+entry) pushes one undo record onto :class:`_Journal`, and a failed
+attempt rolls those records back in reverse.  A retry therefore costs
+O(changes the attempt made) — not O(whole allocator state) — and the
+per-level retry loop copies nothing: no register-file deep copy, no
+``mem_words`` set copies, no cycle-draft clones.
+
 Options ``enable_bypass`` / ``enable_reuse`` / ``stage_window`` exist
 for the locality ablation (EXT-C): disabling them yields the
 memory-only staging baseline.
@@ -85,6 +93,40 @@ class AllocationError(Exception):
 
 class _LevelRetry(Exception):
     """Internal: the pending level needs a stall cycle inserted."""
+
+
+class _Journal:
+    """Undo log for one level attempt.
+
+    Each entry is a zero-argument callable reverting one mutation.
+    ``rollback(mark)`` pops and runs entries newest-first until the
+    journal is back at *mark*, restoring exactly the state the attempt
+    started from in O(changes) — the replacement for the old
+    whole-state ``_snapshot``/``_restore`` deep copies.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self):
+        self._entries: list = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def mark(self) -> int:
+        return len(self._entries)
+
+    def record(self, undo) -> None:
+        self._entries.append(undo)
+
+    def rollback(self, mark: int) -> None:
+        entries = self._entries
+        while len(entries) > mark:
+            entries.pop()()
+
+    def commit(self) -> None:
+        """Drop all entries (the attempt succeeded; nothing to undo)."""
+        self._entries.clear()
 
 
 #: Identity of a value for residency tracking.
@@ -153,7 +195,8 @@ class Allocator:
         self.max_stalls_per_level = max_stalls_per_level
         self.stats = AllocationStats()
 
-        # -- mutable planning state (snapshot/restored on retries) --
+        # -- mutable planning state (journal-rolled-back on retries) --
+        self._journal = _Journal()
         self.cycles: list[_CycleDraft] = []
         self.banks: dict[tuple[int, int], list[_Slot]] = {
             (pp, bank): [_Slot() for _ in range(self.params.regs_per_bank)]
@@ -235,41 +278,55 @@ class Allocator:
             return pps
         return [preferred] + [pp for pp in pps if pp != preferred]
 
-    # -- snapshots -----------------------------------------------------------
+    # -- the undo journal ----------------------------------------------------
     #
     # A failed level attempt only ever mutates: the appended execute
     # cycle, the `window` cycles before it (staging moves and direct
-    # write-backs are both window-bounded), the register tables, the
-    # residency dicts and the stats.  Snapshotting just that keeps a
-    # retry O(window), so whole-program allocation stays linear in the
-    # number of clusters — the paper's §VI-C complexity claim.
+    # write-backs are both window-bounded), a handful of register
+    # slots, and a few residency-dict entries.  Each such mutation
+    # goes through one of the helpers below, which records its exact
+    # inverse in the journal; `_LevelRetry` rolls the journal back.
+    # A retry is therefore O(changes the attempt made) — whole-program
+    # allocation stays linear in the number of clusters (the paper's
+    # §VI-C complexity claim) with no per-retry deep copies at all.
 
-    def _snapshot(self, window: int):
-        tail_start = max(0, len(self.cycles) - window)
-        return (
-            len(self.cycles),
-            tail_start,
-            copy.deepcopy(self.cycles[tail_start:]),
-            copy.deepcopy(self.banks),
-            {key: set(value) for key, value in self.mem_words.items()},
-            dict(self.value_in_memory),
-            dict(self.cluster_exec_cycle),
-            dict(self.output_layout),
-            copy.copy(self.stats),
-        )
+    def _j_append_cycle(self) -> _CycleDraft:
+        draft = _CycleDraft()
+        self.cycles.append(draft)
+        self._journal.record(self.cycles.pop)
+        return draft
 
-    def _restore(self, snapshot) -> None:
-        (length, tail_start, tail, banks, mem_words, value_in_memory,
-         cluster_exec_cycle, output_layout, stats) = snapshot
-        del self.cycles[length:]
-        self.cycles[tail_start:] = copy.deepcopy(tail)
-        self.banks = copy.deepcopy(banks)
-        self.mem_words = {key: set(value)
-                          for key, value in mem_words.items()}
-        self.value_in_memory = dict(value_in_memory)
-        self.cluster_exec_cycle = dict(cluster_exec_cycle)
-        self.output_layout = dict(output_layout)
-        self.stats = copy.copy(stats)
+    def _j_list_append(self, items: list, value) -> None:
+        items.append(value)
+        self._journal.record(items.pop)
+
+    def _j_set_add(self, values: set, element) -> None:
+        if element not in values:
+            values.add(element)
+            self._journal.record(
+                lambda: values.discard(element))
+
+    def _j_dict_set(self, table: dict, key, value) -> None:
+        if key in table:
+            old = table[key]
+            self._journal.record(
+                lambda: table.__setitem__(key, old))
+        else:
+            self._journal.record(
+                lambda: table.pop(key, None))
+        table[key] = value
+
+    def _j_slot_write(self, slot: _Slot, value: ValueKey | None,
+                      write_cycle: int, busy_until: int) -> None:
+        old = (slot.value, slot.write_cycle, slot.busy_until)
+
+        def undo():
+            slot.value, slot.write_cycle, slot.busy_until = old
+
+        self._journal.record(undo)
+        slot.value = value
+        slot.write_cycle = write_cycle
+        slot.busy_until = busy_until
 
     # -- main ------------------------------------------------------------------
 
@@ -283,7 +340,8 @@ class Allocator:
     def _allocate_level(self, level: list[ScheduledCluster]) -> None:
         stalls = 0
         while True:
-            snapshot = self._snapshot(self.stage_window + stalls + 1)
+            mark = self._journal.mark()
+            stats_before = copy.copy(self.stats)
             try:
                 # Fig. 5 stages 4..1 cycles ahead; when inserted load
                 # cycles pile up, the window widens with them so the
@@ -291,9 +349,14 @@ class Allocator:
                 # a level needing more moves than window x buses could
                 # never complete).
                 self._plan_level(level, self.stage_window + stalls)
+                self._journal.commit()
                 return
             except _LevelRetry:
-                self._restore(snapshot)
+                self._journal.rollback(mark)
+                self.stats = stats_before
+                # The inserted stall outlives this attempt's rollback
+                # scope — the next attempt plans over it — so it is
+                # appended outside the journal.
                 stall = _CycleDraft(is_stall=True)
                 self.cycles.append(stall)
                 self.stats.stall_cycles += 1
@@ -308,8 +371,7 @@ class Allocator:
                     window: int | None = None) -> None:
         window = window or self.stage_window
         exec_cycle = len(self.cycles)
-        self.cycles.append(_CycleDraft())
-        draft = self.cycles[exec_cycle]
+        draft = self._j_append_cycle()
         for item in level:
             cluster = item.cluster
             operand_locs = [
@@ -320,10 +382,11 @@ class Allocator:
             config = AluConfig(pp=item.pp, shape=cluster.shape,
                                ops=cluster.ops, operands=operand_locs,
                                dests=dests, label=f"Clu{cluster.id}")
-            draft.alu_configs[item.pp] = config
+            self._j_dict_set(draft.alu_configs, item.pp, config)
             if dests:
-                draft.bus.add(("alu", item.pp))
-            self.cluster_exec_cycle[cluster.id] = exec_cycle
+                self._j_set_add(draft.bus, ("alu", item.pp))
+            self._j_dict_set(self.cluster_exec_cycle, cluster.id,
+                             exec_cycle)
 
     # -- operand staging -------------------------------------------------------
 
@@ -341,7 +404,9 @@ class Allocator:
         if self.enable_reuse:
             for index, slot in enumerate(slots):
                 if slot.value == key and slot.write_cycle <= exec_cycle - 1:
-                    slot.busy_until = max(slot.busy_until, exec_cycle)
+                    self._j_slot_write(
+                        slot, slot.value, slot.write_cycle,
+                        max(slot.busy_until, exec_cycle))
                     self.stats.reuse_hits += 1
                     return RegLoc(pp, bank, index)
 
@@ -381,9 +446,9 @@ class Allocator:
         if slot_index is None:
             return None
         loc = RegLoc(pp, bank, slot_index)
-        config.dests.append(loc)
-        draft.bus.add(("alu", producer_pp))
-        draft.bank_writes[(pp, bank)] = used + 1
+        self._j_list_append(config.dests, loc)
+        self._j_set_add(draft.bus, ("alu", producer_pp))
+        self._j_dict_set(draft.bank_writes, (pp, bank), used + 1)
         return loc
 
     def _stage_via_move(self, key: ValueKey, pp: int, bank: int,
@@ -419,11 +484,12 @@ class Allocator:
         if slot_index is None:
             return None
         loc = RegLoc(pp, bank, slot_index)
-        draft.moves.append(Move(source=source, dest=loc))
-        draft.bus.add(bus_token)
+        self._j_list_append(draft.moves, Move(source=source, dest=loc))
+        self._j_set_add(draft.bus, bus_token)
         if isinstance(source, MemLoc):
-            draft.mem_reads[(source.pp, source.mem)].add(source.addr)
-        draft.bank_writes[(pp, bank)] = used + 1
+            self._j_set_add(draft.mem_reads[(source.pp, source.mem)],
+                            source.addr)
+        self._j_dict_set(draft.bank_writes, (pp, bank), used + 1)
         return loc
 
     def _claim_slot(self, pp: int, bank: int, write_cycle: int,
@@ -440,10 +506,8 @@ class Allocator:
                     best_busy = slot.busy_until
         if best_index is None:
             return None
-        slot = slots[best_index]
-        slot.value = key
-        slot.write_cycle = write_cycle
-        slot.busy_until = use_cycle
+        self._j_slot_write(slots[best_index], key, write_cycle,
+                           use_cycle)
         return best_index
 
     def _source_of(self, key: ValueKey):
@@ -496,12 +560,14 @@ class Allocator:
                     if word not in words and \
                             len(words) >= self.params.memory_words:
                         continue
-                    writes.add(word)
-                    words.add(word)
-                    self.value_in_memory[("cluster", cluster.id)] = (
-                        loc, exec_cycle + 1)
+                    self._j_set_add(writes, word)
+                    self._j_set_add(words, word)
+                    self._j_dict_set(self.value_in_memory,
+                                     ("cluster", cluster.id),
+                                     (loc, exec_cycle + 1))
                     if outputs:
-                        self.output_layout[outputs[0]] = loc
+                        self._j_dict_set(self.output_layout,
+                                         outputs[0], loc)
                     self.stats.stores += 1
                     return [loc]
         raise _LevelRetry()

@@ -6,6 +6,24 @@ unrolling + full simplification (step 2: transformation) → task graph
 returning a :class:`MappingReport` that keeps every intermediate
 artifact for inspection, metrics and the experiment harness.
 
+The flow is factored into two stages so sweeps can reuse work:
+
+* the **frontend** (:func:`compile_frontend` / :func:`prepare_graph`)
+  turns source into a transformed CDFG.  It depends only on the
+  program, the data-path *width* and the transform options
+  (``simplify``/``balance``) — not on any other tile or array
+  parameter — and its result, a :class:`Frontend`, is an immutable,
+  picklable artifact;
+* the **backend** (:func:`map_frontend`) clusters, schedules and
+  allocates one frontend onto one concrete tile (and optionally a
+  tile array).  A 100-point sweep over tile parameters compiles each
+  kernel once and runs 100 backends.
+
+``map_graph``/``map_source`` compose the two and are byte-for-byte
+the original single-call flow.  Every report also carries a per-stage
+wall-time breakdown (``report.timings``) that ``fpfa-map map
+--profile`` prints.
+
 ``verify_mapping`` closes the loop: the tile program, executed on the
 cycle-level simulator, must leave exactly the values at its output
 addresses that the CDFG interpreter computes for the *original,
@@ -32,6 +50,7 @@ Invariants
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 
 from repro.arch.control import TileProgram
@@ -74,6 +93,11 @@ class MappingReport:
     #: The optional multi-tile stage outcome (None for the pure
     #: single-tile flow the paper describes).
     multitile: MultiTileReport | None = None
+    #: Per-stage wall-clock seconds (parse, transforms, taskgraph,
+    #: cluster, schedule, allocate, multitile) — the breakdown
+    #: ``fpfa-map map --profile`` prints.  Never part of the mapped
+    #: artifacts or metrics.
+    timings: dict[str, float] = field(default_factory=dict)
 
     # -- headline metrics -------------------------------------------------
 
@@ -122,6 +146,126 @@ class MappingReport:
         return "\n".join(lines)
 
 
+@dataclass
+class Frontend:
+    """One compiled frontend: source/graph → transformed CDFG.
+
+    Immutable by convention — the backend only reads it — so one
+    frontend can fan out to any number of :func:`map_frontend` calls
+    (the DSE runner compiles one per unique (width, simplify,
+    balance) combination and ships it to every worker).  Graphs
+    pickle compactly: only the node tables travel; indexes are
+    rebuilt on arrival.
+    """
+
+    original: Graph
+    minimised: Graph
+    pass_stats: PassStats | None
+    #: Data-path width the transforms folded with; the backend tile
+    #: must match (compile-time wrapping must equal ALU wrapping).
+    width: int | None = None
+    source: str | None = None
+    #: Frontend stage seconds (parse, transforms); copied into every
+    #: report built from this frontend.
+    timings: dict[str, float] = field(default_factory=dict)
+
+
+def prepare_graph(graph: Graph, *, simplify: bool = True,
+                  balance: bool = False, width: int | None = None,
+                  max_loop_iterations: int = 4096,
+                  source: str | None = None) -> Frontend:
+    """Run the transform frontend on a CDFG (step 2 of the flow).
+
+    *graph* itself is never mutated; the returned frontend holds a
+    pristine clone (for verification against the original semantics)
+    and the minimised working copy.
+    """
+    original = graph.clone()
+    pass_stats = None
+    working = graph.clone()
+    started = time.perf_counter()
+    if simplify:
+        pass_stats = run_simplify(
+            working, max_loop_iterations=max_loop_iterations,
+            width=width)
+    if balance:
+        from repro.transforms.reassociate import balance as run_balance
+        run_balance(working)
+        if simplify:  # clean up after the rebuild
+            run_simplify(working,
+                         max_loop_iterations=max_loop_iterations,
+                         width=width)
+    timings = {"transforms": time.perf_counter() - started}
+    return Frontend(original=original, minimised=working,
+                    pass_stats=pass_stats, width=width, source=source,
+                    timings=timings)
+
+
+def compile_frontend(source: str, *, width: int | None = None,
+                     simplify: bool = True, balance: bool = False,
+                     max_loop_iterations: int = 4096) -> Frontend:
+    """Parse C *source* and run the transform frontend on ``main``."""
+    started = time.perf_counter()
+    graph = build_main_cdfg(source)
+    parse_seconds = time.perf_counter() - started
+    frontend = prepare_graph(
+        graph, simplify=simplify, balance=balance, width=width,
+        max_loop_iterations=max_loop_iterations, source=source)
+    frontend.timings = {"parse": parse_seconds, **frontend.timings}
+    return frontend
+
+
+def map_frontend(frontend: Frontend,
+                 params: TileParams | None = None,
+                 library: TemplateLibrary | None = None, *,
+                 array: TileArrayParams | None = None,
+                 **alloc_options) -> MappingReport:
+    """Run the backend: cluster, schedule and allocate one compiled
+    frontend onto one concrete tile (see :class:`MappingReport`).
+
+    The frontend must have been compiled for ``params.width`` —
+    compile-time constant folding wraps with the width, so a mismatch
+    would change program semantics and is rejected outright.
+    """
+    params = params or TileParams()
+    library = library or TemplateLibrary.two_level()
+    if frontend.width != params.width:
+        raise ValueError(
+            f"frontend was compiled for width={frontend.width}, "
+            f"tile has width={params.width}; recompile the frontend")
+    timings = dict(frontend.timings)
+    started = time.perf_counter()
+    taskgraph = TaskGraph.from_cdfg(frontend.minimised)
+    timings["taskgraph"] = time.perf_counter() - started
+    started = time.perf_counter()
+    clustered = cluster_tasks(taskgraph, library)
+    timings["cluster"] = time.perf_counter() - started
+    # Every cluster result is broadcast on one crossbar bus in its
+    # execute cycle, so a level can hold at most min(PPs, buses)
+    # clusters — with fewer buses than ALUs the scheduler serialises.
+    capacity = min(params.n_pps, params.n_buses)
+    started = time.perf_counter()
+    schedule = schedule_clusters(clustered, n_pps=capacity)
+    timings["schedule"] = time.perf_counter() - started
+    started = time.perf_counter()
+    program, alloc_stats = allocate(clustered, schedule, params,
+                                    **alloc_options)
+    timings["allocate"] = time.perf_counter() - started
+    multitile = None
+    if array is not None:
+        started = time.perf_counter()
+        multitile = map_multitile(clustered, array, capacity=capacity,
+                                  base_levels=schedule.n_levels)
+        timings["multitile"] = time.perf_counter() - started
+    return MappingReport(
+        source=frontend.source, original=frontend.original,
+        minimised=frontend.minimised, pass_stats=frontend.pass_stats,
+        taskgraph=taskgraph, clustered=clustered,
+        schedule=schedule, program=program, alloc_stats=alloc_stats,
+        params=params, library=library, multitile=multitile,
+        timings=timings)
+
+
 def map_graph(graph: Graph, params: TileParams | None = None,
               library: TemplateLibrary | None = None, *,
               simplify: bool = True, balance: bool = False,
@@ -143,47 +287,26 @@ def map_graph(graph: Graph, params: TileParams | None = None,
     never altered by this stage — a 1-tile array is the identity.
     """
     params = params or TileParams()
-    library = library or TemplateLibrary.two_level()
-    original = graph.clone()
-    pass_stats = None
-    working = graph.clone()
-    if simplify:
-        pass_stats = run_simplify(
-            working, max_loop_iterations=max_loop_iterations,
-            width=params.width)
-    if balance:
-        from repro.transforms.reassociate import balance as run_balance
-        run_balance(working)
-        if simplify:  # clean up after the rebuild
-            run_simplify(working,
-                         max_loop_iterations=max_loop_iterations,
-                         width=params.width)
-    taskgraph = TaskGraph.from_cdfg(working)
-    clustered = cluster_tasks(taskgraph, library)
-    # Every cluster result is broadcast on one crossbar bus in its
-    # execute cycle, so a level can hold at most min(PPs, buses)
-    # clusters — with fewer buses than ALUs the scheduler serialises.
-    capacity = min(params.n_pps, params.n_buses)
-    schedule = schedule_clusters(clustered, n_pps=capacity)
-    program, alloc_stats = allocate(clustered, schedule, params,
-                                    **alloc_options)
-    multitile = None
-    if array is not None:
-        multitile = map_multitile(clustered, array, capacity=capacity,
-                                  base_levels=schedule.n_levels)
-    return MappingReport(
-        source=source, original=original, minimised=working,
-        pass_stats=pass_stats, taskgraph=taskgraph, clustered=clustered,
-        schedule=schedule, program=program, alloc_stats=alloc_stats,
-        params=params, library=library, multitile=multitile)
+    frontend = prepare_graph(
+        graph, simplify=simplify, balance=balance, width=params.width,
+        max_loop_iterations=max_loop_iterations, source=source)
+    return map_frontend(frontend, params, library, array=array,
+                        **alloc_options)
 
 
 def map_source(source: str, params: TileParams | None = None,
-               library: TemplateLibrary | None = None,
-               **kwargs) -> MappingReport:
+               library: TemplateLibrary | None = None, *,
+               simplify: bool = True, balance: bool = False,
+               max_loop_iterations: int = 4096,
+               array: TileArrayParams | None = None,
+               **alloc_options) -> MappingReport:
     """Parse C *source* and map its ``main`` onto one FPFA tile."""
-    graph = build_main_cdfg(source)
-    return map_graph(graph, params, library, source=source, **kwargs)
+    params = params or TileParams()
+    frontend = compile_frontend(
+        source, width=params.width, simplify=simplify, balance=balance,
+        max_loop_iterations=max_loop_iterations)
+    return map_frontend(frontend, params, library, array=array,
+                        **alloc_options)
 
 
 def random_input_state(report: MappingReport,

@@ -6,6 +6,15 @@ It deduplicates the requested points, satisfies what it can from the
 or on a ``multiprocessing`` pool in configurable chunks — and returns
 one JSON-able *record* per requested point.
 
+The mapping flow is split into a frontend (source → transformed CDFG,
+depending only on the program, the data-path width and the transform
+options) and a backend (cluster/schedule/allocate, depending on every
+tile/array axis) — see :mod:`repro.core.pipeline`.  ``run_sweep``
+compiles each *unique* frontend exactly once in the parent process
+and ships the compact compiled artifact to the workers through the
+pool initializer, so a 100-point sweep over tile parameters parses
+and simplifies the kernel once instead of 100 times.
+
 Per-point failures (an infeasible :class:`TileParams` combination, a
 scheduling overflow, a verification mismatch) are captured inside the
 worker and returned as ``{"ok": False, "error": ...}`` records, so a
@@ -39,7 +48,9 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.pipeline import (
-    map_source,
+    Frontend,
+    compile_frontend,
+    map_frontend,
     random_input_state,
     verify_mapping,
 )
@@ -47,22 +58,53 @@ from repro.dse.cache import ResultCache, cache_key
 from repro.dse.space import DesignPoint
 from repro.eval.metrics import mapping_metrics, multitile_metrics
 
+#: A frontend's identity within one sweep: everything the frontend
+#: stage depends on besides the (shared) program source.
+FrontendSpec = tuple
+
+
+def frontend_spec(point: DesignPoint) -> FrontendSpec:
+    """The (width, simplify, balance) triple *point*'s frontend needs.
+
+    Raises when the point's tile parameters are unrealisable — the
+    caller treats that point as having no shareable frontend and lets
+    evaluation produce the failure record.
+    """
+    options = point.options_dict()
+    return (point.tile_params().width,
+            options.get("simplify", True),
+            options.get("balance", False))
+
+
+def _compile_spec(source: str, spec: FrontendSpec) -> Frontend:
+    width, simplify, balance = spec
+    return compile_frontend(source, width=width, simplify=simplify,
+                            balance=balance)
+
 
 def evaluate_point(source: str, point: DesignPoint,
-                   verify_seed: int | None = None) -> dict:
+                   verify_seed: int | None = None, *,
+                   frontend: Frontend | None = None) -> dict:
     """Map *source* at *point*; never raises — failures are records.
 
     With *verify_seed*, the mapped program is additionally checked
     against the reference interpreter on deterministic random inputs,
     and a mismatch fails the record.
+
+    *frontend* is an optional pre-compiled frontend matching this
+    point's :func:`frontend_spec`; without one the frontend is
+    compiled here.  Either way the record is identical — the flow is
+    deterministic — a shared frontend only changes how fast the
+    record is produced.
     """
     record = {"point": point.to_dict(), "config": point.assignment()}
     try:
         params = point.tile_params()
         library = point.template_library()
-        report = map_source(source, params, library,
-                            array=point.tile_array_params(),
-                            **point.options_dict())
+        if frontend is None:
+            frontend = _compile_spec(source, frontend_spec(point))
+        report = map_frontend(frontend, params, library,
+                              array=point.tile_array_params())
         if verify_seed is not None:
             verify_mapping(report,
                            random_input_state(report, verify_seed))
@@ -81,11 +123,44 @@ def evaluate_point(source: str, point: DesignPoint,
     return record
 
 
+#: Per-worker sweep context installed by :func:`_init_worker`: the
+#: program source and a frontend memo seeded with any parent-compiled
+#: frontends, sent once per worker process instead of once per job.
+_WORKER_CONTEXT: dict = {}
+
+
+def _init_worker(source: str,
+                 frontends: dict[FrontendSpec, Frontend]) -> None:
+    _WORKER_CONTEXT["source"] = source
+    _WORKER_CONTEXT["frontends"] = dict(frontends)
+
+
 def _worker(payload: tuple) -> tuple:
-    """Pool entry point: evaluate one point from its serialised form."""
-    key, source, point_dict, verify_seed = payload
+    """Pool entry point: evaluate one point from its serialised form.
+
+    Frontends are memoised per worker process: a spec the parent did
+    not pre-ship is compiled on first use and reused for every later
+    job with the same spec, so sweeps spanning several frontend axes
+    compile them in parallel across the pool.  A failed compile
+    memoises ``None`` and the evaluation recompiles per point,
+    producing the identical failure record.
+    """
+    key, point_dict, verify_seed, spec = payload
     point = DesignPoint.from_dict(point_dict)
-    return key, evaluate_point(source, point, verify_seed)
+    frontend = None
+    if spec is not None:
+        memo = _WORKER_CONTEXT["frontends"]
+        if spec in memo:
+            frontend = memo[spec]
+        else:
+            try:
+                frontend = _compile_spec(_WORKER_CONTEXT["source"],
+                                         spec)
+            except Exception:  # noqa: BLE001 — surfaces per record
+                frontend = None
+            memo[spec] = frontend
+    return key, evaluate_point(_WORKER_CONTEXT["source"], point,
+                               verify_seed, frontend=frontend)
 
 
 @dataclass
@@ -98,14 +173,17 @@ class SweepStats:
     evaluated: int = 0      #: unique points actually mapped
     failed: int = 0         #: unique points whose record is not ok
     workers: int = 1        #: pool size used (1 = in-process serial)
+    frontends: int = 0      #: frontend specs shared by >1 swept point
     elapsed: float = 0.0    #: wall-clock seconds for the whole sweep
 
     def summary(self) -> str:
         rate = self.cached / self.unique if self.unique else 0.0
+        shared = (f" sharing {self.frontends} frontend(s)"
+                  if self.frontends else "")
         return (f"{self.total} points ({self.unique} unique): "
                 f"{self.cached} cached ({rate:.0%}), "
                 f"{self.evaluated} evaluated on {self.workers} "
-                f"worker(s), {self.failed} failed, "
+                f"worker(s){shared}, {self.failed} failed, "
                 f"{self.elapsed:.2f}s")
 
 
@@ -227,24 +305,62 @@ def run_sweep(source: str, points: Iterable[DesignPoint], *,
     workers = _resolve_workers(workers, len(pending))
     stats.workers = workers
     if pending:
-        jobs = [(key, source, key_points[key].to_dict(), verify_seed)
-                for key in pending]
+        # Frontend sharing: a spec needed by more than one pending
+        # point is compiled once and reused.  Where it compiles
+        # depends on the sweep's shape — in the parent (and shipped
+        # through the pool initializer) when the whole sweep shares
+        # one frontend or runs serially, inside the workers' memo
+        # when several distinct shared specs could compile in
+        # parallel across the pool.  A spec used by a single point
+        # always compiles inside its own evaluation.  A point whose
+        # tile parameters are unrealisable (or whose frontend compile
+        # fails) recompiles per evaluation and yields the identical
+        # failure record either way.
+        specs: dict[str, FrontendSpec | None] = {}
+        spec_counts: dict[FrontendSpec, int] = {}
+        for key in pending:
+            try:
+                spec = frontend_spec(key_points[key])
+            except Exception:  # noqa: BLE001 — surfaces per record
+                specs[key] = None
+                continue
+            specs[key] = spec
+            spec_counts[spec] = spec_counts.get(spec, 0) + 1
+        shared = [spec for spec, count in spec_counts.items()
+                  if count > 1]
+        stats.frontends = len(shared)
+        frontends: dict[FrontendSpec, Frontend] = {}
+        if workers == 1 or len(shared) == 1:
+            for spec in shared:
+                try:
+                    frontends[spec] = _compile_spec(source, spec)
+                except Exception:  # noqa: BLE001 — per-record failure
+                    pass
         if workers > 1:
+            jobs = [(key, key_points[key].to_dict(), verify_seed,
+                     specs[key])
+                    for key in pending]
             if chunksize is None:
                 chunksize = max(1, len(jobs) // (workers * 4))
             context = multiprocessing.get_context(
                 "fork" if "fork" in
                 multiprocessing.get_all_start_methods() else None)
-            with context.Pool(processes=workers) as pool:
+            with context.Pool(processes=workers,
+                              initializer=_init_worker,
+                              initargs=(source, frontends)) as pool:
                 outcomes = pool.imap_unordered(_worker, jobs,
                                                chunksize=chunksize)
                 for key, record in outcomes:
                     by_key[key] = record
         else:
-            for job in jobs:
-                key, record = _worker(job)
-                by_key[key] = record
-        stats.evaluated = len(jobs)
+            for key in pending:
+                spec = specs[key]
+                frontend = frontends.get(spec) \
+                    if spec is not None else None
+                by_key[key] = evaluate_point(
+                    source, key_points[key], verify_seed,
+                    frontend=frontend)
+        stats.evaluated = len(pending)
         if cache is not None:
             # Only successful records are memoised: a failure may be
             # transient (resource exhaustion in a worker), and caching

@@ -32,6 +32,7 @@ Invariants
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 
 from repro.arch.tilearray import TileArrayParams
@@ -148,6 +149,62 @@ class ArraySchedule:
         return "\n".join(lines)
 
 
+class _LinkOccupancy:
+    """Per-link word bookings with a sorted saturated-step list.
+
+    ``counts[link]`` maps a step to the words booked on that directed
+    link in that step; ``full[link]`` is the ascending list of steps
+    already at ``bandwidth``.  Finding the earliest feasible send step
+    for a route bisects the full lists and jumps straight past each
+    saturated step instead of re-scanning every booked transfer one
+    candidate cycle at a time, so a congested link costs
+    O(conflicts x log(full steps)) per transfer, not
+    O(makespan x route length).  The found step is exactly the one the
+    old linear scan produced: a send is infeasible iff some hop's
+    occupancy window contains a saturated step, and the jump target is
+    the smallest send clearing that step.
+    """
+
+    __slots__ = ("bandwidth", "counts", "full")
+
+    def __init__(self, bandwidth: int):
+        self.bandwidth = bandwidth
+        self.counts: dict[tuple[int, int], dict[int, int]] = {}
+        self.full: dict[tuple[int, int], list[int]] = {}
+
+    def earliest_send(self, route, hop_latency: int, send: int) -> int:
+        """Smallest ``s >= send`` with every hop window unsaturated."""
+        while True:
+            required = send
+            for hop, link in enumerate(route):
+                full = self.full.get(link)
+                if not full:
+                    continue
+                start = send + hop * hop_latency
+                index = bisect_left(full, start)
+                if index < len(full) and \
+                        full[index] < start + hop_latency:
+                    # hop's window [start, start + latency) holds a
+                    # saturated step; clear it entirely.
+                    required = max(required,
+                                   full[index] + 1 - hop * hop_latency)
+            if required == send:
+                return send
+            send = required
+
+    def book(self, route, hop_latency: int, send: int) -> None:
+        """Occupy every (link, step) slot of one transfer."""
+        for hop, link in enumerate(route):
+            counts = self.counts.setdefault(link, {})
+            base = send + hop * hop_latency
+            for tick in range(hop_latency):
+                step = base + tick
+                count = counts.get(step, 0) + 1
+                counts[step] = count
+                if count == self.bandwidth:
+                    insort(self.full.setdefault(link, []), step)
+
+
 def schedule_array(graph: ClusterGraph, partition: Partition,
                    array: TileArrayParams,
                    capacity: int = 5) -> ArraySchedule:
@@ -178,25 +235,19 @@ def schedule_array(graph: ClusterGraph, partition: Partition,
         if count == 0:
             ready[partition.tile_of(cid)].add(cid)
 
-    #: (src, dst, step) -> words already booked on that link that step.
-    link_load: dict[tuple[int, int, int], int] = {}
+    #: Per-link interval bookings (a word occupies hop h's link for
+    #: the hop_latency steps it takes to cross it, not just the entry
+    #: step).
+    links = _LinkOccupancy(array.link_bandwidth)
 
     def launch_transfer(producer: int, exec_step: int, src: int,
                         dst: int, consumers: list[int]) -> Transfer:
         route = array.route(src, dst)
-        send = exec_step + 1  # result commits at end of exec_step
-        while True:
-            # A word occupies hop h's link for the hop_latency steps
-            # it takes to cross it, not just the entry step.
-            slots = [(u, v, send + hop * array.hop_latency + tick)
-                     for hop, (u, v) in enumerate(route)
-                     for tick in range(array.hop_latency)]
-            if all(link_load.get(slot, 0) < array.link_bandwidth
-                   for slot in slots):
-                break
-            send += 1
-        for slot in slots:
-            link_load[slot] = link_load.get(slot, 0) + 1
+        # Result commits at end of exec_step; the word leaves at the
+        # earliest later step whose whole route is under bandwidth.
+        send = links.earliest_send(route, array.hop_latency,
+                                   exec_step + 1)
+        links.book(route, array.hop_latency, send)
         return Transfer(
             producer=producer, src_tile=src, dst_tile=dst,
             send_step=send, hops=len(route),

@@ -118,7 +118,7 @@ class DependencyAnalysis(Transform):
             state_ref = producer.inputs[0]
             hoisted += 1
         if state_ref != fetch.inputs[0]:
-            fetch.inputs[0] = state_ref
+            graph.set_input(fetch, 0, state_ref)
             return 1
         return 0
 
@@ -126,7 +126,7 @@ class DependencyAnalysis(Transform):
 
     def _kill_overwritten(self, graph: Graph) -> int:
         changes = 0
-        uses = graph.uses()
+        uses = graph.uses()  # live view: always current, no recompute
         for node in graph.sorted_nodes():
             if node.id not in graph.nodes or node.kind not in _WRITERS:
                 continue
@@ -142,7 +142,6 @@ class DependencyAnalysis(Transform):
                                                    consumer.inputs[1])):
                 continue
             # The write is observed by nobody and then overwritten.
-            consumer.inputs[0] = node.inputs[0]
+            graph.set_input(consumer, 0, node.inputs[0])
             changes += 1
-            uses = graph.uses()  # references moved; recompute
         return changes

@@ -43,13 +43,11 @@ class PruneLoopSlots(Transform):
 
     def run_on(self, graph: Graph) -> int:
         changes = 0
-        uses = graph.uses()
+        uses = graph.uses()  # live view: stays current across prunes
         for node in graph.sorted_nodes():
             if node.id not in graph.nodes or node.kind is not OpKind.LOOP:
                 continue
             changes += self._prune(graph, node, uses)
-            if changes:
-                uses = graph.uses()
         return changes
 
     def _prune(self, graph: Graph, loop: Node, uses) -> int:

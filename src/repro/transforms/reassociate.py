@@ -44,7 +44,7 @@ class Reassociate(Transform):
     """Balance single-use chains of one associative-commutative op."""
 
     def run_on(self, graph: Graph) -> int:
-        uses = graph.uses()
+        uses = graph.uses()  # live view: stays current across rebuilds
         changes = 0
         for node in graph.sorted_nodes():
             if node.id not in graph.nodes:
@@ -62,7 +62,6 @@ class Reassociate(Transform):
                     continue
             if self._rebalance(graph, node, uses):
                 changes += 1
-                uses = graph.uses()  # chain rebuilt; refresh view
         if changes:
             graph.remove_dead()
         return changes

@@ -76,7 +76,7 @@ class UnrollLoops(Transform):
         if spliced:
             # Peeled a prefix; the residual loop restarts from the
             # current carried values.
-            loop.inputs = [refs[name] for name in names]
+            graph.set_inputs(loop, [refs[name] for name in names])
         return spliced
 
     # -- static condition evaluation -------------------------------------

@@ -42,6 +42,23 @@ def test_cdfg_flag(fir_file, capsys):
     assert "after  simplification" in out
 
 
+def test_profile_flag(fir_file, capsys):
+    main([fir_file, "--profile"])
+    out = capsys.readouterr().out
+    assert "stage timings:" in out
+    for stage in ("parse", "transforms", "cluster", "schedule",
+                  "allocate", "total"):
+        assert stage in out
+    assert "multitile" not in out  # single-tile run has no such stage
+
+
+def test_profile_flag_multitile(fir_file, capsys):
+    main([fir_file, "--profile", "--tiles", "2"])
+    out = capsys.readouterr().out
+    assert "stage timings:" in out
+    assert "multitile" in out
+
+
 def test_dot_output(fir_file, tmp_path, capsys):
     dot_path = tmp_path / "fir.dot"
     main([fir_file, "--dot", str(dot_path)])

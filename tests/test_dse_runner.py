@@ -62,6 +62,66 @@ class TestRunSweep:
         assert pooled.records == serial.records
 
 
+class TestFrontendReuse:
+    """The sweep compiles each unique frontend once and shares it."""
+
+    def test_frontend_compiled_once_per_spec(self, monkeypatch):
+        import repro.dse.runner as runner_module
+
+        calls = []
+        real = runner_module.compile_frontend
+
+        def counting(source, **kwargs):
+            calls.append(kwargs)
+            return real(source, **kwargs)
+
+        monkeypatch.setattr(runner_module, "compile_frontend",
+                            counting)
+        points = DesignSpace({"n_pps": [1, 2, 4, 8],
+                              "n_buses": [4, 10]}).grid()
+        result = run_sweep(FIR5, points, workers=1)
+        assert result.stats.failed == 0
+        assert result.stats.frontends == 1
+        assert len(calls) == 1  # 8 points, one parse+simplify
+
+    def test_distinct_transform_axes_get_distinct_frontends(self):
+        points = DesignSpace({"n_pps": [2, 5],
+                              "balance": [False, True]}).grid()
+        result = run_sweep(FIR5, points, workers=1)
+        assert result.stats.failed == 0
+        assert result.stats.frontends == 2  # balance off / on
+
+    def test_width_is_a_frontend_axis(self):
+        # One point per width: no spec is shared, so nothing is
+        # precompiled (each evaluation compiles its own frontend and
+        # a pooled sweep keeps its parallelism) ...
+        points = DesignSpace({"width": [None, 16]}).grid()
+        result = run_sweep(FIR5, points, workers=1)
+        assert result.stats.failed == 0
+        assert result.stats.frontends == 0
+        # ... while a width x tile grid shares one frontend per width.
+        grid = DesignSpace({"width": [None, 16],
+                            "n_pps": [2, 5]}).grid()
+        shared = run_sweep(FIR5, grid, workers=1)
+        assert shared.stats.failed == 0
+        assert shared.stats.frontends == 2
+
+    def test_shared_frontend_matches_per_point_evaluation(self):
+        points = DesignSpace({"n_pps": [1, 3, 5],
+                              "tiles": [1, 2]}).grid()
+        swept = run_sweep(FIR5, points, workers=1)
+        for point, record in zip(swept.points, swept.records):
+            assert record == evaluate_point(FIR5, point)
+
+    def test_unrealisable_tile_params_still_fail_per_record(self):
+        bad = DesignPoint(tile=(("width", 1),))  # width must be >= 2
+        good = DesignPoint.make({"n_pps": 2})
+        result = run_sweep(FIR5, [bad, good], workers=1)
+        assert result.stats.failed == 1
+        assert "width" in result.failures()[0]["error"]
+        assert result.ok_records()
+
+
 class TestCacheAcceptance:
     """The ISSUE's hard acceptance criteria, asserted end to end."""
 

@@ -164,7 +164,7 @@ class TestOrdering:
         graph = Graph()
         a = graph.const(0)
         neg = graph.add(OpKind.NEG, inputs=[a.out()])
-        neg.inputs[0] = neg.out()  # self-loop via surgery
+        graph.set_input(neg, 0, neg.out())  # self-loop via surgery
         with pytest.raises(GraphError):
             graph.topo_order()
 

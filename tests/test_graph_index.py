@@ -1,0 +1,257 @@
+"""Property tests for the graph's incremental use/def + topo index.
+
+The invariant under test: after *any* sequence of graph surgery — the
+full transform tool-chest over random programs, or direct API calls —
+the incrementally-maintained index (use lists, kind partition, node
+histogram) and the memoised topological order are exactly what a
+from-scratch recomputation over ``node.inputs`` produces.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg.builder import build_main_cdfg
+from repro.cdfg.graph import Graph, GraphError
+from repro.cdfg.ops import OpKind
+from repro.transforms.base import Transform
+from repro.transforms.cse import CommonSubexpressionElimination
+from repro.transforms.dce import DeadCodeElimination
+from repro.transforms.dependency import DependencyAnalysis
+from repro.transforms.folding import (
+    AlgebraicSimplification,
+    ConstantFolding,
+)
+from repro.transforms.loopslots import PruneLoopSlots
+from repro.transforms.mux import BranchToMux
+from repro.transforms.reassociate import Reassociate
+from repro.transforms.unroll import UnrollLoops
+
+from tests.test_property import random_source
+
+#: The pool a random transform sequence draws from.
+_PASSES: list[Transform] = [
+    PruneLoopSlots(),
+    UnrollLoops(max_iterations=64),
+    BranchToMux(),
+    ConstantFolding(),
+    AlgebraicSimplification(),
+    CommonSubexpressionElimination(),
+    DependencyAnalysis(),
+    DeadCodeElimination(),
+    Reassociate(),
+]
+
+
+# ---------------------------------------------------------------------------
+# From-scratch oracles
+# ---------------------------------------------------------------------------
+
+def scratch_uses(graph: Graph) -> dict:
+    """The use table the pre-index implementation computed."""
+    table: dict = {}
+    for node_id in sorted(graph.nodes):
+        node = graph.nodes[node_id]
+        for slot, ref in enumerate(node.inputs):
+            table.setdefault(ref, []).append((node.id, slot))
+    return table
+
+
+def scratch_topo_ids(graph: Graph) -> list[int]:
+    """Kahn's algorithm with the min-id heap, recomputed from scratch."""
+    indegree = {}
+    consumers: dict[int, list[int]] = {n: [] for n in graph.nodes}
+    for node in graph.nodes.values():
+        producers = {ref[0] for ref in node.inputs}
+        indegree[node.id] = len(producers)
+        for producer in producers:
+            consumers[producer].append(node.id)
+    ready = [n for n, d in indegree.items() if d == 0]
+    heapq.heapify(ready)
+    order = []
+    while ready:
+        node_id = heapq.heappop(ready)
+        order.append(node_id)
+        for consumer in consumers[node_id]:
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                heapq.heappush(ready, consumer)
+    assert len(order) == len(graph.nodes), "unexpected cycle"
+    return order
+
+
+def assert_index_matches_scratch(graph: Graph) -> None:
+    """Full equivalence check, recursing into compound bodies."""
+    graph.check_index(recursive=False)
+    uses = graph.uses()
+    fresh = scratch_uses(graph)
+    assert {ref: uses[ref] for ref in uses} == fresh
+    for ref, consumers in fresh.items():
+        assert uses.get(ref) == consumers
+    assert [node.id for node in graph.topo_order()] == \
+        scratch_topo_ids(graph)
+    assert [node.id for node in graph.sorted_nodes()] == \
+        sorted(graph.nodes)
+    histogram: dict = {}
+    for node in graph.nodes.values():
+        histogram[node.kind] = histogram.get(node.kind, 0) + 1
+    assert graph.counts() == histogram
+    for kind in set(histogram):
+        assert [node.id for node in graph.find(kind)] == sorted(
+            node.id for node in graph.nodes.values()
+            if node.kind is kind)
+    for node in graph.nodes.values():
+        expected_users = sorted({consumer
+                                 for index in range(node.n_outputs)
+                                 for consumer, __ in
+                                 fresh.get((node.id, index), [])})
+        assert [user.id for user in graph.users_of(node.id)] == \
+            expected_users
+        for body in node.bodies:
+            assert_index_matches_scratch(body)
+
+
+# ---------------------------------------------------------------------------
+# Randomized transform sequences over random programs
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(program_seed=st.integers(0, 4000),
+       order=st.lists(st.integers(0, len(_PASSES) - 1),
+                      min_size=1, max_size=12))
+def test_index_equals_recomputation_across_transforms(program_seed,
+                                                      order):
+    graph = build_main_cdfg(random_source(program_seed))
+    assert_index_matches_scratch(graph)
+    for index in order:
+        _PASSES[index].run(graph)
+        assert_index_matches_scratch(graph)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(program_seed=st.integers(0, 4000))
+def test_index_survives_clone_and_pickle(program_seed):
+    import pickle
+
+    graph = build_main_cdfg(random_source(program_seed))
+    UnrollLoops(max_iterations=64).run(graph)
+    copy = graph.clone()
+    assert_index_matches_scratch(copy)
+    revived = pickle.loads(pickle.dumps(graph))
+    assert_index_matches_scratch(revived)
+    assert sorted(revived.nodes) == sorted(graph.nodes)
+    # fresh ids resume past the originals after a pickle round-trip
+    fresh = revived.const(1)
+    assert fresh.id not in graph.nodes
+
+
+# ---------------------------------------------------------------------------
+# Direct surgery API
+# ---------------------------------------------------------------------------
+
+def test_set_input_updates_index():
+    graph = Graph()
+    x = graph.const(1)
+    y = graph.const(2)
+    neg = graph.add(OpKind.NEG, inputs=[x.out()])
+    before = graph.version
+    graph.set_input(neg, 0, y.out())
+    assert graph.version > before
+    assert graph.uses().get(x.out()) is None
+    assert graph.uses()[y.out()] == [(neg.id, 0)]
+    assert_index_matches_scratch(graph)
+
+
+def test_set_input_same_ref_is_noop():
+    graph = Graph()
+    x = graph.const(1)
+    neg = graph.add(OpKind.NEG, inputs=[x.out()])
+    before = graph.version
+    graph.set_input(neg, 0, x.out())
+    assert graph.version == before
+
+
+def test_set_inputs_replaces_whole_list():
+    graph = Graph()
+    x = graph.const(1)
+    y = graph.const(2)
+    add = graph.add(OpKind.ADD, inputs=[x.out(), x.out()])
+    graph.set_inputs(add, [y.out(), x.out()])
+    assert graph.uses()[x.out()] == [(add.id, 1)]
+    assert graph.uses()[y.out()] == [(add.id, 0)]
+    assert_index_matches_scratch(graph)
+
+
+def test_set_input_rejects_unknown_ref():
+    graph = Graph()
+    x = graph.const(1)
+    neg = graph.add(OpKind.NEG, inputs=[x.out()])
+    with pytest.raises(GraphError):
+        graph.set_input(neg, 0, (99, 0))
+
+
+def test_uses_view_iteration_survives_mutation():
+    graph = Graph()
+    x = graph.const(1)
+    y = graph.const(2)
+    neg_x = graph.add(OpKind.NEG, inputs=[x.out()])
+    neg_y = graph.add(OpKind.NEG, inputs=[y.out()])
+    seen = []
+    for ref, consumers in graph.uses().items():
+        seen.append(ref)
+        # drop a later ref's only consumer mid-iteration
+        if neg_y.id in graph.nodes:
+            graph.remove(neg_y.id)
+    assert seen == [x.out()]  # y's entry vanished and was skipped
+    assert list(graph.uses().values()) == [[(neg_x.id, 0)]]
+
+
+def test_uses_view_is_live():
+    graph = Graph()
+    x = graph.const(1)
+    view = graph.uses()
+    assert view.get(x.out()) is None
+    neg = graph.add(OpKind.NEG, inputs=[x.out()])
+    assert view[x.out()] == [(neg.id, 0)]
+    graph.remove(neg.id)
+    assert view.get(x.out()) is None
+
+
+def test_check_index_catches_rogue_mutation():
+    graph = Graph()
+    x = graph.const(1)
+    y = graph.const(2)
+    neg = graph.add(OpKind.NEG, inputs=[x.out()])
+    neg.inputs[0] = y.out()  # the unsupported direct write
+    with pytest.raises(GraphError):
+        graph.check_index()
+
+
+def test_topo_cache_invalidated_by_mutation():
+    graph = Graph()
+    x = graph.const(1)
+    first = graph.topo_order()
+    neg = graph.add(OpKind.NEG, inputs=[x.out()])
+    second = graph.topo_order()
+    assert [node.id for node in first] == [x.id]
+    assert [node.id for node in second] == [x.id, neg.id]
+
+
+def test_remove_dead_keeps_index_consistent():
+    graph = Graph()
+    ss = graph.add(OpKind.SS_IN)
+    addr = graph.addr("x")
+    value = graph.const(1)
+    store = graph.add(OpKind.ST,
+                      inputs=[ss.out(), addr.out(), value.out()])
+    graph.add(OpKind.SS_OUT, inputs=[store.out()])
+    graph.const(99)  # dead
+    graph.add(OpKind.NEG, inputs=[graph.const(5).out()])  # dead pair
+    assert graph.remove_dead() == 3
+    assert_index_matches_scratch(graph)

@@ -314,3 +314,54 @@ def test_map_multitile_recomputes_baseline_when_omitted():
                            capacity=3)
     assert report.base_levels == \
         schedule_clusters(graph, n_pps=3).n_levels
+
+
+# ---------------------------------------------------------------------------
+# Link-occupancy interval bookkeeping
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(bandwidth=st.integers(1, 3),
+       hop_latency=st.integers(1, 3),
+       bookings=st.lists(
+           st.tuples(st.integers(0, 3),     # route choice
+                     st.integers(0, 6)),    # requested send step
+           min_size=1, max_size=40))
+def test_link_occupancy_matches_linear_scan(bandwidth, hop_latency,
+                                            bookings):
+    """_LinkOccupancy's bisect jump search returns exactly the send
+    step the old one-step-at-a-time scan found, for any booking
+    sequence, and never oversubscribes a link."""
+    from repro.multitile.schedule import _LinkOccupancy
+
+    routes = [((0, 1),), ((0, 1), (1, 2)), ((1, 2),),
+              ((2, 1), (1, 0))]
+    fast = _LinkOccupancy(bandwidth)
+    #: (link, step) -> load — the pre-interval-list reference model.
+    linear_load: dict = {}
+
+    def linear_earliest(route, send):
+        while True:
+            slots = [(link, send + hop * hop_latency + tick)
+                     for hop, link in enumerate(route)
+                     for tick in range(hop_latency)]
+            if all(linear_load.get(slot, 0) < bandwidth
+                   for slot in slots):
+                return send, slots
+            send += 1
+
+    for route_index, requested in bookings:
+        route = routes[route_index]
+        expected, slots = linear_earliest(route, requested)
+        actual = fast.earliest_send(route, hop_latency, requested)
+        assert actual == expected
+        fast.book(route, hop_latency, actual)
+        for slot in slots:
+            linear_load[slot] = linear_load.get(slot, 0) + 1
+
+    for link, counts in fast.counts.items():
+        assert all(load <= bandwidth for load in counts.values())
+        saturated = sorted(step for step, load in counts.items()
+                           if load == bandwidth)
+        assert fast.full.get(link, []) == saturated

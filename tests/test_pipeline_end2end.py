@@ -131,3 +131,52 @@ def test_pass_stats_present_by_default():
     report = map_source("void main() { x = 1 + 2; }")
     assert report.pass_stats is not None
     assert report.pass_stats.rounds >= 1
+
+
+class TestFrontendBackendSplit:
+    """compile_frontend / map_frontend compose to exactly map_source."""
+
+    def test_shared_frontend_reproduces_map_source(self):
+        from repro.core.pipeline import compile_frontend, map_frontend
+
+        kernel = get_kernel("fir5")
+        frontend = compile_frontend(kernel.source)
+        for params in (TileParams(), TileParams(n_pps=2, n_buses=4)):
+            split = map_frontend(frontend, params)
+            direct = map_source(kernel.source, params)
+            assert split.program.listing() == direct.program.listing()
+            assert split.n_cycles == direct.n_cycles
+            verify_mapping(split, kernel.initial_state(0))
+
+    def test_width_mismatch_rejected(self):
+        from repro.core.pipeline import compile_frontend, map_frontend
+
+        frontend = compile_frontend(get_kernel("fir5").source,
+                                    width=None)
+        with pytest.raises(ValueError, match="width"):
+            map_frontend(frontend, TileParams(width=16))
+
+    def test_backend_does_not_mutate_frontend(self):
+        from repro.core.pipeline import compile_frontend, map_frontend
+
+        frontend = compile_frontend(get_kernel("fir5").source)
+        before = frontend.minimised.version
+        node_ids = sorted(frontend.minimised.nodes)
+        map_frontend(frontend, TileParams())
+        map_frontend(frontend, TileParams(n_pps=1))
+        assert frontend.minimised.version == before
+        assert sorted(frontend.minimised.nodes) == node_ids
+
+    def test_report_carries_stage_timings(self):
+        report = map_source(get_kernel("fir5").source)
+        for stage in ("parse", "transforms", "taskgraph", "cluster",
+                      "schedule", "allocate"):
+            assert report.timings.get(stage, -1.0) >= 0.0
+        assert "multitile" not in report.timings
+
+    def test_multitile_stage_timed_when_enabled(self):
+        from repro.arch.tilearray import TileArrayParams
+
+        report = map_source(get_kernel("fir5").source,
+                            array=TileArrayParams(n_tiles=2))
+        assert report.timings.get("multitile", -1.0) >= 0.0
