@@ -1,0 +1,107 @@
+"""EXT-I — mapping-as-a-service throughput (the `repro.service`
+subsystem).
+
+Runs an in-process daemon (thread workers — the flow is
+deterministic, so the worker mode changes latency, never results)
+and measures the two service-level quantities the subsystem exists
+to improve:
+
+* **submit→result latency** — one job, cold and warm: a cold job
+  pays frontend + backend; a warm duplicate is an artifact-store hit
+  that never touches the worker pool;
+* **sustained jobs/sec** — the full kernel suite submitted over 8
+  concurrent clients, wall-clocked end to end (the acceptance shape
+  of the subsystem), then resubmitted warm.
+
+Findings asserted and recorded: every daemon payload is bit-identical
+to the offline flow, the warm pass computes nothing (pure store
+hits), and warm throughput beats cold throughput.
+"""
+
+import concurrent.futures
+import json
+import time
+
+from conftest import write_result
+
+from repro.core.pipeline import map_source, mapping_config, report_payload
+from repro.eval.kernels import KERNELS
+from repro.eval.report import render_table
+from repro.service import ServiceClient, ServiceThread
+
+
+def _canon(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def _offline(kernel):
+    report = map_source(kernel.source)
+    config = mapping_config(report.params, "two-level")
+    return report_payload(report, config, file=kernel.name)
+
+
+def _submit_suite(address, clients=8):
+    def submit(kernel):
+        client = ServiceClient(*address)
+        return kernel.name, client.map_source(kernel.source,
+                                              file=kernel.name)
+    started = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(clients) as pool:
+        results = dict(pool.map(submit, KERNELS))
+    return results, time.perf_counter() - started
+
+
+def test_ext_service_latency_and_throughput(benchmark):
+    expected = {kernel.name: _offline(kernel) for kernel in KERNELS}
+    with ServiceThread(workers=4) as thread:
+        client = ServiceClient(*thread.address)
+
+        # Submit→result latency, cold then warm (store hit).
+        first = KERNELS[0]
+        started = time.perf_counter()
+        cold = client.map_source(first.source, file=first.name)
+        cold_latency = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = client.map_source(first.source, file=first.name)
+        warm_latency = time.perf_counter() - started
+        assert _canon(cold) == _canon(expected[first.name])
+        assert _canon(warm) == _canon(cold)
+        assert client.stats()["service"]["computed"] == 1
+
+        # Sustained throughput: the suite over 8 concurrent clients.
+        results, cold_elapsed = _submit_suite(thread.address)
+        for kernel in KERNELS:
+            assert _canon(results[kernel.name]) \
+                == _canon(expected[kernel.name]), kernel.name
+        computed = client.stats()["service"]["computed"]
+        assert computed == len(KERNELS)  # one backend run per kernel
+
+        warm_results, warm_elapsed = _submit_suite(thread.address)
+        assert warm_results == results
+        # The warm pass never touched the pool.
+        assert client.stats()["service"]["computed"] == len(KERNELS)
+        assert warm_elapsed < cold_elapsed
+
+        # The benchmarked quantity: one warm suite round.
+        benchmark(lambda: _submit_suite(thread.address))
+
+        rows = [
+            {"quantity": "submit→result latency (cold)",
+             "value": f"{cold_latency * 1e3:.1f} ms"},
+            {"quantity": "submit→result latency (warm hit)",
+             "value": f"{warm_latency * 1e3:.1f} ms"},
+            {"quantity": "suite cold (15 kernels, 8 clients)",
+             "value": f"{cold_elapsed:.2f} s "
+                      f"({len(KERNELS) / cold_elapsed:.0f} jobs/s)"},
+            {"quantity": "suite warm (pure store hits)",
+             "value": f"{warm_elapsed:.2f} s "
+                      f"({len(KERNELS) / warm_elapsed:.0f} jobs/s)"},
+        ]
+        table = render_table(
+            rows, title="EXT-I: mapping-as-a-service latency and "
+                        "sustained throughput")
+        text = (table + "\n\n" +
+                f"daemon stats: {client.stats()['service']}")
+        write_result("ext_service", text)
+        print()
+        print(text)

@@ -1,6 +1,6 @@
 """Command-line driver: map C onto an FPFA tile, or explore tiles.
 
-Two subcommands::
+Five subcommands::
 
     fpfa-map map program.c [--listing] [--schedule] [--cdfg]
              [--profile] [--dot out.dot] [--pps N] [--buses N]
@@ -16,25 +16,43 @@ Two subcommands::
              [--samples N] [--workers N] [--cache DIR]
              [--objectives LIST] [--verify-seed SEED] [--json out.json]
 
-(See ``docs/cli.md`` for the full flag reference.)
+    fpfa-map serve  [--host H] [--port P] [--workers N]
+             [--worker-mode process|thread] [--store DIR]
+
+    fpfa-map submit program.c [map flags] [--host H] [--port P]
+             [--priority N] [--no-wait] [--timeout S] [--json PATH]
+
+    fpfa-map jobs   [--host H] [--port P] [--job ID] [--follow]
+             [--state STATE] [--json PATH]
+
+(See ``docs/cli.md`` for the full flag reference and
+``docs/service.md`` for the daemon protocol.)
 
 ``map`` preserves the original single-point behaviour (and plain
 ``fpfa-map program.c`` still works — a missing subcommand defaults to
 ``map``): it prints the mapping summary (clusters, levels, cycles,
 locality) and, on request, CDFG statistics, the level schedule, the
 per-cycle listing, Graphviz output and an interpreter-verification
-run.  ``--json`` additionally dumps the full metric dict for scripts.
+run.  ``--json`` additionally dumps the full metric dict for scripts;
+``--json -`` writes *only* the JSON to stdout (the human-readable
+output moves to stderr), so shell pipelines can consume reports
+without temp files.
 
 ``explore`` sweeps the design space with :mod:`repro.dse`: it builds
 a space from ``--sweep``/shortcut flags (default: the stock PP x bus
 x library grid), evaluates it on a multiprocessing pool with an
 optional persistent result cache, and reports the Pareto frontier
 plus the scalarised best point.
+
+``serve``/``submit``/``jobs`` are the :mod:`repro.service` surface:
+a persistent mapping daemon, a submission client whose output is
+bit-identical to ``map --json``, and a job inspector.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import os.path
 import sys
@@ -46,23 +64,24 @@ from repro.cdfg.dot import to_dot
 from repro.core.pipeline import (
     compile_frontend,
     map_frontend,
+    mapping_config,
     random_input_state,
+    report_payload,
     verify_mapping,
 )
-from repro.eval.metrics import (
-    METRIC_FIELDS,
-    MULTITILE_METRIC_FIELDS,
-    mapping_metrics,
-)
+from repro.eval.metrics import mapping_metrics
 
-SUBCOMMANDS = ("map", "explore")
+SUBCOMMANDS = ("map", "explore", "serve", "submit", "jobs")
 
 
 # ---------------------------------------------------------------------------
 # Parser construction
 # ---------------------------------------------------------------------------
 
-def _add_map_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_point_arguments(parser: argparse.ArgumentParser) -> None:
+    """The flags selecting one mapping configuration — shared
+    verbatim by ``map`` (offline) and ``submit`` (via the daemon), so
+    the two surfaces cannot drift apart."""
     parser.add_argument("file", help="C source file (use '-' for stdin)")
     parser.add_argument("--pps", type=int, default=5,
                         help="processing parts per tile (default 5)")
@@ -94,6 +113,23 @@ def _add_map_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--link-bandwidth", type=int, default=1,
                         metavar="N",
                         help="words per link per step (default 1)")
+    parser.add_argument("--verify-seed", type=int, default=None,
+                        metavar="SEED",
+                        help="verify program vs interpreter with random "
+                             "inputs from SEED")
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """Daemon address flags shared by submit and jobs."""
+    from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
+    parser.add_argument("--host", default=DEFAULT_HOST,
+                        help=f"daemon host (default {DEFAULT_HOST})")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"daemon port (default {DEFAULT_PORT})")
+
+
+def _add_map_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_point_arguments(parser)
     parser.add_argument("--listing", action="store_true",
                         help="print the per-cycle program")
     parser.add_argument("--schedule", action="store_true",
@@ -110,12 +146,72 @@ def _add_map_arguments(parser: argparse.ArgumentParser) -> None:
                              "allocate)")
     parser.add_argument("--dot", metavar="PATH",
                         help="write the minimised CDFG as Graphviz DOT")
-    parser.add_argument("--verify-seed", type=int, default=None,
-                        metavar="SEED",
-                        help="verify program vs interpreter with random "
-                             "inputs from SEED")
     parser.add_argument("--json", metavar="PATH", dest="json_path",
                         help="dump the mapping metrics as JSON "
+                             "('-' for pure-JSON stdout; the "
+                             "human-readable output then moves to "
+                             "stderr)")
+
+
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
+    parser.add_argument("--host", default=DEFAULT_HOST,
+                        help=f"bind address (default {DEFAULT_HOST}; "
+                             "the protocol is unauthenticated — keep "
+                             "it on loopback or behind a proxy)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"bind port (default {DEFAULT_PORT}, "
+                             "0 picks a free one)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker pool size / max concurrent jobs "
+                             "(default: CPU count)")
+    parser.add_argument("--worker-mode", default="process",
+                        choices=("process", "thread"),
+                        help="worker pool kind (default process; "
+                             "thread keeps jobs in this process)")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="artifact store directory — shares its "
+                             "format and keys with `explore --cache` "
+                             "(default: a per-run temp dir)")
+    parser.add_argument("--max-queue", type=int, default=1024,
+                        help="queued-job depth bound; beyond it "
+                             "submissions get HTTP 503 (default 1024)")
+
+
+def _add_submit_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_point_arguments(parser)
+    _add_service_arguments(parser)
+    parser.add_argument("--priority", type=int, default=0,
+                        help="queue priority; higher runs first "
+                             "(default 0)")
+    parser.add_argument("--no-wait", action="store_true",
+                        help="submit and print the job id instead of "
+                             "waiting for the result")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        metavar="S",
+                        help="seconds to wait for the result "
+                             "(default 300)")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        default="-",
+                        help="where to write the result payload "
+                             "(default '-': stdout, bit-identical to "
+                             "`map --json -`)")
+
+
+def _add_jobs_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_service_arguments(parser)
+    parser.add_argument("--job", metavar="ID", default=None,
+                        help="show one job in full instead of the "
+                             "overview table")
+    parser.add_argument("--follow", action="store_true",
+                        help="with --job: stream its progress events "
+                             "(NDJSON) until it finishes")
+    parser.add_argument("--state", default=None,
+                        choices=("queued", "running", "done",
+                                 "failed"),
+                        help="filter the overview by state")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="dump the raw job view(s) as JSON "
                              "('-' for stdout)")
 
 
@@ -194,6 +290,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "map", help="map one program onto one tile configuration"))
     _add_explore_arguments(subparsers.add_parser(
         "explore", help="sweep tile configurations with repro.dse"))
+    _add_serve_arguments(subparsers.add_parser(
+        "serve", help="run the mapping daemon (repro.service)"))
+    _add_submit_arguments(subparsers.add_parser(
+        "submit", help="submit one mapping job to a running daemon"))
+    _add_jobs_arguments(subparsers.add_parser(
+        "jobs", help="inspect a running daemon's jobs"))
     return parser
 
 
@@ -248,6 +350,11 @@ def _render_profile(timings: dict[str, float]) -> str:
 
 def _cmd_map(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
+    # With `--json -` stdout carries *only* the JSON payload (for
+    # pipelines and the service smoke harness); the human-readable
+    # report moves to stderr.
+    echo = functools.partial(print, file=sys.stderr) \
+        if args.json_path == "-" else print
     try:
         params = TileParams(n_pps=args.pps, n_buses=args.buses)
         array = None
@@ -266,73 +373,58 @@ def _cmd_map(args: argparse.Namespace) -> int:
     report = map_frontend(frontend, params, library, array=array)
 
     if args.cdfg:
-        print(f"CDFG before simplification: {original_stats}")
-        print(f"CDFG after  simplification: {report.minimised.stats()}")
+        echo(f"CDFG before simplification: {original_stats}")
+        echo(f"CDFG after  simplification: {report.minimised.stats()}")
         if report.pass_stats is not None:
-            print(f"passes: {report.pass_stats}")
-        print()
-    print(report.summary())
+            echo(f"passes: {report.pass_stats}")
+        echo()
+    echo(report.summary())
     metrics = mapping_metrics(report)
-    print(f"locality: {metrics['locality']:.0%}  "
-          f"energy proxy: {metrics['energy']}")
+    echo(f"locality: {metrics['locality']:.0%}  "
+         f"energy proxy: {metrics['energy']}")
     if args.profile:
-        print()
-        print(_render_profile(report.timings))
-    multitile = None
+        echo()
+        echo(_render_profile(report.timings))
     if report.multitile is not None:
-        from repro.eval.metrics import multitile_metrics
         from repro.eval.report import multitile_table
-        multitile = multitile_metrics(report)
-        print()
-        print(report.multitile.summary())
-        print()
-        print(multitile_table(report.multitile))
+        echo()
+        echo(report.multitile.summary())
+        echo()
+        echo(multitile_table(report.multitile))
     if args.schedule:
-        print()
-        print(report.schedule.table())
+        echo()
+        echo(report.schedule.table())
         if report.multitile is not None and \
                 report.multitile.n_tiles > 1:
-            print()
-            print(report.multitile.schedule.table())
+            echo()
+            echo(report.multitile.schedule.table())
     if args.gantt:
         from repro.viz import memory_map, program_gantt, schedule_gantt
-        print()
-        print(schedule_gantt(report.schedule, report.params.n_pps))
-        print()
-        print(program_gantt(report.program))
-        print()
-        print(memory_map(report.program))
+        echo()
+        echo(schedule_gantt(report.schedule, report.params.n_pps))
+        echo()
+        echo(program_gantt(report.program))
+        echo()
+        echo(memory_map(report.program))
     if args.listing:
-        print()
-        print(report.program.listing())
+        echo()
+        echo(report.program.listing())
     if args.dot:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(to_dot(report.minimised))
-        print(f"\nwrote {args.dot}")
+        echo(f"\nwrote {args.dot}")
     verified = None
     if args.verify_seed is not None:
         state = random_input_state(report, args.verify_seed)
         verify_mapping(report, state)
         verified = True
-        print(f"\nverified against the interpreter "
-              f"(seed {args.verify_seed})")
+        echo(f"\nverified against the interpreter "
+             f"(seed {args.verify_seed})")
     if args.json_path:
-        config = {"n_pps": args.pps, "n_buses": args.buses,
-                  "library": args.library, "balance": args.balance}
-        if array is not None:
-            config.update({"tiles": array.n_tiles,
-                           "topology": array.topology,
-                           "hop_latency": array.hop_latency,
-                           "hop_energy": array.hop_energy,
-                           "link_bandwidth": array.link_bandwidth})
-        payload = {
-            "file": args.file,
-            "config": config,
-            "metrics": metrics,
-            "verified": verified,
-        }
-        if multitile is not None:
-            payload["multitile"] = multitile
+        config = mapping_config(params, args.library,
+                                balance=args.balance, array=array)
+        payload = report_payload(report, config, file=args.file,
+                                 verified=verified, metrics=metrics)
         _dump_json(payload, args.json_path)
     return 0
 
@@ -426,19 +518,14 @@ def _explore_source(args: argparse.Namespace) -> tuple[str, str]:
 def _check_objectives(objectives: list[str], space) -> None:
     """Reject unresolvable objective names *before* the sweep runs —
     a typo must not surface as a crash after minutes of mapping.
-    Tile fields are only resolvable when the space actually sweeps
-    them (records carry swept dimensions in their config); multi-tile
-    metrics only exist when the space has an array dimension."""
-    from repro.dse.space import ARRAY_FIELDS, TILE_FIELDS
+    The resolvability rule lives in
+    :func:`repro.dse.space.allowed_objectives` (shared with the
+    service daemon's request validation)."""
+    from repro.dse.space import allowed_objectives
 
     if not objectives:
         raise SystemExit("--objectives needs at least one name")
-    allowed = (set(METRIC_FIELDS) | {"resource"} |
-               (set(space.names) & set(TILE_FIELDS)))
-    if set(space.names) & set(ARRAY_FIELDS):
-        # "topology" is categorical — it cannot be minimised.
-        allowed |= set(MULTITILE_METRIC_FIELDS) | \
-            ((set(space.names) & set(ARRAY_FIELDS)) - {"topology"})
+    allowed = allowed_objectives(space)
     for name in objectives:
         base = name[1:] if name.startswith("-") else name
         if base not in allowed:
@@ -457,6 +544,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
     source, workload = _explore_source(args)
     space = _explore_space(args)
+    # `--json -`: stdout is pure JSON, human output moves to stderr.
+    echo = functools.partial(print, file=sys.stderr) \
+        if args.json_path == "-" else print
     objectives = [item.strip() for item in args.objectives.split(",")
                   if item.strip()]
     _check_objectives(objectives, space)
@@ -475,32 +565,32 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     else:
         extra = {}
 
-    print(f"workload: {workload}")
-    print(space.describe())
+    echo(f"workload: {workload}")
+    echo(space.describe())
     result = strategy(source, space, objectives=objectives,
                       **extra, **run_kwargs)
-    print(f"sweep: {result.stats.summary()}")
-    print()
+    echo(f"sweep: {result.stats.summary()}")
+    echo()
     # Extract the front once; rendering an already-non-dominated set
     # through frontier_table is idempotent and cheap.
     front = pareto_front(result.records, objectives)
-    print(frontier_table(front, objectives))
+    echo(frontier_table(front, objectives))
     if args.table:
         table = SweepResult(records=result.records)
-        print()
-        print(render_table(table.rows(), title="All evaluated points"))
-    print()
+        echo()
+        echo(render_table(table.rows(), title="All evaluated points"))
+    echo()
     if result.best is not None:
         best_label = DesignPoint.from_dict(result.best["point"]).label()
-        print(f"best ({', '.join(objectives)}): {best_label}")
-        print(f"  metrics: {result.best['metrics']}")
+        echo(f"best ({', '.join(objectives)}): {best_label}")
+        echo(f"  metrics: {result.best['metrics']}")
     else:
-        print("best: no feasible point in the space")
+        echo("best: no feasible point in the space")
     failures = [record for record in result.records
                 if not record["ok"]]
     if failures:
-        print(f"{len(failures)} point(s) failed; first: "
-              f"{failures[0]['error']}")
+        echo(f"{len(failures)} point(s) failed; first: "
+             f"{failures[0]['error']}")
     exit_code = 0 if result.best is not None else 1
     if args.json_path:
         _dump_json({
@@ -513,6 +603,125 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             "records": result.records,
         }, args.json_path)
     return exit_code
+
+
+# ---------------------------------------------------------------------------
+# fpfa-map serve / submit / jobs  (the repro.service surface)
+# ---------------------------------------------------------------------------
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.daemon import MappingService
+
+    service = MappingService(store=args.store, workers=args.workers,
+                             worker_mode=args.worker_mode,
+                             max_queue=args.max_queue)
+
+    async def _serve() -> None:
+        host, port = await service.start(args.host, args.port)
+        print(f"fpfa-map service listening on http://{host}:{port}")
+        print(f"artifact store: {service.store.root} "
+              f"({len(service.store)} records)")
+        print(f"workers: {service.pool.workers} "
+              f"({service.pool.mode}); POST /shutdown or Ctrl-C "
+              f"to stop")
+        sys.stdout.flush()
+        try:
+            await service.wait_shutdown()
+        finally:
+            await service.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _submit_request(args: argparse.Namespace, source: str) -> dict:
+    """The map-job request for one parsed `submit` invocation."""
+    request = {"kind": "map", "source": source, "file": args.file,
+               "pps": args.pps, "buses": args.buses,
+               "library": args.library, "balance": args.balance,
+               "verify_seed": args.verify_seed,
+               "priority": args.priority}
+    if args.tiles is not None:
+        request.update({"tiles": args.tiles,
+                        "topology": args.topology,
+                        "hop_latency": args.hop_latency,
+                        "hop_energy": args.hop_energy,
+                        "link_bandwidth": args.link_bandwidth})
+    return request
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    source = _read_source(args.file)
+    client = ServiceClient(args.host, args.port)
+    # Status chatter always goes to stderr: `submit`'s stdout is the
+    # result payload (bit-identical to `map --json -`), pipeline-safe
+    # by default.
+    echo = functools.partial(print, file=sys.stderr)
+    try:
+        response = client.submit(_submit_request(args, source))
+        job = response["job"]
+        echo(f"job {job['id']}: {job['state']}"
+             + (" (coalesced)" if response["coalesced"] else "")
+             + (f" [{job['meta'].get('cache')}]"
+                if job['meta'].get('cache') else ""))
+        if args.no_wait:
+            echo(f"poll with: fpfa-map jobs --job {job['id']} "
+                 f"--host {args.host} --port {args.port}")
+            return 0
+        if job["state"] == "done":
+            payload = job["result"]
+        else:
+            payload = client.result(job["id"], timeout=args.timeout)
+    except ServiceError as error:
+        raise SystemExit(f"service error: {error}")
+    except (ConnectionError, OSError) as error:
+        raise SystemExit(
+            f"cannot reach the daemon at {client.url}: {error} "
+            f"(is `fpfa-map serve` running?)")
+    _dump_json(payload, args.json_path)
+    return 0
+
+
+def _render_jobs_table(views: list[dict]) -> str:
+    from repro.eval.report import render_table
+    columns = ("id", "kind", "state", "priority", "submits", "file")
+    rows = [{name: ("" if view.get(name) is None else view[name])
+             for name in columns} for view in views]
+    return render_table(rows, columns=columns)
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        if args.job and args.follow:
+            for event in client.events(args.job):
+                print(json.dumps(event, sort_keys=True))
+            return 0
+        if args.job:
+            view = client.job(args.job)
+            _dump_json(view, args.json_path or "-")
+            return 0
+        views = client.jobs(state=args.state)
+    except ServiceError as error:
+        raise SystemExit(f"service error: {error}")
+    except (ConnectionError, OSError) as error:
+        raise SystemExit(
+            f"cannot reach the daemon at {client.url}: {error} "
+            f"(is `fpfa-map serve` running?)")
+    if args.json_path:
+        _dump_json({"jobs": views}, args.json_path)
+    else:
+        print(_render_jobs_table(views))
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -531,10 +740,17 @@ def main(argv: list[str] | None = None) -> int:
             and argv[0] not in ("-h", "--help"):
         argv.insert(0, "map")
     args = _build_parser().parse_args(argv)
-    if args.command == "explore":
-        return _cmd_explore(args)
-    return _cmd_map(args)
+    commands = {"map": _cmd_map, "explore": _cmd_explore,
+                "serve": _cmd_serve, "submit": _cmd_submit,
+                "jobs": _cmd_jobs}
+    return commands[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        exit_code = main()
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `... | head`); the
+        # conventional silent exit, not a traceback.
+        exit_code = 141
+    sys.exit(exit_code)

@@ -73,19 +73,42 @@ class ResultCache:
     # -- access -------------------------------------------------------
 
     def get(self, key: str) -> dict | None:
-        """The memoised record for *key*, or None (counts hit/miss)."""
+        """The memoised record for *key*, or None (counts hit/miss).
+
+        A corrupt or truncated entry (a writer crashed between
+        creating and atomically replacing the file is impossible, but
+        a foreign process, a full disk or manual editing can still
+        leave garbage behind) is *deleted*, not just skipped: the
+        store is shared by every sweep and service worker, and a bad
+        file must not be re-parsed — or re-reported — on every later
+        lookup.
+        """
         path = self.path_for(key)
         try:
             with open(path, encoding="utf-8") as handle:
                 record = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except (OSError, ValueError):
+            self._discard(path)
             self.misses += 1
             return None
         if not isinstance(record, dict):
+            self._discard(path)
             self.misses += 1
             return None
         self.hits += 1
         return record
+
+    @staticmethod
+    def _discard(path: pathlib.Path) -> None:
+        """Best-effort removal of a poisoned entry; a concurrent
+        reader may have discarded it first, which is fine."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, key: str, record: Mapping) -> None:
         """Atomically persist *record* under *key*."""

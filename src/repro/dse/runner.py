@@ -45,7 +45,7 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.pipeline import (
     Frontend,
@@ -84,7 +84,8 @@ def _compile_spec(source: str, spec: FrontendSpec) -> Frontend:
 
 def evaluate_point(source: str, point: DesignPoint,
                    verify_seed: int | None = None, *,
-                   frontend: Frontend | None = None) -> dict:
+                   frontend: Frontend | None = None,
+                   sink: dict | None = None) -> dict:
     """Map *source* at *point*; never raises — failures are records.
 
     With *verify_seed*, the mapped program is additionally checked
@@ -96,6 +97,13 @@ def evaluate_point(source: str, point: DesignPoint,
     compiled here.  Either way the record is identical — the flow is
     deterministic — a shared frontend only changes how fast the
     record is produced.
+
+    *sink*, when given, receives side artifacts that must never leak
+    into the record (the record format is the cache's on-disk
+    contract): ``sink["report"]`` is the full :class:`MappingReport`
+    and ``sink["timings"]`` its per-stage wall times.  The service
+    uses this for its per-job profile without forking the record
+    producer.
     """
     record = {"point": point.to_dict(), "config": point.assignment()}
     try:
@@ -105,6 +113,9 @@ def evaluate_point(source: str, point: DesignPoint,
             frontend = _compile_spec(source, frontend_spec(point))
         report = map_frontend(frontend, params, library,
                               array=point.tile_array_params())
+        if sink is not None:
+            sink["report"] = report
+            sink["timings"] = dict(report.timings)
         if verify_seed is not None:
             verify_mapping(report,
                            random_input_state(report, verify_seed))
@@ -246,7 +257,9 @@ def _resolve_workers(workers: int | None, n_jobs: int) -> int:
 def run_sweep(source: str, points: Iterable[DesignPoint], *,
               workers: int | None = None, cache=None,
               chunksize: int | None = None,
-              verify_seed: int | None = None) -> SweepResult:
+              verify_seed: int | None = None,
+              frontends: Mapping[FrontendSpec, Frontend] | None = None,
+              ) -> SweepResult:
     """Evaluate every design point of *points* against *source*.
 
     Parameters
@@ -266,6 +279,13 @@ def run_sweep(source: str, points: Iterable[DesignPoint], *,
         is deterministic, so a record once *verified* holds for any
         seed — but cache hits that were never verified at all are
         re-evaluated rather than trusted.
+    frontends:
+        Optional pre-compiled frontends for *source*, keyed by
+        :func:`frontend_spec`, seeding the sweep's own sharing (the
+        service daemon passes its warm frontend memo here so an
+        exploration job never recompiles a frontend a mapping job
+        already paid for).  Determinism makes this purely a speed
+        knob.
     """
     started = time.perf_counter()
     points = list(points)
@@ -329,11 +349,13 @@ def run_sweep(source: str, points: Iterable[DesignPoint], *,
         shared = [spec for spec, count in spec_counts.items()
                   if count > 1]
         stats.frontends = len(shared)
-        frontends: dict[FrontendSpec, Frontend] = {}
+        compiled: dict[FrontendSpec, Frontend] = dict(frontends or {})
         if workers == 1 or len(shared) == 1:
             for spec in shared:
+                if spec in compiled:
+                    continue
                 try:
-                    frontends[spec] = _compile_spec(source, spec)
+                    compiled[spec] = _compile_spec(source, spec)
                 except Exception:  # noqa: BLE001 — per-record failure
                     pass
         if workers > 1:
@@ -347,7 +369,7 @@ def run_sweep(source: str, points: Iterable[DesignPoint], *,
                 multiprocessing.get_all_start_methods() else None)
             with context.Pool(processes=workers,
                               initializer=_init_worker,
-                              initargs=(source, frontends)) as pool:
+                              initargs=(source, compiled)) as pool:
                 outcomes = pool.imap_unordered(_worker, jobs,
                                                chunksize=chunksize)
                 for key, record in outcomes:
@@ -355,7 +377,7 @@ def run_sweep(source: str, points: Iterable[DesignPoint], *,
         else:
             for key in pending:
                 spec = specs[key]
-                frontend = frontends.get(spec) \
+                frontend = compiled.get(spec) \
                     if spec is not None else None
                 by_key[key] = evaluate_point(
                     source, key_points[key], verify_seed,

@@ -276,6 +276,31 @@ class DesignPoint:
         return self.from_assignment(flat)
 
 
+def allowed_objectives(space: "DesignSpace") -> set[str]:
+    """Objective names resolvable on *space*'s sweep records.
+
+    Always: every mapping metric plus the ``resource`` proxy.  Tile
+    fields only when the space sweeps them (records carry swept
+    dimensions in their config); multi-tile metrics and numeric array
+    fields only when the space has an array dimension (``topology``
+    is categorical — it cannot be minimised).  The CLI and the
+    service validate objectives against this one rule, so a typo is
+    rejected the same way at both front doors.
+    """
+    # Local import: eval.metrics sits above the core pipeline and
+    # must stay importable without repro.dse.
+    from repro.eval.metrics import (
+        METRIC_FIELDS,
+        MULTITILE_METRIC_FIELDS,
+    )
+    allowed = (set(METRIC_FIELDS) | {"resource"} |
+               (set(space.names) & set(TILE_FIELDS)))
+    if set(space.names) & set(ARRAY_FIELDS):
+        allowed |= set(MULTITILE_METRIC_FIELDS) | \
+            ((set(space.names) & set(ARRAY_FIELDS)) - {"topology"})
+    return allowed
+
+
 class DesignSpace:
     """An ordered set of dimensions spanning a point grid."""
 

@@ -1,0 +1,162 @@
+"""Blocking client for the mapping daemon (stdlib ``http.client``).
+
+One class, one method per endpoint, JSON dicts in and out.  The
+client is deliberately synchronous — callers that want concurrency
+(the smoke harness, the benchmarks, a shell loop) get it by using
+one client per thread; a client carries no shared connection state,
+so that is always safe.
+
+``submit`` posts a raw request dict (see
+:mod:`repro.service.protocol`); :meth:`map_source` builds the map
+request from keyword flags mirroring ``fpfa-map map``; ``result``
+long-polls until the job is terminal and returns the payload —
+which, for map jobs, is bit-identical to ``fpfa-map map --json``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator, Mapping
+
+from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
+
+#: Long-poll slice per status request; bounded so a dead daemon
+#: surfaces as a socket error quickly, not after the whole timeout.
+POLL_SLICE = 10.0
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error (or the job failed)."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One daemon address and the calls the protocol offers."""
+
+    def __init__(self, host: str = DEFAULT_HOST,
+                 port: int = DEFAULT_PORT, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- plumbing -----------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Mapping | None = None,
+                 timeout: float | None = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload,
+                               headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+        finally:
+            connection.close()
+        decoded = json.loads(data.decode("utf-8")) if data else {}
+        if response.status >= 400:
+            raise ServiceError(
+                decoded.get("error", f"HTTP {response.status}"),
+                status=response.status)
+        return decoded
+
+    # -- endpoints ----------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def submit(self, request: Mapping) -> dict:
+        """POST one raw job request; returns ``{"job": ...,
+        "coalesced": ...}``."""
+        return self._request("POST", "/jobs", body=request)
+
+    def job(self, job_id: str, wait: float | None = None) -> dict:
+        path = f"/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+            return self._request("GET", path,
+                                 timeout=wait + self.timeout)
+        return self._request("GET", path)
+
+    def jobs(self, state: str | None = None) -> list[dict]:
+        path = "/jobs" + (f"?state={state}" if state else "")
+        return self._request("GET", path)["jobs"]
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    # -- composition --------------------------------------------------
+
+    def result(self, job_id: str, timeout: float = 300.0) -> dict:
+        """Long-poll *job_id* to a terminal state; the result payload
+        on success, :class:`ServiceError` on failure or timeout."""
+        import time
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"job {job_id} still running after {timeout}s")
+            view = self.job(job_id,
+                            wait=min(POLL_SLICE, remaining))
+            if view["state"] == "done":
+                return view["result"]
+            if view["state"] == "failed":
+                raise ServiceError(
+                    f"job {job_id} failed: {view.get('error')}")
+
+    def map_source(self, source: str, *, file: str | None = None,
+                   wait: bool = True, timeout: float = 300.0,
+                   **options) -> dict:
+        """Submit one map job built from ``fpfa-map map``-style
+        keywords (``pps``, ``buses``, ``library``, ``balance``,
+        ``tiles``, ``verify_seed``, ``priority``, ...); with *wait*,
+        returns the payload, else the submit response."""
+        request = {"kind": "map", "source": source, "file": file,
+                   **options}
+        response = self.submit(request)
+        if not wait:
+            return response
+        job = response["job"]
+        if job["state"] == "done":
+            return job["result"]
+        return self.result(job["id"], timeout=timeout)
+
+    def events(self, job_id: str,
+               timeout: float = 300.0) -> Iterator[dict]:
+        """Stream a job's NDJSON progress events until terminal."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout)
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                decoded = json.loads(data.decode("utf-8")) \
+                    if data else {}
+                raise ServiceError(
+                    decoded.get("error", f"HTTP {response.status}"),
+                    status=response.status)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()

@@ -1,0 +1,585 @@
+"""The asyncio mapping daemon behind ``fpfa-map serve``.
+
+One process, three moving parts:
+
+* an **HTTP front** (plain asyncio streams — no framework): a tiny
+  JSON-over-HTTP/1.1 server, one request per connection, plus an
+  NDJSON event stream per job for progress watching;
+* a **dispatcher** that drains the :class:`~repro.service.queue.JobQueue`
+  into the :class:`~repro.service.workers.WorkerPool` under a
+  bounded-concurrency semaphore (at most ``workers`` jobs in flight);
+* a **frontend memo**: compiled frontends keyed by
+  (source digest, width, simplify, balance).  Compilation happens at
+  most once per key — concurrent jobs needing the same frontend
+  await one shared compile task — and the memo seeds exploration
+  sweeps too, so a warm daemon never re-parses a source it has seen.
+
+Endpoints (see ``docs/service.md`` for the full reference)::
+
+    GET  /healthz            liveness + uptime
+    GET  /stats              queue / store / worker / service counters
+    POST /jobs               submit one job (map or explore)
+    GET  /jobs               list jobs (?state= filter)
+    GET  /jobs/<id>          one job (?wait=SECONDS long-polls)
+    GET  /jobs/<id>/events   NDJSON progress stream until terminal
+    POST /shutdown           graceful stop
+
+Invariants
+----------
+* A map job's response payload is **bit-identical** to ``fpfa-map
+  map --json`` for the same flags — both are built by
+  ``core.pipeline.report_payload`` /
+  ``protocol.record_to_map_payload`` from the same metric dicts.
+* Exactly one backend run per coalesce key: duplicate in-flight
+  submissions join the running job, and finished work is served from
+  the artifact store without touching the pool.
+* The daemon binds loopback by default and speaks an unauthenticated
+  protocol — it is an internal building block, not an internet-facing
+  server; put a real proxy in front for anything shared.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.pipeline import Frontend
+from repro.dse.runner import FrontendSpec, _compile_spec, frontend_spec
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ProtocolError,
+    coalesce_key,
+    job_key,
+    normalise_request,
+    record_to_map_payload,
+    request_point,
+)
+from repro.service.queue import Job, JobQueue, QueueFull
+from repro.service.store import ArtifactStore
+from repro.service.workers import (
+    WorkerPool,
+    run_explore_job,
+    run_map_job,
+    source_digest,
+)
+
+#: Compiled frontends kept warm before the oldest is evicted.
+FRONTEND_MEMO_LIMIT = 128
+
+
+@dataclass
+class ServiceStats:
+    """Daemon-side counters (the ``service`` section of ``/stats``)."""
+
+    submits: int = 0            #: accepted submissions
+    coalesced: int = 0          #: folded into an in-flight job
+    store_hits: int = 0         #: served from the artifact store
+    computed: int = 0           #: jobs dispatched to the worker pool
+    failed: int = 0             #: jobs that ended in FAILED
+    frontends_compiled: int = 0  #: frontend memo misses (compiles)
+    frontends_reused: int = 0   #: frontend memo hits
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+class MappingService:
+    """The daemon: queue + pool + store behind an HTTP front."""
+
+    def __init__(self, *, store=None, workers: int | None = None,
+                 worker_mode: str = "process",
+                 max_queue: int = 1024):
+        self._own_store: tempfile.TemporaryDirectory | None = None
+        if store is None:
+            # Ephemeral store: still fully functional (coalescing,
+            # warm resubmits) for a daemon run without --store.
+            self._own_store = tempfile.TemporaryDirectory(
+                prefix="fpfa-service-")
+            store = self._own_store.name
+        self.store = store if isinstance(store, ArtifactStore) \
+            else ArtifactStore(store)
+        self.pool = WorkerPool(workers, worker_mode)
+        self.queue = JobQueue(max_depth=max_queue)
+        self.stats = ServiceStats()
+        self.started_at = time.time()
+        self.address: tuple[str, int] | None = None
+        #: (source digest, frontend spec) -> asyncio.Task[Frontend]
+        self._frontends: dict[tuple[str, FrontendSpec],
+                              asyncio.Task] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._events: asyncio.Condition | None = None
+        self._slots: asyncio.Semaphore | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._dispatcher: asyncio.Task | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self, host: str = DEFAULT_HOST,
+                    port: int = DEFAULT_PORT) -> tuple[str, int]:
+        """Bind, start dispatching, return the (host, port) bound
+        (``port=0`` picks a free one)."""
+        self._events = asyncio.Condition()
+        self._slots = asyncio.Semaphore(self.pool.workers)
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self._dispatcher = asyncio.create_task(self._dispatch())
+        return self.address
+
+    async def wait_shutdown(self) -> None:
+        await self._shutdown.wait()
+
+    def request_shutdown(self) -> None:
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def close(self) -> None:
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.pool.shutdown()
+        if self._own_store is not None:
+            self._own_store.cleanup()
+
+    async def run(self, host: str = DEFAULT_HOST,
+                  port: int = DEFAULT_PORT) -> None:
+        """start → serve until /shutdown → close (the CLI's shape)."""
+        await self.start(host, port)
+        try:
+            await self.wait_shutdown()
+        finally:
+            await self.close()
+
+    # -- submission ---------------------------------------------------
+
+    async def submit(self, raw) -> tuple[Job, bool]:
+        """Admit one raw request; returns ``(job, coalesced)``.
+
+        Raises :class:`ProtocolError` (400) on malformed requests and
+        :class:`QueueFull` (503) at the depth bound.  Store hits
+        complete the job before this returns — no backend run.
+        """
+        request = normalise_request(raw)
+        key = job_key(request)
+        job, coalesced = self.queue.submit(request, key,
+                                           coalesce_key(request))
+        self.stats.submits += 1
+        if coalesced:
+            self.stats.coalesced += 1
+            await self._notify()
+            return job, True
+        if request["kind"] == "map":
+            record = self.store.lookup(
+                key, want_verified=request["verify_seed"] is not None)
+            if record is not None:
+                self.stats.store_hits += 1
+                payload = record_to_map_payload(
+                    record, file=request["file"],
+                    want_verified=request["verify_seed"] is not None)
+                self.queue.finish(job, payload, cache="hit")
+                await self._notify()
+                return job, False
+        await self._notify()
+        return job, False
+
+    # -- dispatch -----------------------------------------------------
+
+    async def _dispatch(self) -> None:
+        while True:
+            async with self._events:
+                await self._events.wait_for(
+                    lambda: self.queue.depth > 0)
+            # Claim a worker slot first: the pop happens when a slot
+            # is actually free, so priorities apply to the backlog at
+            # dispatch time, not at submission time.
+            await self._slots.acquire()
+            job = self.queue.pop()
+            if job is None:
+                self._slots.release()
+                continue
+            self.queue.mark_running(job)
+            await self._notify()
+            asyncio.create_task(self._run_job(job))
+
+    async def _run_job(self, job: Job) -> None:
+        try:
+            if job.kind == "map":
+                await self._run_map(job)
+            else:
+                await self._run_explore(job)
+        except Exception as error:  # noqa: BLE001 — fault isolation
+            self.stats.failed += 1
+            self.queue.fail(job,
+                            f"{type(error).__name__}: {error}")
+        finally:
+            self._slots.release()
+            await self._notify()
+
+    async def _run_map(self, job: Job) -> None:
+        request = job.request
+        frontend, reused = await self._frontend_for(request)
+        job.add_event("frontend",
+                      reused=reused, shipped=frontend is not None)
+        record, info = await self._execute(run_map_job, request,
+                                           frontend)
+        self.stats.computed += 1
+        meta = {"cache": "miss", "frontend_reused": reused,
+                "timings": info.get("timings"),
+                "worker": info.get("worker")}
+        if record["ok"]:
+            self.store.admit(job.key, record)
+            payload = record_to_map_payload(
+                record, file=request["file"],
+                want_verified=request["verify_seed"] is not None)
+            self.queue.finish(job, payload, **meta)
+        else:
+            self.stats.failed += 1
+            self.queue.fail(job, record["error"], **meta)
+
+    async def _run_explore(self, job: Job) -> None:
+        request = job.request
+        frontends = self._compiled_frontends(request["source"])
+        payload, info = await self._execute(
+            run_explore_job, request, str(self.store.root), frontends)
+        self.stats.computed += 1
+        self.queue.finish(job, payload, cache="sweep",
+                          worker=info.get("worker"),
+                          stats=info.get("stats"))
+
+    async def _execute(self, fn, *args):
+        """Run one executor function on the pool without blocking the
+        event loop."""
+        return await asyncio.wrap_future(self.pool.submit(fn, *args))
+
+    # -- frontend memo ------------------------------------------------
+
+    async def _frontend_for(self, request
+                            ) -> tuple[Frontend | None, bool]:
+        """The memoised frontend for one map request, compiling at
+        most once per (source, spec) across concurrent jobs.
+
+        Returns ``(frontend, reused)``; ``(None, False)`` when the
+        point is unrealisable or the compile fails — the worker then
+        recompiles inside ``evaluate_point`` and yields the canonical
+        failure record.
+        """
+        try:
+            spec = frontend_spec(request_point(request))
+        except Exception:  # noqa: BLE001 — surfaces per record
+            return None, False
+        memo_key = (source_digest(request["source"]), spec)
+        task = self._frontends.get(memo_key)
+        reused = task is not None
+        if task is None:
+            loop = asyncio.get_running_loop()
+            task = asyncio.ensure_future(loop.run_in_executor(
+                None, _compile_spec, request["source"], spec))
+            self._frontends[memo_key] = task
+            self.stats.frontends_compiled += 1
+            while len(self._frontends) > FRONTEND_MEMO_LIMIT:
+                self._frontends.pop(next(iter(self._frontends)))
+        else:
+            self.stats.frontends_reused += 1
+        try:
+            return await task, reused
+        except Exception:  # noqa: BLE001 — surfaces per record
+            self._frontends.pop(memo_key, None)
+            return None, False
+
+    def _compiled_frontends(self, source: str
+                            ) -> dict[FrontendSpec, Frontend]:
+        """Every successfully compiled frontend for *source* — the
+        seed an exploration sweep starts from."""
+        digest = source_digest(source)
+        compiled = {}
+        for (memo_digest, spec), task in self._frontends.items():
+            if memo_digest == digest and task.done() \
+                    and task.exception() is None:
+                compiled[spec] = task.result()
+        return compiled
+
+    # -- notification -------------------------------------------------
+
+    async def _notify(self) -> None:
+        async with self._events:
+            self._events.notify_all()
+
+    async def _wait_terminal(self, job: Job,
+                             timeout: float | None) -> None:
+        try:
+            async with self._events:
+                await asyncio.wait_for(
+                    self._events.wait_for(lambda: job.terminal),
+                    timeout)
+        except asyncio.TimeoutError:
+            pass
+
+    # -- stats --------------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "uptime": round(time.time() - self.started_at, 3),
+            "service": self.stats.as_dict(),
+            "queue": self.queue.stats(),
+            "workers": self.pool.describe(),
+            "store": {"root": str(self.store.root),
+                      **self.store.stats()},
+        }
+
+    # -- HTTP front ---------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            method, target, body = await _read_request(reader)
+            await self._route(method, target, body, writer)
+        except _HttpError as error:
+            await _send_json(writer, error.status,
+                             {"error": str(error)})
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except Exception as error:  # noqa: BLE001 — keep serving
+            try:
+                await _send_json(writer, 500,
+                                 {"error": f"{type(error).__name__}: "
+                                           f"{error}"})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, method: str, target: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        query = parse_qs(parts.query)
+        if method == "GET" and path == "/healthz":
+            await _send_json(writer, 200, {
+                "ok": True,
+                "uptime": round(time.time() - self.started_at, 3)})
+        elif method == "GET" and path == "/stats":
+            # describe() counts store entries with a directory walk —
+            # O(entries) disk work that must not stall the event loop
+            # when the store is a big shared sweep cache.
+            stats = await asyncio.get_running_loop() \
+                .run_in_executor(None, self.describe)
+            await _send_json(writer, 200, stats)
+        elif method == "POST" and path == "/jobs":
+            await self._handle_submit(body, writer)
+        elif method == "GET" and path == "/jobs":
+            state = (query.get("state") or [None])[0]
+            await _send_json(writer, 200, {
+                "jobs": [job.view(with_result=False)
+                         for job in self.queue.list_jobs(state)]})
+        elif method == "GET" and path.startswith("/jobs/"):
+            await self._handle_job_get(path, query, writer)
+        elif method == "POST" and path == "/shutdown":
+            await _send_json(writer, 200, {"ok": True})
+            self.request_shutdown()
+        else:
+            raise _HttpError(404, f"no route for {method} {path}")
+
+    async def _handle_submit(self, body: bytes,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            raw = json.loads(body.decode("utf-8") or "null")
+        except ValueError:
+            raise _HttpError(400, "request body is not valid JSON")
+        try:
+            job, coalesced = await self.submit(raw)
+        except ProtocolError as error:
+            raise _HttpError(400, str(error))
+        except QueueFull as error:
+            raise _HttpError(503, str(error))
+        await _send_json(writer, 200,
+                         {"job": job.view(), "coalesced": coalesced})
+
+    async def _handle_job_get(self, path: str, query: dict,
+                              writer: asyncio.StreamWriter) -> None:
+        segments = path.split("/")  # "", "jobs", <id>[, "events"]
+        job = self.queue.get(segments[2])
+        if job is None:
+            raise _HttpError(404, f"unknown job {segments[2]!r}")
+        if len(segments) == 4 and segments[3] == "events":
+            await self._stream_events(job, writer)
+            return
+        if len(segments) != 3:
+            raise _HttpError(404, f"no route for {path}")
+        wait = (query.get("wait") or [None])[0]
+        if wait is not None and not job.terminal:
+            try:
+                timeout = min(max(float(wait), 0.0), 300.0)
+            except ValueError:
+                raise _HttpError(400, f"bad wait value {wait!r}")
+            await self._wait_terminal(job, timeout)
+        await _send_json(writer, 200, job.view())
+
+    async def _stream_events(self, job: Job,
+                             writer: asyncio.StreamWriter) -> None:
+        """NDJSON progress stream: replay, then follow to terminal.
+
+        Close-delimited (no Content-Length): the client reads lines
+        until the daemon closes the connection after the terminal
+        event.
+        """
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        index = 0
+        while True:
+            while index < len(job.events):
+                line = json.dumps(job.events[index],
+                                  sort_keys=True) + "\n"
+                writer.write(line.encode("utf-8"))
+                index += 1
+            await writer.drain()
+            if job.terminal and index >= len(job.events):
+                return
+            async with self._events:
+                await self._events.wait_for(
+                    lambda: len(job.events) > index or job.terminal)
+
+
+# ---------------------------------------------------------------------------
+# Minimal HTTP plumbing (stdlib-only, one request per connection)
+# ---------------------------------------------------------------------------
+
+#: Bound on request bodies (a kernel source is a few KB; 8 MB leaves
+#: room for generated programs without letting a client exhaust RAM).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> tuple[str, str, bytes]:
+    request_line = await reader.readline()
+    try:
+        method, target, __ = \
+            request_line.decode("latin-1").split(maxsplit=2)
+    except ValueError:
+        raise _HttpError(400, "malformed request line")
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, __, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _HttpError(400, "bad Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, body
+
+
+async def _send_json(writer: asyncio.StreamWriter, status: int,
+                     payload: dict) -> None:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+              413: "Payload Too Large", 500: "Internal Server Error",
+              503: "Service Unavailable"}.get(status, "OK")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# In-process daemon harness
+# ---------------------------------------------------------------------------
+
+class ServiceThread:
+    """A daemon running on a background thread of this process.
+
+    The shape tests, benchmarks and the smoke harness share: start,
+    read the bound address, exercise it with the blocking client,
+    stop.  ``worker_mode="thread"`` keeps everything in one process
+    (no forking under a test runner); the flow's determinism makes
+    results identical either way.
+    """
+
+    def __init__(self, host: str = DEFAULT_HOST, port: int = 0,
+                 **service_kwargs):
+        service_kwargs.setdefault("worker_mode", "thread")
+        self._host = host
+        self._port = port
+        self._kwargs = service_kwargs
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.service: MappingService | None = None
+        self.address: tuple[str, int] | None = None
+        self.error: BaseException | None = None
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(target=self._run,
+                                        name="fpfa-service",
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service thread failed to start")
+        if self.error is not None:
+            raise RuntimeError(
+                f"service thread failed: {self.error}")
+        return self.address
+
+    def stop(self, timeout: float = 30) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            return
+        if self._loop is not None and self.service is not None:
+            self._loop.call_soon_threadsafe(
+                self.service.request_shutdown)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 — report once
+            self.error = error
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.service = MappingService(**self._kwargs)
+        self.address = await self.service.start(self._host,
+                                                self._port)
+        self._ready.set()
+        try:
+            await self.service.wait_shutdown()
+        finally:
+            await self.service.close()

@@ -1,0 +1,295 @@
+"""The service wire contract: requests, job keys, payload shapes.
+
+A *request* is one JSON object submitted to ``POST /jobs``.  Two
+kinds exist:
+
+* ``kind: "map"`` — map one source at one configuration; the result
+  payload is **bit-identical** to ``fpfa-map map --json`` for the
+  same flags;
+* ``kind: "explore"`` — sweep a design space; the result payload
+  mirrors ``fpfa-map explore --json``.
+
+Validation happens here, once, at submission time — a malformed
+request is rejected with HTTP 400 before it ever reaches the queue,
+so workers only see normalised requests.
+
+Identity
+--------
+A map job's identity is :func:`repro.dse.cache.cache_key` of its
+(source, design point) pair — *the same key an exploration sweep
+would mint for that point*.  That single decision is what unifies the
+artifact store: a mapping job's record is a sweep record, an explore
+sweep warm-starts from mapping jobs and vice versa.  An explore job's
+identity is the content hash of its canonical request envelope.
+
+The *coalescing* key extends the job key with the verification
+requirement: a verifying and a non-verifying submission of the same
+point must not coalesce blindly (the non-verified compute would not
+satisfy the verifying client), but two submissions with the same
+requirement always share one compute.
+
+Invariants
+----------
+* Requests are normalised exactly once; every downstream consumer
+  (queue, workers, store) sees the canonical form.
+* ``record_to_map_payload`` of a stored record equals
+  ``report_payload`` of a fresh report — both derive from the same
+  metric dicts, so a store hit is indistinguishable from a compute.
+* The ``file`` label is presentation-only: it appears in payloads
+  but never in the *storage* key, so the same source submitted under
+  different paths shares artifact-store entries (it does split the
+  in-flight coalescing key — see :func:`coalesce_key`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+
+from repro.arch.tilearray import TOPOLOGIES
+from repro.dse.cache import cache_key
+from repro.dse.space import (
+    DesignPoint,
+    DesignSpace,
+    SpaceError,
+    allowed_objectives,
+)
+from repro.eval.metrics import METRIC_FIELDS, MULTITILE_METRIC_FIELDS
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8537
+
+#: Job lifecycle states (terminal: done / failed).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TERMINAL_STATES = (DONE, FAILED)
+
+#: Search strategies an explore job may name (mirrors the CLI).
+EXPLORE_STRATEGIES = ("exhaustive", "random", "hill")
+
+
+class ProtocolError(ValueError):
+    """A request the daemon rejects with HTTP 400."""
+
+
+# ---------------------------------------------------------------------------
+# Request normalisation
+# ---------------------------------------------------------------------------
+
+def _require_source(raw: Mapping) -> str:
+    source = raw.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ProtocolError("request needs a non-empty 'source' "
+                            "(the C program text)")
+    return source
+
+
+def _optional_int(raw: Mapping, name: str,
+                  default: int | None = None) -> int | None:
+    value = raw.get(name, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{name!r} must be an integer, "
+                            f"got {value!r}")
+    return value
+
+
+def normalise_map_request(raw: Mapping) -> dict:
+    """Validate one map request; returns the canonical form.
+
+    The canonical form carries the :class:`DesignPoint` as its
+    ``to_dict`` payload — the exact unit the result cache hashes — so
+    job identity and artifact identity cannot drift apart.
+    """
+    source = _require_source(raw)
+    tile = {"n_pps": _optional_int(raw, "pps", 5),
+            "n_buses": _optional_int(raw, "buses", 10)}
+    library = raw.get("library", "two-level")
+    balance = raw.get("balance", False)
+    if not isinstance(balance, bool):
+        raise ProtocolError(f"'balance' must be a boolean, "
+                            f"got {balance!r}")
+    array = None
+    tiles = _optional_int(raw, "tiles")
+    if tiles is not None:
+        topology = raw.get("topology", "crossbar")
+        if topology not in TOPOLOGIES:
+            raise ProtocolError(
+                f"unknown topology {topology!r}; known: "
+                f"{', '.join(TOPOLOGIES)}")
+        hop_energy = raw.get("hop_energy", 6.0)
+        if isinstance(hop_energy, bool) or \
+                not isinstance(hop_energy, (int, float)):
+            raise ProtocolError(f"'hop_energy' must be a number, "
+                                f"got {hop_energy!r}")
+        array = {"tiles": tiles, "topology": topology,
+                 "hop_latency": _optional_int(raw, "hop_latency", 1),
+                 "hop_energy": float(hop_energy),
+                 "link_bandwidth": _optional_int(
+                     raw, "link_bandwidth", 1)}
+    try:
+        # balance=False stays OUT of the point: a DesignPoint's
+        # identity is its explicit assignments, and an exploration
+        # sweep that never sweeps `balance` mints balance-free keys.
+        # Omitting the default here makes a plain map job and a plain
+        # --pps/--buses sweep share store entries; the payload
+        # restores the config default (`record_to_map_payload`).
+        point = DesignPoint.make(
+            tile=tile, library=library,
+            options={"balance": True} if balance else {},
+            array=array)
+    except SpaceError as error:
+        raise ProtocolError(str(error))
+    return {
+        "kind": "map",
+        "source": source,
+        "file": raw.get("file"),
+        "point": point.to_dict(),
+        "verify_seed": _optional_int(raw, "verify_seed"),
+        "priority": _optional_int(raw, "priority", 0),
+    }
+
+
+def normalise_explore_request(raw: Mapping) -> dict:
+    """Validate one explore request; returns the canonical form."""
+    source = _require_source(raw)
+    dimensions = raw.get("dimensions")
+    if not isinstance(dimensions, Mapping) or not dimensions:
+        raise ProtocolError("explore requests need 'dimensions': "
+                            "{name: [values, ...], ...}")
+    try:
+        space = DesignSpace(dimensions)
+    except SpaceError as error:
+        raise ProtocolError(str(error))
+    objectives = raw.get("objectives",
+                         ["cycles", "energy", "resource"])
+    if not isinstance(objectives, list) or not objectives or \
+            not all(isinstance(name, str) for name in objectives):
+        raise ProtocolError("'objectives' must be a non-empty list "
+                            "of metric names")
+    allowed = allowed_objectives(space)
+    for name in objectives:
+        base = name[1:] if name.startswith("-") else name
+        if base not in allowed:
+            raise ProtocolError(
+                f"unknown or unswept objective {base!r}; known "
+                f"here: {', '.join(sorted(allowed))}")
+    strategy = raw.get("strategy", "exhaustive")
+    if strategy not in EXPLORE_STRATEGIES:
+        raise ProtocolError(
+            f"unknown strategy {strategy!r}; known: "
+            f"{', '.join(EXPLORE_STRATEGIES)}")
+    return {
+        "kind": "explore",
+        "source": source,
+        "file": raw.get("file"),
+        # Canonical dimension form: the validated, deduplicated axes.
+        "dimensions": {name: list(values) for name, values
+                       in space.dimensions.items()},
+        "objectives": list(objectives),
+        "strategy": strategy,
+        "samples": _optional_int(raw, "samples", 64),
+        "max_steps": _optional_int(raw, "max_steps", 32),
+        "restarts": _optional_int(raw, "restarts", 2),
+        "seed": _optional_int(raw, "seed", 0),
+        "verify_seed": _optional_int(raw, "verify_seed"),
+        "priority": _optional_int(raw, "priority", 0),
+    }
+
+
+def normalise_request(raw) -> dict:
+    """Dispatch on ``kind``; raises :class:`ProtocolError` on junk."""
+    if not isinstance(raw, Mapping):
+        raise ProtocolError("request body must be a JSON object")
+    kind = raw.get("kind", "map")
+    if kind == "map":
+        return normalise_map_request(raw)
+    if kind == "explore":
+        return normalise_explore_request(raw)
+    raise ProtocolError(f"unknown job kind {kind!r}; "
+                        f"known: map, explore")
+
+
+# ---------------------------------------------------------------------------
+# Identity
+# ---------------------------------------------------------------------------
+
+def request_point(request: Mapping) -> DesignPoint:
+    """The design point of a normalised map request."""
+    return DesignPoint.from_dict(request["point"])
+
+
+def job_key(request: Mapping) -> str:
+    """Content identity of one normalised request.
+
+    Map jobs reuse :func:`repro.dse.cache.cache_key` — the artifact
+    store key — verbatim.  Explore jobs hash their canonical request
+    envelope (their per-point records are stored under map keys
+    anyway, so the job-level key only exists for coalescing).
+    """
+    if request["kind"] == "map":
+        return cache_key(request["source"], request_point(request))
+    envelope = json.dumps(
+        {name: request[name] for name in
+         ("kind", "source", "dimensions", "objectives", "strategy",
+          "samples", "max_steps", "restarts", "seed")},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(envelope.encode("utf-8")).hexdigest()
+
+
+def coalesce_key(request: Mapping) -> str:
+    """In-flight deduplication identity.
+
+    The job key, split by two request attributes a shared run could
+    not honour per-client: the verification requirement (an
+    unverified compute cannot satisfy a verifying client) and the
+    ``file`` label (a coalesced job yields *one* result payload, and
+    its ``file`` field must equal what ``fpfa-map map --json`` would
+    print for each submitter — so differently-labelled duplicates
+    keep separate jobs; once the first finishes, the rest are store
+    hits rendered with their own label anyway).
+    """
+    suffix = "+verify" if request.get("verify_seed") is not None \
+        else ""
+    label = request.get("file") or ""
+    return f"{job_key(request)}{suffix}|{label}"
+
+
+# ---------------------------------------------------------------------------
+# Record <-> payload conversion
+# ---------------------------------------------------------------------------
+
+def record_to_map_payload(record: Mapping, *,
+                          file: str | None = None,
+                          want_verified: bool = False) -> dict:
+    """Rebuild the ``fpfa-map map --json`` payload from one stored
+    sweep record.
+
+    The record's flat metric dict is split back into the single-tile
+    and multi-tile sections (the field sets are disjoint by
+    construction), and ``verified`` mirrors the CLI: ``True`` when
+    the caller asked for verification, ``None`` otherwise — never
+    ``False``.
+    """
+    metrics = record["metrics"]
+    config = dict(record["config"])
+    # The CLI config always spells the transform choice out; a point
+    # (or a swept record) that never pinned `balance` means False.
+    config.setdefault("balance", False)
+    payload = {
+        "file": file,
+        "config": config,
+        "metrics": {name: metrics[name] for name in METRIC_FIELDS
+                    if name in metrics},
+        "verified": True if want_verified else None,
+    }
+    multitile = {name: metrics[name]
+                 for name in MULTITILE_METRIC_FIELDS
+                 if name in metrics}
+    if multitile:
+        payload["multitile"] = multitile
+    return payload

@@ -1,0 +1,258 @@
+"""Priority job queue with in-flight request coalescing.
+
+The queue is a plain single-threaded data structure — the daemon
+calls it only from its event loop, unit tests call it directly — so
+it carries no locks and no asyncio; waiting and notification are the
+daemon's concern.
+
+Ordering is by ``(-priority, sequence)``: higher ``priority`` values
+run first, ties run in submission order (FIFO), and the ordering is
+total, so dispatch is deterministic for a deterministic submission
+sequence.
+
+Coalescing: a submission whose :func:`repro.service.protocol.coalesce_key`
+matches a job that is still *in flight* (queued or running) does not
+create a new job — it returns the existing one with its ``submits``
+counter bumped.  Two clients submitting the same (source, point,
+verification requirement) get one compute and one job id.  A job
+that has already finished never coalesces; resubmission creates a
+fresh job (which the daemon then typically serves from the artifact
+store without any backend run).
+
+Invariants
+----------
+* ``submits`` across all jobs equals the number of accepted
+  submissions; ``len(jobs)`` equals the number of distinct computes
+  admitted (the difference is the coalescing win).
+* A job is in ``_inflight`` exactly while its state is non-terminal.
+* Priorities never starve the queue ordering's determinism: equal
+  priorities are strictly FIFO.
+"""
+
+from __future__ import annotations
+
+import collections
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.service.protocol import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+)
+
+
+class QueueFull(RuntimeError):
+    """The queue's bounded depth was reached (HTTP 503)."""
+
+
+@dataclass
+class Job:
+    """One admitted unit of work and its full lifecycle record."""
+
+    id: str
+    kind: str
+    key: str            #: content identity (artifact-store key for map)
+    coalesce_key: str   #: identity + verification requirement
+    request: dict       #: normalised request (protocol.normalise_request)
+    priority: int = 0
+    state: str = QUEUED
+    submits: int = 1    #: submissions coalesced into this job
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    result: dict | None = None      #: the response payload when DONE
+    error: str | None = None        #: failure description when FAILED
+    meta: dict = field(default_factory=dict)   #: service-side profile
+    events: list = field(default_factory=list)
+    #: Set once pop() hands the job out; a priority escalation can
+    #: leave more than one heap entry per job, and a job must never
+    #: dispatch twice.
+    dispatched: bool = False
+
+    def add_event(self, event: str, **detail) -> dict:
+        entry = {"seq": len(self.events), "event": event,
+                 "at": round(time.time(), 6), **detail}
+        self.events.append(entry)
+        return entry
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def view(self, *, with_result: bool = True) -> dict:
+        """The JSON view the status endpoints serve."""
+        view = {
+            "id": self.id,
+            "kind": self.kind,
+            "key": self.key,
+            "state": self.state,
+            "priority": self.priority,
+            "submits": self.submits,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "file": self.request.get("file"),
+            "meta": self.meta,
+        }
+        if self.error is not None:
+            view["error"] = self.error
+        if with_result and self.result is not None:
+            view["result"] = self.result
+        return view
+
+
+class JobQueue:
+    """Admission, ordering and lifecycle for service jobs."""
+
+    def __init__(self, max_depth: int = 1024,
+                 max_history: int = 1024):
+        self.max_depth = max_depth
+        #: Terminal jobs kept inspectable before the oldest is
+        #: evicted — the bound that keeps a long-running daemon's
+        #: memory flat under sustained traffic (results themselves
+        #: live on in the artifact store).
+        self.max_history = max_history
+        self.jobs: dict[str, Job] = {}
+        self._heap: list[tuple[int, int, str]] = []
+        self._inflight: dict[str, Job] = {}
+        self._history: collections.deque[str] = collections.deque()
+        self._sequence = itertools.count()
+        self._counter = itertools.count(1)
+        self.coalesced = 0
+        self.evicted = 0
+
+    # -- admission ----------------------------------------------------
+
+    def submit(self, request: dict, key: str,
+               coalesce_key: str) -> tuple[Job, bool]:
+        """Admit one normalised request.
+
+        Returns ``(job, coalesced)``; *coalesced* is True when the
+        submission was folded into an in-flight job instead of
+        creating one.
+        """
+        existing = self._inflight.get(coalesce_key)
+        if existing is not None:
+            existing.submits += 1
+            priority = request.get("priority") or 0
+            if priority > existing.priority:
+                # The duplicate escalates the shared job: "higher
+                # runs first" must hold for every submitter, so a
+                # still-queued job is re-pushed at the new priority
+                # (pop() skips the stale lower-priority entry).
+                existing.priority = priority
+                if existing.state == QUEUED:
+                    heapq.heappush(
+                        self._heap,
+                        (-priority, next(self._sequence),
+                         existing.id))
+            existing.add_event("coalesced",
+                               submits=existing.submits,
+                               priority=existing.priority)
+            self.coalesced += 1
+            return existing, True
+        if self.depth >= self.max_depth:
+            raise QueueFull(
+                f"queue depth {self.max_depth} reached; retry later")
+        job = Job(id=f"job-{next(self._counter):06d}",
+                  kind=request["kind"], key=key,
+                  coalesce_key=coalesce_key, request=request,
+                  priority=request.get("priority") or 0)
+        job.add_event("queued", priority=job.priority)
+        self.jobs[job.id] = job
+        self._inflight[coalesce_key] = job
+        heapq.heappush(self._heap,
+                       (-job.priority, next(self._sequence), job.id))
+        return job, False
+
+    # -- dispatch -----------------------------------------------------
+
+    def pop(self) -> Job | None:
+        """The next runnable job (highest priority, FIFO within), or
+        None.  Skips stale heap entries: jobs that already left the
+        queued state (finished early from a store hit), were evicted,
+        or were dispatched through an earlier entry (priority
+        escalation re-pushes)."""
+        while self._heap:
+            __, __, job_id = heapq.heappop(self._heap)
+            job = self.jobs.get(job_id)
+            if job is not None and job.state == QUEUED \
+                    and not job.dispatched:
+                job.dispatched = True
+                return job
+        return None
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently waiting to run."""
+        return sum(1 for job in self._inflight.values()
+                   if job.state == QUEUED)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def mark_running(self, job: Job) -> None:
+        job.state = RUNNING
+        job.started = time.time()
+        job.add_event("running")
+
+    def finish(self, job: Job, result: dict, **meta) -> None:
+        job.state = DONE
+        job.finished = time.time()
+        job.result = result
+        job.meta.update(meta)
+        self._retire(job)
+        job.add_event("done", **{name: value
+                                 for name, value in meta.items()
+                                 if isinstance(value, (str, int,
+                                                       float, bool))})
+
+    def fail(self, job: Job, error: str, **meta) -> None:
+        job.state = FAILED
+        job.finished = time.time()
+        job.error = error
+        job.meta.update(meta)
+        self._retire(job)
+        job.add_event("failed", error=error)
+
+    def _retire(self, job: Job) -> None:
+        """Leave the in-flight set; bound the terminal history.
+
+        Evicted jobs simply become unknown to the status endpoints —
+        their map results remain reachable through the artifact
+        store, and a follower already streaming events keeps its
+        reference to the Job object."""
+        self._inflight.pop(job.coalesce_key, None)
+        self._history.append(job.id)
+        while len(self._history) > self.max_history:
+            evicted = self._history.popleft()
+            if self.jobs.pop(evicted, None) is not None:
+                self.evicted += 1
+
+    # -- inspection ---------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        return self.jobs.get(job_id)
+
+    def list_jobs(self, state: str | None = None) -> list[Job]:
+        jobs = list(self.jobs.values())
+        if state is not None:
+            jobs = [job for job in jobs if job.state == state]
+        return jobs
+
+    def stats(self) -> dict:
+        states: dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "jobs": len(self.jobs),
+            "depth": self.depth,
+            "inflight": len(self._inflight),
+            "coalesced": self.coalesced,
+            "evicted": self.evicted,
+            "states": states,
+        }

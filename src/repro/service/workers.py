@@ -1,0 +1,150 @@
+"""Persistent worker pool and the job executors it runs.
+
+Workers execute *normalised* requests (see
+:mod:`repro.service.protocol`) and produce exactly the artifacts the
+offline tools produce:
+
+* a map job runs :func:`repro.dse.runner.evaluate_point` — the same
+  record producer every sweep uses — so the record it returns is
+  byte-for-byte a sweep record and lands in the shared store under
+  the shared key;
+* an explore job runs the same strategy functions ``fpfa-map
+  explore`` runs, in-process (``workers=1`` — the service pool is
+  the parallelism; nesting pools inside workers would oversubscribe),
+  against the shared store as its result cache.
+
+The pool itself is a thin wrapper over ``concurrent.futures``: mode
+``"process"`` is the production shape (true parallelism, fork
+context where available, mirroring :mod:`repro.dse.runner`), mode
+``"thread"`` keeps everything in one process — handy for tests and
+for platforms without fork.  The flow is deterministic, so the mode
+never changes a result, only its latency.
+
+Frontend reuse happens *above* the pool: the daemon memoises
+compiled frontends per (source, spec) and ships them with each job,
+so a warm resubmit skips frontend compilation no matter which worker
+picks it up.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import multiprocessing
+import os
+from typing import Mapping
+
+from repro.core.pipeline import Frontend
+from repro.dse.runner import FrontendSpec, evaluate_point
+from repro.service.protocol import request_point
+
+
+def source_digest(source: str) -> str:
+    """Stable identity of one program text (frontend-memo key part)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Job executors (module-level: they must pickle into worker processes)
+# ---------------------------------------------------------------------------
+
+def run_map_job(request: Mapping,
+                frontend: Frontend | None = None) -> tuple[dict, dict]:
+    """Execute one map job; returns ``(record, info)``.
+
+    *record* is a canonical sweep record (stored verbatim); *info*
+    carries service-side profile data — the report's per-stage
+    timings and the worker identity — that must never leak into the
+    record.
+    """
+    sink: dict = {}
+    record = evaluate_point(request["source"], request_point(request),
+                            request.get("verify_seed"),
+                            frontend=frontend, sink=sink)
+    return record, {"timings": sink.get("timings"),
+                    "worker": os.getpid()}
+
+
+def run_explore_job(request: Mapping, store_root: str | None = None,
+                    frontends: Mapping[FrontendSpec, Frontend]
+                    | None = None) -> tuple[dict, dict]:
+    """Execute one explore job; returns ``(payload, info)``.
+
+    The payload mirrors ``fpfa-map explore --json``: strategy,
+    objectives, stats, best, frontier and the full record trace.
+    ``store_root`` points the sweep's result cache at the daemon's
+    artifact store, and *frontends* seeds it with the daemon's warm
+    memo, so exploration jobs start from everything mapping jobs
+    already computed.
+    """
+    from repro.dse.pareto import pareto_front
+    from repro.dse.search import STRATEGIES
+    from repro.dse.space import DesignSpace
+
+    space = DesignSpace(request["dimensions"])
+    objectives = request["objectives"]
+    strategy = request["strategy"]
+    run_kwargs = dict(workers=1, cache=store_root,
+                      verify_seed=request.get("verify_seed"),
+                      frontends=frontends)
+    if strategy == "random":
+        extra = dict(n_samples=request["samples"],
+                     seed=request["seed"])
+    elif strategy == "hill":
+        extra = dict(max_steps=request["max_steps"],
+                     restarts=request["restarts"],
+                     seed=request["seed"])
+    else:
+        extra = {}
+    result = STRATEGIES[strategy](request["source"], space,
+                                  objectives=objectives,
+                                  **extra, **run_kwargs)
+    payload = {
+        "workload": request.get("file") or "<submitted source>",
+        "strategy": strategy,
+        "objectives": objectives,
+        "stats": vars(result.stats),
+        "best": result.best,
+        "frontier": pareto_front(result.records, objectives),
+        "records": result.records,
+    }
+    return payload, {"stats": vars(result.stats),
+                     "worker": os.getpid()}
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+class WorkerPool:
+    """A bounded, persistent executor for service jobs."""
+
+    MODES = ("process", "thread")
+
+    def __init__(self, workers: int | None = None,
+                 mode: str = "process"):
+        if mode not in self.MODES:
+            raise ValueError(f"unknown worker mode {mode!r}; "
+                             f"known: {', '.join(self.MODES)}")
+        self.workers = max(1, workers if workers is not None
+                           else (os.cpu_count() or 1))
+        self.mode = mode
+        if mode == "process":
+            context = multiprocessing.get_context(
+                "fork" if "fork" in
+                multiprocessing.get_all_start_methods() else None)
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context)
+        else:
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="fpfa-worker")
+
+    def submit(self, fn, *args) -> concurrent.futures.Future:
+        return self._executor.submit(fn, *args)
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def describe(self) -> dict:
+        return {"workers": self.workers, "mode": self.mode}

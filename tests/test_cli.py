@@ -140,6 +140,35 @@ def test_map_json_stdout_legacy_form(fir_file, capsys):
     assert "locality" in payload["metrics"]
 
 
+def test_map_json_dash_keeps_stdout_pure(fir_file, capsys):
+    """`--json -` makes stdout pipeline-safe: pure JSON, with the
+    human-readable report on stderr."""
+    main(["map", fir_file, "--schedule", "--cdfg", "--json", "-"])
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)  # parses with no stripping
+    assert payload["metrics"]["cycles"] > 0
+    assert "clusters" in captured.err
+    assert "Level0:" in captured.err
+
+
+def test_map_json_file_keeps_report_on_stdout(fir_file, tmp_path,
+                                              capsys):
+    json_path = tmp_path / "metrics.json"
+    main(["map", fir_file, "--json", str(json_path)])
+    captured = capsys.readouterr()
+    assert "clusters" in captured.out  # unchanged for file targets
+    assert captured.err == ""
+
+
+def test_explore_json_dash_keeps_stdout_pure(fir_file, capsys):
+    assert main(["explore", fir_file, "--pps", "1,2",
+                 "--workers", "1", "--json", "-"]) == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert len(payload["records"]) == 2
+    assert "Pareto frontier" in captured.err
+
+
 def test_explore_kernel(capsys):
     assert main(["explore", "--kernel", "fir5", "--pps", "1,2",
                  "--buses", "4,10", "--workers", "1"]) == 0

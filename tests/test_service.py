@@ -1,0 +1,364 @@
+"""End-to-end tests for the mapping daemon (repro.service).
+
+The acceptance criteria of the service subsystem live here:
+
+* payloads bit-identical to ``fpfa-map map --json`` for the whole
+  kernel suite, served to 8+ concurrent clients;
+* duplicate in-flight submissions coalesce to exactly one backend
+  computation (worker-run counters);
+* a warm-daemon resubmit skips frontend compilation (frontend memo
+  counters + per-job profile meta).
+"""
+
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.eval.kernels import KERNELS
+from repro.service import ServiceClient, ServiceError, ServiceThread
+
+from tests.conftest import FIR_SOURCE
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    with ServiceThread(store=tmp_path / "store", workers=4) as thread:
+        yield thread
+
+
+@pytest.fixture
+def client(daemon):
+    return ServiceClient(*daemon.address)
+
+
+def _offline_payload(tmp_path, source, *flags):
+    """The ground truth: what `fpfa-map map --json` writes."""
+    source_path = tmp_path / "prog.c"
+    source_path.write_text(source)
+    json_path = tmp_path / "out.json"
+    assert main(["map", str(source_path), "--json", str(json_path),
+                 *flags]) == 0
+    return str(source_path), json.loads(json_path.read_text())
+
+
+def _canon(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+# -- basics ---------------------------------------------------------------
+
+def test_health_and_stats(client):
+    assert client.health()["ok"] is True
+    stats = client.stats()
+    assert stats["workers"]["workers"] == 4
+    assert stats["queue"]["jobs"] == 0
+    assert stats["store"]["entries"] == 0
+
+
+def test_map_job_payload_matches_offline_cli(client, tmp_path):
+    file, expected = _offline_payload(tmp_path, FIR_SOURCE)
+    payload = client.map_source(FIR_SOURCE, file=file)
+    assert _canon(payload) == _canon(expected)
+
+
+def test_map_job_with_tiles_and_verify_matches_offline(client,
+                                                       tmp_path):
+    file, expected = _offline_payload(
+        tmp_path, FIR_SOURCE, "--tiles", "2", "--topology", "ring",
+        "--verify-seed", "3", "--balance")
+    payload = client.map_source(FIR_SOURCE, file=file, tiles=2,
+                                topology="ring", verify_seed=3,
+                                balance=True)
+    assert _canon(payload) == _canon(expected)
+    assert payload["verified"] is True
+    assert payload["multitile"]["tiles"] == 2
+
+
+# -- acceptance: kernel suite, 8 concurrent clients -----------------------
+
+def test_kernel_suite_concurrently_bit_identical(client, tmp_path):
+    expected = {}
+    for kernel in KERNELS:
+        directory = tmp_path / kernel.name
+        directory.mkdir()
+        expected[kernel.name] = _offline_payload(directory,
+                                                 kernel.source)
+
+    def submit(kernel):
+        # One client per thread: clients are cheap and isolated.
+        own = ServiceClient(client.host, client.port)
+        file, __ = expected[kernel.name]
+        return kernel.name, own.map_source(kernel.source, file=file)
+
+    with concurrent.futures.ThreadPoolExecutor(8) as pool:
+        results = dict(pool.map(submit, KERNELS))
+    for kernel in KERNELS:
+        assert _canon(results[kernel.name]) \
+            == _canon(expected[kernel.name][1]), kernel.name
+    stats = client.stats()
+    assert stats["service"]["computed"] == len(KERNELS)
+    assert stats["store"]["entries"] == len(KERNELS)
+
+
+# -- acceptance: coalescing -----------------------------------------------
+
+def test_duplicate_submissions_share_one_backend_run(client):
+    n_clients = 8
+
+    def submit(index):
+        own = ServiceClient(client.host, client.port)
+        return own.map_source(FIR_SOURCE, file="dup.c")
+
+    with concurrent.futures.ThreadPoolExecutor(n_clients) as pool:
+        payloads = list(pool.map(submit, range(n_clients)))
+    assert all(_canon(payload) == _canon(payloads[0])
+               for payload in payloads)
+    stats = client.stats()["service"]
+    # Exactly one backend computation; every other submission either
+    # coalesced onto it in flight or hit the artifact store after it.
+    assert stats["computed"] == 1
+    assert stats["submits"] == n_clients
+    assert stats["coalesced"] + stats["store_hits"] == n_clients - 1
+
+
+# -- acceptance: warm resubmits skip the frontend -------------------------
+
+def test_warm_resubmit_reuses_the_frontend(client):
+    first = client.submit({"kind": "map", "source": FIR_SOURCE,
+                           "pps": 5})
+    client.result(first["job"]["id"])
+    # Different tile parameters -> different store key, same source
+    # and transform options -> same frontend.
+    second = client.submit({"kind": "map", "source": FIR_SOURCE,
+                            "pps": 3})
+    client.result(second["job"]["id"])
+    stats = client.stats()["service"]
+    assert stats["computed"] == 2
+    assert stats["frontends_compiled"] == 1
+    assert stats["frontends_reused"] == 1
+    view = client.job(second["job"]["id"])
+    assert view["meta"]["frontend_reused"] is True
+    # The per-job profile carries the MappingReport timings: backend
+    # stages ran for this job, so they are present alongside the
+    # memoised frontend's stage times.
+    timings = view["meta"]["timings"]
+    for stage in ("parse", "transforms", "cluster", "schedule",
+                  "allocate"):
+        assert stage in timings
+
+
+def test_store_hit_skips_the_pool_entirely(client):
+    client.map_source(FIR_SOURCE, file="a.c")
+    response = client.submit({"kind": "map", "source": FIR_SOURCE,
+                              "file": "b.c"})
+    job = response["job"]
+    assert job["state"] == "done"          # finished at submit time
+    assert job["meta"]["cache"] == "hit"
+    assert job["result"]["file"] == "b.c"  # label is per-request
+    assert client.stats()["service"]["computed"] == 1
+
+
+def test_verifying_client_never_trusts_an_unverified_record(client):
+    client.map_source(FIR_SOURCE, file="a.c")
+    payload = client.map_source(FIR_SOURCE, file="a.c",
+                                verify_seed=11)
+    assert payload["verified"] is True
+    stats = client.stats()["service"]
+    assert stats["computed"] == 2  # the unverified record re-ran
+    # And now the verified record serves both kinds of request.
+    client.map_source(FIR_SOURCE, file="a.c", verify_seed=5)
+    client.map_source(FIR_SOURCE, file="a.c")
+    assert client.stats()["service"]["computed"] == 2
+
+
+# -- explore jobs ---------------------------------------------------------
+
+def test_explore_job_round_trip(client):
+    response = client.submit({
+        "kind": "explore", "source": FIR_SOURCE,
+        "dimensions": {"n_pps": [1, 2], "n_buses": [10]},
+        "objectives": ["cycles", "energy"]})
+    result = client.result(response["job"]["id"])
+    assert result["strategy"] == "exhaustive"
+    assert len(result["records"]) == 2
+    assert result["best"]["ok"] is True
+    assert result["frontier"]
+    assert result["stats"]["total"] == 2
+
+
+def test_explore_sweep_reuses_map_job_artifacts(client):
+    client.map_source(FIR_SOURCE, file="a.c")  # pps=5, buses=10
+    response = client.submit({
+        "kind": "explore", "source": FIR_SOURCE,
+        "dimensions": {"n_pps": [4, 5], "n_buses": [10]},
+        "objectives": ["cycles"]})
+    result = client.result(response["job"]["id"])
+    # One of the two sweep points is the map job's record.
+    assert result["stats"]["cached"] == 1
+    assert result["stats"]["evaluated"] == 1
+
+
+# -- status, events, failures ---------------------------------------------
+
+def test_job_listing_and_long_poll(client):
+    response = client.submit({"kind": "map", "source": FIR_SOURCE})
+    job_id = response["job"]["id"]
+    view = client.job(job_id, wait=30)
+    assert view["state"] == "done"
+    listed = client.jobs()
+    assert [item["id"] for item in listed] == [job_id]
+    assert client.jobs(state="done")[0]["id"] == job_id
+    assert client.jobs(state="failed") == []
+
+
+def test_event_stream_replays_to_terminal(client):
+    response = client.submit({"kind": "map", "source": FIR_SOURCE})
+    job_id = response["job"]["id"]
+    events = [event["event"] for event in client.events(job_id)]
+    assert events[0] == "queued"
+    assert events[-1] == "done"
+    assert "running" in events
+
+
+def test_failing_job_surfaces_the_record_error(client):
+    response = client.submit({"kind": "map", "source": FIR_SOURCE,
+                              "pps": 0})
+    with pytest.raises(ServiceError, match="failed"):
+        client.result(response["job"]["id"])
+    view = client.job(response["job"]["id"])
+    assert view["state"] == "failed"
+    assert "error" in view
+    # A failure is never memoised: nothing poisoned the store.
+    assert client.stats()["store"]["entries"] == 0
+
+
+def test_protocol_errors_are_http_400(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit({"kind": "map"})
+    assert excinfo.value.status == 400
+
+
+def test_unknown_job_is_http_404(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.job("job-999999")
+    assert excinfo.value.status == 404
+
+
+def test_unknown_route_is_http_404(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("GET", "/no/such/route")
+    assert excinfo.value.status == 404
+
+
+# -- worker process mode --------------------------------------------------
+
+def test_process_worker_mode_results_identical(tmp_path):
+    file, expected = _offline_payload(tmp_path, FIR_SOURCE)
+    with ServiceThread(worker_mode="process", workers=2) as thread:
+        own = ServiceClient(*thread.address)
+        payload = own.map_source(FIR_SOURCE, file=file)
+        warm = own.map_source(FIR_SOURCE, file=file, pps=3)
+        stats = own.stats()["service"]
+    assert _canon(payload) == _canon(expected)
+    assert warm["config"]["n_pps"] == 3
+    assert stats["frontends_reused"] == 1
+
+
+# -- CLI surface ----------------------------------------------------------
+
+def test_cli_submit_stdout_is_the_map_json_payload(daemon, tmp_path,
+                                                   capsys):
+    source_path = tmp_path / "fir.c"
+    source_path.write_text(FIR_SOURCE)
+    host, port = daemon.address
+    assert main(["submit", str(source_path), "--host", host,
+                 "--port", str(port)]) == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)   # stdout is pure JSON
+    assert payload["metrics"]["cycles"] > 0
+    assert "job job-" in captured.err    # chatter went to stderr
+
+    json_path = tmp_path / "out.json"
+    assert main(["map", str(source_path), "--json",
+                 str(json_path)]) == 0
+    capsys.readouterr()
+    assert _canon(payload) == _canon(json.loads(
+        json_path.read_text()))
+
+
+def test_cli_submit_no_wait_then_jobs(daemon, tmp_path, capsys):
+    source_path = tmp_path / "fir.c"
+    source_path.write_text(FIR_SOURCE)
+    host, port = daemon.address
+    address = ["--host", host, "--port", str(port)]
+    assert main(["submit", str(source_path), *address,
+                 "--no-wait"]) == 0
+    err = capsys.readouterr().err
+    job_id = err.split("job ")[1].split(":")[0]
+    assert main(["jobs", *address]) == 0
+    out = capsys.readouterr().out
+    assert job_id in out and "state" in out
+    assert main(["jobs", *address, "--job", job_id]) == 0
+    view = json.loads(capsys.readouterr().out)
+    assert view["id"] == job_id
+
+
+def test_cli_jobs_follow_streams_events(daemon, tmp_path, capsys):
+    source_path = tmp_path / "fir.c"
+    source_path.write_text(FIR_SOURCE)
+    host, port = daemon.address
+    address = ["--host", host, "--port", str(port)]
+    assert main(["submit", str(source_path), *address]) == 0
+    capsys.readouterr()
+    assert main(["jobs", *address, "--job", "job-000001",
+                 "--follow"]) == 0
+    lines = [json.loads(line) for line
+             in capsys.readouterr().out.splitlines() if line]
+    assert lines[-1]["event"] == "done"
+
+
+def test_cli_submit_unreachable_daemon_is_a_clean_error(tmp_path):
+    source_path = tmp_path / "fir.c"
+    source_path.write_text(FIR_SOURCE)
+    with pytest.raises(SystemExit, match="cannot reach"):
+        main(["submit", str(source_path), "--port", "1"])
+
+
+def test_cli_serve_subprocess_round_trip(tmp_path):
+    """The real thing: `fpfa-map serve` as a subprocess, exercised
+    over the wire, stopped via POST /shutdown."""
+    repo_root = Path(__file__).resolve().parent.parent
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "2", "--worker-mode", "thread",
+         "--store", str(tmp_path / "store")],
+        cwd=repo_root, stdout=subprocess.PIPE, text=True,
+        env={**os.environ, "PYTHONPATH": str(repo_root / "src")})
+    try:
+        line = process.stdout.readline()
+        assert "listening on http://" in line
+        host, port = line.rsplit("http://", 1)[1].strip().split(":")
+        own = ServiceClient(host, int(port))
+        deadline = time.monotonic() + 10
+        while True:
+            try:
+                own.health()
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+        payload = own.map_source(FIR_SOURCE, file="fir.c")
+        assert payload["metrics"]["cycles"] > 0
+        own.shutdown()
+        assert process.wait(timeout=30) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()

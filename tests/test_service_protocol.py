@@ -1,0 +1,151 @@
+"""Unit tests for the service wire contract (repro.service.protocol)."""
+
+import pytest
+
+from repro.dse.cache import cache_key
+from repro.dse.runner import evaluate_point
+from repro.service.protocol import (
+    ProtocolError,
+    coalesce_key,
+    job_key,
+    normalise_request,
+    record_to_map_payload,
+    request_point,
+)
+
+from tests.conftest import FIR_SOURCE
+
+
+def _map_request(**overrides):
+    raw = {"kind": "map", "source": FIR_SOURCE}
+    raw.update(overrides)
+    return normalise_request(raw)
+
+
+def _explore_request(**overrides):
+    raw = {"kind": "explore", "source": FIR_SOURCE,
+           "dimensions": {"n_pps": [1, 2]}}
+    raw.update(overrides)
+    return normalise_request(raw)
+
+
+# -- normalisation --------------------------------------------------------
+
+def test_map_defaults_mirror_the_cli():
+    request = _map_request()
+    point = request_point(request)
+    assert point.tile_dict() == {"n_pps": 5, "n_buses": 10}
+    assert point.library == "two-level"
+    assert point.options_dict() == {}
+    assert point.array_dict() == {}
+    assert request["verify_seed"] is None
+    assert request["priority"] == 0
+
+
+def test_map_balance_false_stays_out_of_the_point_identity():
+    """A plain map job must share store keys with a plain sweep —
+    the unification the artifact store is built on."""
+    explicit_off = _map_request(balance=False)
+    default = _map_request()
+    assert job_key(explicit_off) == job_key(default)
+    assert request_point(_map_request(balance=True)).options_dict() \
+        == {"balance": True}
+
+
+def test_map_array_fields_normalise_with_defaults():
+    request = _map_request(tiles=2, topology="ring")
+    assert request_point(request).array_dict() == {
+        "tiles": 2, "topology": "ring", "hop_latency": 1,
+        "hop_energy": 6.0, "link_bandwidth": 1}
+
+
+@pytest.mark.parametrize("raw", [
+    42,
+    {"kind": "map"},
+    {"kind": "map", "source": "   "},
+    {"kind": "map", "source": FIR_SOURCE, "pps": "five"},
+    {"kind": "map", "source": FIR_SOURCE, "balance": "yes"},
+    {"kind": "map", "source": FIR_SOURCE, "tiles": 2,
+     "topology": "torus"},
+    {"kind": "map", "source": FIR_SOURCE, "library": "no-such"},
+    {"kind": "bake", "source": FIR_SOURCE},
+    {"kind": "explore", "source": FIR_SOURCE},
+    {"kind": "explore", "source": FIR_SOURCE, "dimensions": {}},
+    {"kind": "explore", "source": FIR_SOURCE,
+     "dimensions": {"n_pps": [1]}, "objectives": []},
+    {"kind": "explore", "source": FIR_SOURCE,
+     "dimensions": {"n_pps": [1]}, "strategy": "annealing"},
+])
+def test_junk_requests_are_rejected(raw):
+    with pytest.raises(ProtocolError):
+        normalise_request(raw)
+
+
+def test_explore_rejects_unswept_objectives_like_the_cli():
+    with pytest.raises(ProtocolError, match="makespan"):
+        _explore_request(objectives=["makespan"])
+    # ...but accepts them when an array dimension is swept.
+    request = _explore_request(dimensions={"tiles": [1, 2]},
+                               objectives=["makespan"])
+    assert request["objectives"] == ["makespan"]
+
+
+def test_kind_defaults_to_map():
+    assert normalise_request({"source": FIR_SOURCE})["kind"] == "map"
+
+
+# -- identity -------------------------------------------------------------
+
+def test_map_job_key_is_the_store_key():
+    request = _map_request(pps=3)
+    assert job_key(request) == cache_key(FIR_SOURCE,
+                                         request_point(request))
+
+
+def test_file_label_never_enters_the_key():
+    assert job_key(_map_request(file="a.c")) \
+        == job_key(_map_request(file="b.c"))
+
+
+def test_coalesce_key_splits_on_file_label():
+    """A coalesced job yields one payload whose `file` must match
+    every submitter's `map --json` — so labels split coalescing
+    (storage identity stays shared; see job_key test above)."""
+    assert coalesce_key(_map_request(file="a.c")) \
+        != coalesce_key(_map_request(file="b.c"))
+    assert coalesce_key(_map_request(file="a.c")) \
+        == coalesce_key(_map_request(file="a.c"))
+
+
+def test_coalesce_key_splits_on_verification():
+    plain = _map_request()
+    verifying = _map_request(verify_seed=7)
+    assert job_key(plain) == job_key(verifying)
+    assert coalesce_key(plain) != coalesce_key(verifying)
+    assert coalesce_key(_map_request(verify_seed=3)) \
+        == coalesce_key(verifying)  # the seed itself never splits
+
+
+def test_explore_key_is_deterministic_and_param_sensitive():
+    assert job_key(_explore_request()) == job_key(_explore_request())
+    assert job_key(_explore_request()) \
+        != job_key(_explore_request(dimensions={"n_pps": [1, 3]}))
+
+
+# -- record -> payload ----------------------------------------------------
+
+def test_record_round_trips_to_the_map_payload():
+    request = _map_request(file="fir.c", tiles=2)
+    record = evaluate_point(FIR_SOURCE, request_point(request))
+    assert record["ok"]
+    payload = record_to_map_payload(record, file="fir.c")
+    assert payload["file"] == "fir.c"
+    assert payload["verified"] is None
+    assert payload["config"]["balance"] is False
+    assert payload["config"]["tiles"] == 2
+    # The flat record metrics split cleanly back into sections.
+    assert "cycles" in payload["metrics"]
+    assert "makespan" not in payload["metrics"]
+    assert payload["multitile"]["tiles"] == 2
+    assert record_to_map_payload(record, want_verified=True)[
+        "verified"] is True

@@ -1,0 +1,155 @@
+"""Unit tests for the job queue (repro.service.queue)."""
+
+import pytest
+
+from repro.service.protocol import DONE, QUEUED, RUNNING
+from repro.service.queue import JobQueue, QueueFull
+
+
+def _submit(queue, name="k", priority=0, **request):
+    request = {"kind": "map", "priority": priority, **request}
+    return queue.submit(request, key=name, coalesce_key=name)
+
+
+def test_fifo_within_equal_priority():
+    queue = JobQueue()
+    first, __ = _submit(queue, "a")
+    second, __ = _submit(queue, "b")
+    assert queue.pop() is first
+    assert queue.pop() is second
+    assert queue.pop() is None
+
+
+def test_higher_priority_dispatches_first():
+    queue = JobQueue()
+    low, __ = _submit(queue, "low", priority=0)
+    high, __ = _submit(queue, "high", priority=5)
+    mid, __ = _submit(queue, "mid", priority=2)
+    assert [queue.pop() for __ in range(3)] == [high, mid, low]
+
+
+def test_coalescing_folds_identical_inflight_submissions():
+    queue = JobQueue()
+    job, coalesced = _submit(queue, "same")
+    assert not coalesced
+    again, coalesced = _submit(queue, "same")
+    assert coalesced and again is job
+    assert job.submits == 2
+    assert queue.coalesced == 1
+    # Still exactly one dispatchable unit of work.
+    assert queue.pop() is job
+    assert queue.pop() is None
+
+
+def test_running_jobs_still_coalesce_finished_jobs_do_not():
+    queue = JobQueue()
+    job, __ = _submit(queue, "same")
+    queue.mark_running(queue.pop())
+    __, coalesced = _submit(queue, "same")
+    assert coalesced and job.submits == 2
+    queue.finish(job, {"answer": 42})
+    fresh, coalesced = _submit(queue, "same")
+    assert not coalesced and fresh is not job
+
+
+def test_lifecycle_states_and_events():
+    queue = JobQueue()
+    job, __ = _submit(queue, "k")
+    assert job.state == QUEUED and not job.terminal
+    queue.mark_running(job)
+    assert job.state == RUNNING and job.started is not None
+    queue.finish(job, {"x": 1}, cache="miss")
+    assert job.state == DONE and job.terminal
+    assert job.result == {"x": 1}
+    assert job.meta["cache"] == "miss"
+    assert [event["event"] for event in job.events] \
+        == ["queued", "running", "done"]
+
+
+def test_failed_jobs_leave_inflight_and_carry_the_error():
+    queue = JobQueue()
+    job, __ = _submit(queue, "k")
+    queue.mark_running(job)
+    queue.fail(job, "boom")
+    assert job.state == "failed" and job.error == "boom"
+    fresh, coalesced = _submit(queue, "k")
+    assert not coalesced and fresh is not job
+
+
+def test_pop_skips_jobs_finished_before_dispatch():
+    """A store hit finishes a job while it is still on the heap; the
+    dispatcher must never run it."""
+    queue = JobQueue()
+    job, __ = _submit(queue, "hit")
+    other, __ = _submit(queue, "miss")
+    queue.finish(job, {"cached": True})
+    assert queue.pop() is other
+    assert queue.pop() is None
+
+
+def test_bounded_depth_raises_queue_full():
+    queue = JobQueue(max_depth=2)
+    _submit(queue, "a")
+    _submit(queue, "b")
+    with pytest.raises(QueueFull):
+        _submit(queue, "c")
+    # Coalescing does not add depth and stays admissible.
+    __, coalesced = _submit(queue, "a")
+    assert coalesced
+
+
+def test_coalesced_higher_priority_escalates_the_shared_job():
+    queue = JobQueue()
+    low, __ = _submit(queue, "shared", priority=0)
+    other, __ = _submit(queue, "other", priority=2)
+    # A duplicate at priority 5 must pull the shared job ahead.
+    again, coalesced = _submit(queue, "shared", priority=5)
+    assert coalesced and again is low
+    assert low.priority == 5
+    assert queue.pop() is low
+    assert queue.pop() is other
+    assert queue.pop() is None  # the stale heap entry was skipped
+
+
+def test_coalesced_lower_priority_never_demotes():
+    queue = JobQueue()
+    job, __ = _submit(queue, "shared", priority=5)
+    _submit(queue, "shared", priority=1)
+    assert job.priority == 5
+
+
+def test_terminal_history_is_bounded():
+    queue = JobQueue(max_history=3)
+    jobs = []
+    for index in range(5):
+        job, __ = _submit(queue, f"k{index}")
+        queue.mark_running(job)
+        queue.finish(job, {"n": index})
+        jobs.append(job)
+    assert queue.get(jobs[0].id) is None   # evicted
+    assert queue.get(jobs[1].id) is None
+    assert queue.get(jobs[4].id) is jobs[4]
+    assert len(queue.jobs) == 3
+    assert queue.stats()["evicted"] == 2
+    # In-flight jobs are never evicted, whatever the history bound.
+    fresh, __ = _submit(queue, "alive")
+    for index in range(5, 9):
+        job, __ = _submit(queue, f"k{index}")
+        queue.finish(job, {})
+    assert queue.get(fresh.id) is fresh
+
+
+def test_view_shape_and_stats():
+    queue = JobQueue()
+    job, __ = _submit(queue, "k", file="fir.c")
+    view = job.view()
+    assert view["id"] == job.id
+    assert view["state"] == QUEUED
+    assert view["file"] == "fir.c"
+    assert "result" not in view
+    queue.finish(job, {"x": 1})
+    assert job.view()["result"] == {"x": 1}
+    assert "result" not in job.view(with_result=False)
+    stats = queue.stats()
+    assert stats["jobs"] == 1
+    assert stats["states"] == {"done": 1}

@@ -11,7 +11,10 @@ Times representative workloads of the mapping engine end to end:
 * ``alloc_scaling``— the EXT-G phase pipeline on a large random
   layered DAG (clustering → scheduling → allocation);
 * ``sweep``        — a serial tile-parameter sweep through
-  ``repro.dse.runner.run_sweep`` (frontend reuse + backend cost).
+  ``repro.dse.runner.run_sweep`` (frontend reuse + backend cost);
+* ``service``      — warm submit→result rounds of the kernel suite
+  through a live ``repro.service`` daemon (HTTP + queue + store
+  overhead; the backend is served from the artifact store).
 
 Each workload is run ``--repeats`` times and the median wall time is
 recorded, together with a *normalized* value: seconds divided by the
@@ -40,6 +43,7 @@ See ``docs/performance.md`` for the full story.
 from __future__ import annotations
 
 import argparse
+import atexit
 import json
 import pathlib
 import statistics
@@ -171,12 +175,46 @@ def _workload_sweep(quick: bool):
     return run, {"points": len(points)}
 
 
+def _workload_service(quick: bool):
+    """Submit→result round trips through a live daemon: the kernel
+    suite over concurrent clients against a warm artifact store, so
+    the measured cost is the service layer itself (HTTP, queue,
+    coalescing, store reads) rather than the mapping backend."""
+    import concurrent.futures
+
+    from repro.eval.kernels import KERNELS
+    from repro.service import ServiceClient, ServiceThread
+
+    kernels = KERNELS[:6] if quick else KERNELS
+    clients = 4 if quick else 8
+    thread = ServiceThread(workers=4)
+    thread.start()
+    atexit.register(thread.stop)
+    address = thread.address
+    # Prime the store: the timed runs measure warm service rounds.
+    warmup = ServiceClient(*address)
+    for kernel in kernels:
+        warmup.map_source(kernel.source, file=kernel.name)
+
+    def run():
+        def submit(kernel):
+            client = ServiceClient(*address)
+            return client.map_source(kernel.source,
+                                     file=kernel.name)
+        with concurrent.futures.ThreadPoolExecutor(clients) as pool:
+            results = list(pool.map(submit, kernels))
+        return len(results)
+
+    return run, {"kernels": len(kernels), "clients": clients}
+
+
 WORKLOADS = {
     "transforms": _workload_transforms,
     "single_tile": _workload_single_tile,
     "multitile": _workload_multitile,
     "alloc_scaling": _workload_alloc_scaling,
     "sweep": _workload_sweep,
+    "service": _workload_service,
 }
 
 

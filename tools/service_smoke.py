@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Service smoke harness — the daemon acceptance check, end to end.
+
+Starts a real ``fpfa-map serve`` subprocess, submits the full kernel
+suite over N concurrent clients, and diffs every response against the
+offline ``fpfa-map map --json`` output (computed in-process through
+the same CLI entry point).  Then exercises the two service-specific
+guarantees:
+
+* duplicate submissions of an already-served kernel add **zero**
+  backend computations (store hits / coalescing);
+* a warm resubmit with different tile parameters reuses the compiled
+  frontend (daemon frontend-memo counters).
+
+Exit code 0 means every payload was bit-identical and both
+guarantees held.  This is the CI ``service`` job::
+
+    python tools/service_smoke.py [--clients 8] [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main as cli_main               # noqa: E402
+from repro.eval.kernels import KERNELS               # noqa: E402
+from repro.service.client import ServiceClient       # noqa: E402
+
+
+def canon(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def offline_payloads(workdir: pathlib.Path) -> dict[str, tuple]:
+    """(source path, payload) per kernel, via the offline CLI."""
+    expected = {}
+    for kernel in KERNELS:
+        source_path = workdir / f"{kernel.name}.c"
+        source_path.write_text(kernel.source)
+        json_path = workdir / f"{kernel.name}.json"
+        code = cli_main(["map", str(source_path), "--json",
+                         str(json_path)])
+        if code != 0:
+            raise SystemExit(f"offline map failed for {kernel.name}")
+        expected[kernel.name] = (str(source_path),
+                                 json.loads(json_path.read_text()))
+    return expected
+
+
+def start_daemon(store: pathlib.Path,
+                 workers: int) -> tuple[subprocess.Popen,
+                                        ServiceClient]:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", str(workers), "--store", str(store)],
+        cwd=REPO_ROOT, stdout=subprocess.PIPE, text=True,
+        # Extend, never replace: the interpreter may need inherited
+        # vars (LD_LIBRARY_PATH for shared builds, VIRTUAL_ENV, ...).
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+    line = process.stdout.readline()
+    if "listening on http://" not in line:
+        process.kill()
+        raise SystemExit(f"daemon failed to start: {line!r}")
+    host, port = line.rsplit("http://", 1)[1].strip().split(":")
+    client = ServiceClient(host, int(port))
+    deadline = time.monotonic() + 15
+    while True:
+        try:
+            client.health()
+            return process, client
+        except OSError:
+            if time.monotonic() > deadline:
+                process.kill()
+                raise SystemExit("daemon never became healthy")
+            time.sleep(0.05)
+
+
+def run(clients: int, workers: int) -> int:
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="fpfa-smoke-") as work:
+        workdir = pathlib.Path(work)
+        print(f"computing offline ground truth "
+              f"({len(KERNELS)} kernels)...")
+        expected = offline_payloads(workdir)
+        process, client = start_daemon(workdir / "store", workers)
+        try:
+            print(f"daemon up at {client.url}; submitting the suite "
+                  f"over {clients} concurrent clients...")
+
+            def submit(kernel):
+                own = ServiceClient(client.host, client.port)
+                file, __ = expected[kernel.name]
+                return kernel.name, own.map_source(
+                    kernel.source, file=file, timeout=120)
+
+            started = time.perf_counter()
+            with concurrent.futures.ThreadPoolExecutor(clients) \
+                    as pool:
+                results = dict(pool.map(submit, KERNELS))
+            elapsed = time.perf_counter() - started
+
+            for kernel in KERNELS:
+                if canon(results[kernel.name]) \
+                        != canon(expected[kernel.name][1]):
+                    failures.append(
+                        f"{kernel.name}: daemon payload differs "
+                        f"from offline map --json")
+                else:
+                    print(f"  {kernel.name:<10} OK "
+                          f"({results[kernel.name]['metrics']['cycles']}"
+                          f" cycles)")
+            computed = client.stats()["service"]["computed"]
+            if computed != len(KERNELS):
+                failures.append(
+                    f"expected {len(KERNELS)} backend runs, "
+                    f"daemon reports {computed}")
+
+            # Duplicates: zero extra backend runs.
+            first = KERNELS[0]
+            with concurrent.futures.ThreadPoolExecutor(clients) \
+                    as pool:
+                list(pool.map(
+                    lambda __: ServiceClient(
+                        client.host, client.port).map_source(
+                        first.source, file=expected[first.name][0]),
+                    range(clients)))
+            stats = client.stats()["service"]
+            if stats["computed"] != len(KERNELS):
+                failures.append(
+                    f"duplicate submissions added backend runs: "
+                    f"{stats['computed']} != {len(KERNELS)}")
+
+            # Warm resubmit: new point, memoised frontend.
+            client.map_source(first.source,
+                              file=expected[first.name][0], pps=3)
+            stats = client.stats()["service"]
+            if stats["frontends_reused"] < 1:
+                failures.append("warm resubmit recompiled the "
+                                "frontend")
+
+            print(f"suite served in {elapsed:.2f}s; daemon stats: "
+                  f"{stats}")
+            client.shutdown()
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall kernels bit-identical; coalescing and frontend "
+          "reuse verified")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Start the mapping daemon and verify it serves "
+                    "the kernel suite bit-identically to the "
+                    "offline CLI.")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent submitting clients "
+                             "(default 8)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="daemon worker pool size (default 4)")
+    args = parser.parse_args(argv)
+    return run(args.clients, args.workers)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
