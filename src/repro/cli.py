@@ -14,6 +14,8 @@ Five subcommands::
              [--tiles LIST] [--topologies LIST]
              [--balance off|on|both] [--strategy exhaustive|random|hill]
              [--samples N] [--workers N] [--cache DIR]
+             [--remote URL[,URL...]] [--chunk-size N]
+             [--remote-timeout S]
              [--objectives LIST] [--verify-seed SEED] [--json out.json]
 
     fpfa-map serve  [--host H] [--port P] [--workers N]
@@ -260,6 +262,22 @@ def _add_explore_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache", metavar="DIR",
                         help="persistent result-cache directory "
                              "(repeated sweeps skip re-mapping)")
+    parser.add_argument("--remote", action="append", default=[],
+                        metavar="URL[,URL...]",
+                        help="shard the sweep across running "
+                             "`fpfa-map serve` daemons (repeatable "
+                             "or comma-separated; chunks from dead "
+                             "daemons are re-leased, local "
+                             "evaluation is the fallback — records "
+                             "stay bit-identical to a local sweep)")
+    parser.add_argument("--chunk-size", type=int, default=8,
+                        metavar="N",
+                        help="points per remote lease with --remote "
+                             "(default 8)")
+    parser.add_argument("--remote-timeout", type=float, default=120.0,
+                        metavar="S",
+                        help="seconds per lease before a chunk is "
+                             "re-leased elsewhere (default 120)")
     parser.add_argument("--objectives", default="cycles,energy,resource",
                         metavar="LIST",
                         help="minimised objectives; metric names, "
@@ -557,6 +575,32 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         # Leave the key out otherwise: each strategy picks its own
         # default (hill-climb stays in-process, sweeps use all CPUs).
         run_kwargs["workers"] = args.workers
+    if args.remote:
+        from repro.dse.distributed import (
+            DistributedError,
+            parse_remotes,
+        )
+        if args.strategy == "hill":
+            # Hill-climbing evaluates single points and tiny
+            # neighbour batches incrementally; leasing those over
+            # HTTP (with a fleet probe per batch) is strictly slower
+            # than local evaluation — refuse rather than degrade.
+            raise SystemExit(
+                "--remote cannot shard --strategy hill (it explores "
+                "in tiny sequential batches); use exhaustive or "
+                "random, or drop --remote")
+        try:
+            fleet = parse_remotes(args.remote)
+        except DistributedError as error:
+            raise SystemExit(str(error))
+        if args.chunk_size < 1:
+            raise SystemExit(
+                f"--chunk-size must be >= 1, got {args.chunk_size}")
+        run_kwargs.update(remotes=fleet,
+                          remote_chunk_size=args.chunk_size,
+                          remote_timeout=args.remote_timeout)
+        echo(f"fleet: {len(fleet)} remote daemon(s): "
+             + ", ".join(f"{host}:{port}" for host, port in fleet))
     if args.strategy == "random":
         extra = dict(n_samples=args.samples, seed=args.seed)
     elif args.strategy == "hill":

@@ -82,31 +82,51 @@ class Cluster:
 
 @dataclass
 class ClusterGraph:
-    """The clustered DAG handed to phase 2."""
+    """The clustered DAG handed to phase 2.
+
+    The graph is immutable once :func:`cluster_tasks` returns, so the
+    adjacency tables (``predecessors``/``successors``) are memoised on
+    first use — phase 2, the multi-tile partitioner and the array
+    scheduler all walk them repeatedly, and ``consumers_of`` inside a
+    loop must stay O(degree), not O(V·E).  The returned tables are the
+    shared memo: treat them as read-only (copy before mutating).
+    """
 
     clusters: dict[int, Cluster] = field(default_factory=dict)
     #: task id -> id of the cluster covering it.
     owner: dict[int, int] = field(default_factory=dict)
     stores: list[StoreTask] = field(default_factory=list)
+    #: Lazily-built adjacency memos (valid because the graph never
+    #: changes after construction); excluded from equality/repr.
+    _predecessors: dict[int, set[int]] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _successors: dict[int, set[int]] | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def n_clusters(self) -> int:
         return len(self.clusters)
 
     def predecessors(self) -> dict[int, set[int]]:
-        """cluster id -> set of predecessor cluster ids."""
-        table: dict[int, set[int]] = {}
-        for cluster in self.clusters.values():
-            table[cluster.id] = set(
-                cluster.predecessor_cluster_ids(self.owner))
-        return table
+        """cluster id -> set of predecessor cluster ids (memoised)."""
+        if self._predecessors is None:
+            table: dict[int, set[int]] = {}
+            for cluster in self.clusters.values():
+                table[cluster.id] = set(
+                    cluster.predecessor_cluster_ids(self.owner))
+            self._predecessors = table
+        return self._predecessors
 
     def successors(self) -> dict[int, set[int]]:
-        table: dict[int, set[int]] = {cid: set() for cid in self.clusters}
-        for cluster_id, preds in self.predecessors().items():
-            for pred in preds:
-                table[pred].add(cluster_id)
-        return table
+        """cluster id -> set of successor cluster ids (memoised)."""
+        if self._successors is None:
+            table: dict[int, set[int]] = {cid: set()
+                                          for cid in self.clusters}
+            for cluster_id, preds in self.predecessors().items():
+                for pred in preds:
+                    table[pred].add(cluster_id)
+            self._successors = table
+        return self._successors
 
     def consumers_of(self, cluster_id: int) -> list[int]:
         """Clusters consuming *cluster_id*'s result, sorted."""

@@ -20,7 +20,10 @@ point* and explores sets of them as a batch workload:
 * :mod:`repro.dse.pareto` — Pareto-frontier extraction and scalarised
   best-point selection over cycles / energy / resource proxies;
 * :mod:`repro.dse.search` — exhaustive, random and greedy hill-climb
-  strategies sharing the same runner and cache.
+  strategies sharing the same runner and cache;
+* :mod:`repro.dse.distributed` — sweep sharding across a fleet of
+  ``fpfa-map serve`` daemons with work stealing and a local fallback
+  (records bit-identical to a local sweep).
 
 Quickstart::
 
@@ -36,6 +39,11 @@ Quickstart::
 """
 
 from repro.dse.cache import ResultCache
+from repro.dse.distributed import (
+    DistributedSweepStats,
+    parse_remotes,
+    run_distributed_sweep,
+)
 from repro.dse.pareto import (
     best_record,
     dominates,
@@ -60,6 +68,7 @@ from repro.dse.space import DesignPoint, DesignSpace
 __all__ = [
     "DesignPoint",
     "DesignSpace",
+    "DistributedSweepStats",
     "ResultCache",
     "SearchResult",
     "SweepResult",
@@ -72,6 +81,8 @@ __all__ = [
     "hill_climb",
     "objective_value",
     "pareto_front",
+    "parse_remotes",
     "random_search",
+    "run_distributed_sweep",
     "run_sweep",
 ]

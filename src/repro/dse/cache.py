@@ -61,6 +61,13 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Entry count, maintained incrementally (put/discard/clear)
+        #: after one lazy initial scan — ``len``/``stats`` must not
+        #: walk the whole store per call (the daemon serves them on
+        #: every ``/stats`` request).  The count tracks *this
+        #: instance's* view; a foreign process adding entries behind
+        #: our back is only picked up by a fresh instance.
+        self._entries: int | None = None
 
     # -- addressing ---------------------------------------------------
 
@@ -101,14 +108,15 @@ class ResultCache:
         self.hits += 1
         return record
 
-    @staticmethod
-    def _discard(path: pathlib.Path) -> None:
+    def _discard(self, path: pathlib.Path) -> None:
         """Best-effort removal of a poisoned entry; a concurrent
         reader may have discarded it first, which is fine."""
         try:
             path.unlink()
         except OSError:
-            pass
+            return
+        if self._entries is not None and self._entries > 0:
+            self._entries -= 1
 
     def put(self, key: str, record: Mapping) -> None:
         """Atomically persist *record* under *key*."""
@@ -123,6 +131,7 @@ class ResultCache:
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 handle.write(payload)
+            fresh = not path.exists()
             os.replace(temp_name, path)
         except BaseException:
             try:
@@ -130,6 +139,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if fresh and self._entries is not None:
+            self._entries += 1
 
     def downgrade_hit(self) -> None:
         """Reclassify the most recent hit as a miss — used when the
@@ -143,7 +154,19 @@ class ResultCache:
     # -- bookkeeping --------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        """Entry count: one lazy directory scan, then O(1) updates."""
+        if self._entries is None:
+            self._entries = sum(
+                1 for _ in self.root.glob("??/*.json"))
+        return self._entries
+
+    def invalidate_count(self) -> None:
+        """Forget the incremental entry count; the next ``len()``
+        re-scans.  For owners that know the directory was written
+        behind this instance's back — the service daemon calls it
+        after explore/chunk jobs, whose workers write through their
+        own :class:`ResultCache` handle on the same directory."""
+        self._entries = None
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
@@ -154,6 +177,7 @@ class ResultCache:
         for path in self.root.glob("??/*.json"):
             path.unlink()
             removed += 1
+        self._entries = 0
         return removed
 
     def stats(self) -> dict:

@@ -1,0 +1,423 @@
+"""Distributed sweep sharding across ``fpfa-map serve`` daemons.
+
+:func:`run_distributed_sweep` is :func:`repro.dse.runner.run_sweep`
+stretched over a fleet: the coordinator deduplicates the requested
+points exactly as a local sweep would, satisfies what it can from its
+own :class:`~repro.dse.cache.ResultCache`, splits the rest into
+*chunks*, and leases the chunks to remote daemons through the
+service's ``sweep-chunk`` job kind.  Each lease is one HTTP job; the
+daemon runs the chunk through its worker pool against its artifact
+store and answers with records keyed by cache key.
+
+Fault model — the sweep **always completes**:
+
+* a daemon that is unreachable at probe time is dropped from the
+  fleet before any lease is issued;
+* a chunk whose daemon dies, times out (``timeout`` per lease) or
+  falls behind is *re-leased*: the chunk goes back on the shared
+  queue and any surviving daemon steals it (the daemon that failed
+  is retired from the fleet);
+* when every daemon is gone, the leftover chunks are evaluated
+  locally — plain :func:`run_sweep`, the fallback backend.
+
+Determinism is what makes stealing safe: the mapping flow is
+deterministic, so a chunk evaluated twice (a slow daemon finishing a
+lease the coordinator already re-issued) yields byte-identical
+records, and merging by cache key is idempotent.
+
+Invariants
+----------
+* Records are **bit-identical** to a purely local ``run_sweep`` of
+  the same points: remote daemons run the same
+  :func:`~repro.dse.runner.evaluate_point`, records are keyed by the
+  same :func:`~repro.dse.cache.cache_key`, and fresh records are
+  written back to the coordinator's cache in the same on-disk
+  format — local and remote runs warm each other.
+* One record per requested point, in request order, duplicates
+  included — the ``run_sweep`` contract, unchanged.
+* An unverified cached record never satisfies a verifying sweep
+  (the runner's rule, applied on both sides of the wire).
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+from urllib.parse import urlsplit
+
+from repro.core.pipeline import Frontend
+from repro.dse.cache import ResultCache, cache_key
+from repro.dse.runner import (
+    FrontendSpec,
+    SweepResult,
+    SweepStats,
+    _resolve_cache,
+    run_sweep,
+)
+from repro.dse.space import DesignPoint
+
+#: Points per lease by default: big enough to amortise one HTTP round
+#: trip over several mappings, small enough that re-evaluating a lost
+#: chunk is cheap.
+DEFAULT_CHUNK_SIZE = 8
+#: Seconds one lease may run before the chunk is re-leased.
+DEFAULT_LEASE_TIMEOUT = 120.0
+#: Cap on concurrent leases per daemon (matched to the daemon's own
+#: worker count below this cap — one lease per worker keeps every
+#: remote pool busy without flooding its queue).
+MAX_LEASES_PER_DAEMON = 8
+
+
+class DistributedError(RuntimeError):
+    """The fleet specification itself is unusable (bad URL)."""
+
+
+def parse_remote(spec: str) -> tuple[str, int]:
+    """``URL`` / ``host:port`` / ``host`` -> ``(host, port)``."""
+    from repro.service.protocol import DEFAULT_PORT
+    text = spec.strip()
+    if not text:
+        raise DistributedError("empty remote daemon address")
+    if "//" not in text:
+        text = f"//{text}"
+    parts = urlsplit(text)
+    if parts.scheme not in ("", "http"):
+        raise DistributedError(
+            f"remote {spec!r}: only http daemons exist")
+    try:
+        host, port = parts.hostname, parts.port
+    except ValueError as error:
+        raise DistributedError(f"remote {spec!r}: {error}")
+    if not host:
+        raise DistributedError(f"remote {spec!r} has no host")
+    return host, port if port is not None else DEFAULT_PORT
+
+
+def parse_remotes(specs) -> list[tuple[str, int]]:
+    """Normalise a fleet spec into unique ``(host, port)`` pairs,
+    order preserved.  Accepts one string (commas separate daemons), a
+    sequence of strings, already-parsed ``(host, port)`` pairs, or a
+    mix — so a pre-parsed fleet passes through unchanged."""
+    if isinstance(specs, str):
+        specs = [specs]
+    pairs: list[tuple[str, int]] = []
+
+    def add(pair: tuple[str, int]) -> None:
+        if pair not in pairs:
+            pairs.append(pair)
+
+    for spec in specs:
+        if isinstance(spec, tuple):
+            if len(spec) != 2:
+                raise DistributedError(
+                    f"remote pair {spec!r} is not (host, port)")
+            add((str(spec[0]), int(spec[1])))
+            continue
+        for item in str(spec).split(","):
+            if item.strip():
+                add(parse_remote(item))
+    return pairs
+
+
+@dataclass
+class DistributedSweepStats(SweepStats):
+    """Sweep provenance plus the distribution ledger.
+
+    Inherits the local fields (``cached`` counts the *coordinator's*
+    cache hits; ``evaluated`` counts points the coordinator had to
+    source elsewhere — from daemons or the local fallback).
+    """
+
+    daemons: int = 0         #: reachable daemons the sweep started with
+    lost_daemons: int = 0    #: daemons retired after a failed lease
+    chunks: int = 0          #: chunks the pending points were split into
+    leases: int = 0          #: sweep-chunk jobs issued (>= chunks)
+    stolen: int = 0          #: chunks re-leased after a lost lease
+    remote_records: int = 0  #: records produced by daemon leases
+    remote_cached: int = 0   #: ... of which the daemon's store served
+    local_records: int = 0   #: records from the local fallback backend
+
+    def summary(self) -> str:
+        base = super().summary()
+        fleet = (f"fleet: {self.daemons} daemon(s)"
+                 f"{f', {self.lost_daemons} lost' if self.lost_daemons else ''}, "
+                 f"{self.chunks} chunk(s) over {self.leases} lease(s)"
+                 f"{f', {self.stolen} stolen' if self.stolen else ''}; "
+                 f"{self.remote_records} remote record(s) "
+                 f"({self.remote_cached} store-hit), "
+                 f"{self.local_records} local")
+        return f"{base}\n{fleet}"
+
+
+@dataclass
+class _Fleet:
+    """Shared mutable state of one distributed run (lock-guarded)."""
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    merged: dict[str, dict] = field(default_factory=dict)
+    stats: DistributedSweepStats = field(
+        default_factory=DistributedSweepStats)
+    lost: set[tuple[str, int]] = field(default_factory=set)
+    done_chunks: int = 0
+
+
+def _probe(remote: tuple[str, int], timeout: float) -> int | None:
+    """Worker count of a live daemon, or None when unreachable."""
+    from repro.service.client import ServiceClient, ServiceError
+    client = ServiceClient(*remote, timeout=min(timeout, 10.0))
+    try:
+        stats = client.stats()
+    except (ServiceError, OSError, ValueError):
+        return None
+    workers = stats.get("workers", {}).get("workers", 1)
+    return max(1, int(workers))
+
+
+def _lease_worker(remote: tuple[str, int], source: str,
+                  chunks: "queue_module.SimpleQueue[list[str]]",
+                  key_points: Mapping[str, DesignPoint],
+                  verify_seed: int | None, timeout: float,
+                  fleet: _Fleet, total_chunks: int,
+                  progress: Callable[[dict], None] | None) -> None:
+    """One lease lane: pull chunks, lease them to *remote*, merge.
+
+    Exits when the queue is drained or the daemon fails a lease (the
+    chunk is re-queued first, so a surviving lane — or the local
+    fallback — picks it up).  Several lanes may serve one daemon
+    (one per remote worker); the first failure retires them all via
+    ``fleet.lost``.
+    """
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(*remote, timeout=min(timeout, 30.0))
+    label = f"{remote[0]}:{remote[1]}"
+    while True:
+        with fleet.lock:
+            dead = remote in fleet.lost
+            finished = fleet.done_chunks >= total_chunks
+        if dead or finished:
+            return
+        try:
+            # A transiently empty queue is NOT the end: a chunk still
+            # in flight on another daemon may yet fail and be
+            # re-queued, and this lane must be around to steal it —
+            # so wait briefly and re-check instead of exiting.  Every
+            # in-flight lease either merges (done_chunks grows) or
+            # re-queues its chunk within the lease timeout, so the
+            # wait always resolves; the lane that merges the final
+            # chunk posts a ``None`` sentinel so waiting lanes drain
+            # immediately instead of riding out the poll interval.
+            chunk = chunks.get(timeout=0.2)
+        except queue_module.Empty:
+            continue
+        if chunk is None:
+            chunks.put(None)  # pass the drain signal along
+            return
+        request = {
+            "kind": "sweep-chunk",
+            "source": source,
+            "points": [key_points[key].to_dict() for key in chunk],
+            "verify_seed": verify_seed,
+        }
+        with fleet.lock:
+            fleet.stats.leases += 1
+        try:
+            job = client.submit(request)["job"]
+            if job["state"] == "done":
+                payload = job["result"]
+            else:
+                payload = client.result(job["id"], timeout=timeout)
+            records = payload["records"]
+            # The chunk contract: exactly one record per leased key.
+            missing = [key for key in chunk if key not in records]
+            if missing:
+                raise ServiceError(
+                    f"daemon answered {len(records)} record(s), "
+                    f"{len(missing)} leased key(s) missing")
+        except (ServiceError, OSError, ValueError) as error:
+            # Dead, lagging or misbehaving daemon: re-queue the chunk
+            # for a sibling (work stealing) and retire the daemon.
+            chunks.put(chunk)
+            with fleet.lock:
+                first_loss = remote not in fleet.lost
+                fleet.lost.add(remote)
+                if first_loss:
+                    fleet.stats.lost_daemons += 1
+                fleet.stats.stolen += 1
+            if progress is not None:
+                progress({"event": "lost", "daemon": label,
+                          "error": str(error)})
+            return
+        with fleet.lock:
+            for key in chunk:
+                fleet.merged[key] = records[key]
+            fleet.stats.remote_records += len(chunk)
+            fleet.stats.remote_cached += \
+                payload.get("stats", {}).get("cached", 0)
+            fleet.done_chunks += 1
+            done = fleet.done_chunks
+        if done >= total_chunks:
+            chunks.put(None)  # wake waiting lanes: nothing left
+        if progress is not None:
+            progress({"event": "chunk", "daemon": label,
+                      "done": done, "total": total_chunks,
+                      "points": len(chunk)})
+
+
+def run_distributed_sweep(
+        source: str, points: Iterable[DesignPoint], *,
+        remotes: str | Sequence[str],
+        cache=None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        timeout: float = DEFAULT_LEASE_TIMEOUT,
+        verify_seed: int | None = None,
+        frontends: Mapping[FrontendSpec, Frontend] | None = None,
+        progress: Callable[[dict], None] | None = None,
+        ) -> SweepResult:
+    """Evaluate *points* against *source* across a daemon fleet.
+
+    Drop-in for :func:`run_sweep` (same result shape, bit-identical
+    records); *remotes* names the fleet, *chunk_size* the lease
+    granularity, *timeout* the per-lease deadline after which a chunk
+    is re-leased.  *progress*, when given, receives one dict per
+    completed chunk (``event: "chunk"``) and per retired daemon
+    (``event: "lost"``) — the smoke harness uses it to kill daemons
+    at deterministic moments.
+    """
+    started = time.perf_counter()
+    points = list(points)
+    cache = _resolve_cache(cache)
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    stats = DistributedSweepStats(total=len(points))
+
+    # Dedup + local-cache pass: exactly run_sweep's front half.
+    by_key: dict[str, dict | None] = {}
+    key_order: list[str] = []
+    point_keys: list[str] = []
+    key_points: dict[str, DesignPoint] = {}
+    for point in points:
+        key = cache_key(source, point)
+        point_keys.append(key)
+        if key not in by_key:
+            by_key[key] = None
+            key_order.append(key)
+            key_points[key] = point
+    stats.unique = len(key_order)
+
+    pending: list[str] = []
+    for key in key_order:
+        record = cache.get(key) if cache is not None else None
+        if record is not None and verify_seed is not None \
+                and record.get("ok") and not record.get("verified"):
+            cache.downgrade_hit()
+            record = None
+        if record is not None:
+            by_key[key] = record
+            stats.cached += 1
+        else:
+            pending.append(key)
+    stats.evaluated = len(pending)
+
+    fleet = _Fleet(stats=stats)
+    if pending:
+        chunk_lists = [pending[index:index + chunk_size]
+                       for index in range(0, len(pending),
+                                          chunk_size)]
+        stats.chunks = len(chunk_lists)
+
+        # Probe the fleet (concurrently — a down daemon costs one
+        # connect timeout, not one per fleet member in sequence);
+        # unreachable daemons never get a lease.
+        fleet_pairs = parse_remotes(remotes)
+        probe_threads: list[threading.Thread] = []
+        probed: dict[tuple[str, int], int | None] = {}
+
+        def probe_one(remote: tuple[str, int]) -> None:
+            probed[remote] = _probe(remote, timeout)
+
+        for remote in fleet_pairs:
+            thread = threading.Thread(target=probe_one,
+                                      args=(remote,), daemon=True)
+            thread.start()
+            probe_threads.append(thread)
+        for thread in probe_threads:
+            thread.join()
+        alive: list[tuple[tuple[str, int], int]] = []
+        for remote in fleet_pairs:
+            workers = probed[remote]
+            if workers is None:
+                fleet.lost.add(remote)
+                stats.lost_daemons += 1
+                if progress is not None:
+                    progress({"event": "lost",
+                              "daemon": f"{remote[0]}:{remote[1]}",
+                              "error": "unreachable at probe"})
+            else:
+                alive.append((remote, workers))
+        stats.daemons = len(alive) + stats.lost_daemons
+        stats.workers = max(
+            [1] + [workers for __, workers in alive])
+
+        if alive:
+            chunks: queue_module.SimpleQueue = \
+                queue_module.SimpleQueue()
+            for chunk in chunk_lists:
+                chunks.put(chunk)
+            threads = []
+            for remote, workers in alive:
+                for __ in range(min(workers,
+                                    MAX_LEASES_PER_DAEMON)):
+                    thread = threading.Thread(
+                        target=_lease_worker,
+                        args=(remote, source, chunks, key_points,
+                              verify_seed, timeout, fleet,
+                              len(chunk_lists), progress),
+                        daemon=True)
+                    thread.start()
+                    threads.append(thread)
+            for thread in threads:
+                thread.join()
+        #: Keys the fleet delivered (before any local fallback) —
+        #: these are the records the coordinator's cache has not
+        #: seen yet and must absorb below.
+        remote_keys = set(fleet.merged)
+
+        # Whatever the fleet did not deliver runs locally — the
+        # sweep completes no matter how many daemons died.
+        leftover = [key for key in pending
+                    if key not in fleet.merged]
+        if leftover:
+            local = run_sweep(
+                source, [key_points[key] for key in leftover],
+                cache=cache, verify_seed=verify_seed,
+                frontends=frontends)
+            for key, record in zip(leftover, local.records):
+                fleet.merged[key] = record
+            stats.local_records = len(leftover)
+            stats.workers = max(stats.workers, local.stats.workers)
+            if progress is not None:
+                progress({"event": "fallback",
+                          "points": len(leftover)})
+
+        for key in pending:
+            by_key[key] = fleet.merged[key]
+        if cache is not None:
+            # Remote-sourced records warm the local cache (the
+            # fallback run already wrote its own) — ok-only, the
+            # shared admission rule, and written unconditionally:
+            # like a local run_sweep, a verified record must replace
+            # a stale unverified entry for the same key.
+            for key in remote_keys:
+                record = by_key[key]
+                if record.get("ok"):
+                    cache.put(key, record)
+
+    records = [by_key[key] for key in point_keys]
+    stats.failed = sum(1 for key in key_order
+                       if not by_key[key]["ok"])
+    stats.elapsed = time.perf_counter() - started
+    return SweepResult(points=points, records=records, stats=stats)

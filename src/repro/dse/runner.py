@@ -259,6 +259,9 @@ def run_sweep(source: str, points: Iterable[DesignPoint], *,
               chunksize: int | None = None,
               verify_seed: int | None = None,
               frontends: Mapping[FrontendSpec, Frontend] | None = None,
+              remotes: Sequence[str] | None = None,
+              remote_chunk_size: int | None = None,
+              remote_timeout: float | None = None,
               ) -> SweepResult:
     """Evaluate every design point of *points* against *source*.
 
@@ -286,7 +289,26 @@ def run_sweep(source: str, points: Iterable[DesignPoint], *,
         exploration job never recompiles a frontend a mapping job
         already paid for).  Determinism makes this purely a speed
         knob.
+    remotes:
+        Daemon URLs (``fpfa-map serve`` addresses) to shard the sweep
+        across; delegates to
+        :func:`repro.dse.distributed.run_distributed_sweep`.
+        ``remote_chunk_size`` / ``remote_timeout`` tune the leases.
+        Records are bit-identical to a local sweep (the flow is
+        deterministic and every remote runs the same
+        :func:`evaluate_point`); a dead or lagging daemon's chunks
+        are re-leased, local evaluation is the last-resort backend.
     """
+    if remotes:
+        from repro.dse.distributed import run_distributed_sweep
+        extra = {}
+        if remote_chunk_size is not None:
+            extra["chunk_size"] = remote_chunk_size
+        if remote_timeout is not None:
+            extra["timeout"] = remote_timeout
+        return run_distributed_sweep(
+            source, points, remotes=remotes, cache=cache,
+            verify_seed=verify_seed, frontends=frontends, **extra)
     started = time.perf_counter()
     points = list(points)
     cache = _resolve_cache(cache)
@@ -397,3 +419,29 @@ def run_sweep(source: str, points: Iterable[DesignPoint], *,
                        if not by_key[key]["ok"])
     stats.elapsed = time.perf_counter() - started
     return SweepResult(points=points, records=records, stats=stats)
+
+
+def evaluate_chunk(source: str, points: Iterable[DesignPoint], *,
+                   verify_seed: int | None = None, cache=None,
+                   frontends: Mapping[FrontendSpec, Frontend]
+                   | None = None) -> tuple[dict, SweepStats]:
+    """Evaluate one chunk of points; records keyed by cache key.
+
+    The unit a distributed sweep leases to a daemon (the service's
+    ``sweep-chunk`` job kind runs exactly this): a plain
+    :func:`run_sweep` over the chunk — same cache rules, same record
+    producer, so a chunk's records are bit-identical to the ones a
+    local sweep would mint, and they land in *cache* (the daemon's
+    artifact store) under the shared keys.  Runs in-process
+    (``workers=1``): on a daemon, the worker pool above is the
+    parallelism, and chunks from one sweep spread across it.
+
+    Returns ``(records_by_key, stats)``; the stats tell the
+    coordinator how much of the chunk was already in the remote
+    store.
+    """
+    result = run_sweep(source, points, workers=1, cache=cache,
+                       verify_seed=verify_seed, frontends=frontends)
+    records = {cache_key(source, point): record
+               for point, record in zip(result.points, result.records)}
+    return records, result.stats

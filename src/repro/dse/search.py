@@ -39,6 +39,14 @@ from repro.dse.pareto import (
 from repro.dse.runner import SweepStats, _resolve_cache, run_sweep
 from repro.dse.space import DesignPoint, DesignSpace
 
+#: Extra seeded start samples a hill-climb restart may draw when its
+#: start point is infeasible, before giving the restart up.
+MAX_START_RESAMPLES = 8
+#: Seed offset between successive resamples of one restart — large
+#: enough that attempt seeds never collide with other restarts'
+#: ``seed + restart`` base seeds for any sane restart count.
+_RESAMPLE_SEED_STRIDE = 100_003
+
 
 @dataclass
 class SearchResult:
@@ -158,15 +166,28 @@ def hill_climb(source: str, space: DesignSpace, *,
     best: dict | None = None
     best_score = float("inf")
     for restart in range(max(1, restarts)):
-        if restart == 0 and start is not None:
-            current = start
-        else:
-            current = space.random_point(seed=seed + restart)
-        current_record = evaluate([current])[0]
-        if not current_record["ok"]:
+        # An infeasible sampled start must not burn the whole
+        # restart: on a space with sparse feasibility, `restarts=3`
+        # could otherwise do zero climbing.  Resample fresh seeded
+        # starts (bounded, so a fully-infeasible space still
+        # terminates); every attempt is deterministic in `seed`.
+        current = None
+        current_record = None
+        for attempt in range(1 + MAX_START_RESAMPLES):
+            if attempt == 0 and restart == 0 and start is not None:
+                candidate = start
+            else:
+                candidate = space.random_point(
+                    seed=seed + restart
+                    + attempt * _RESAMPLE_SEED_STRIDE)
+            record = evaluate([candidate])[0]
+            if record["ok"]:
+                current, current_record = candidate, record
+                break
             history.append({"restart": restart, "step": 0,
-                            "point": current.label(),
+                            "point": candidate.label(),
                             "score": None, "note": "infeasible start"})
+        if current is None:
             continue
         current_score = score(current_record)
         history.append({"restart": restart, "step": 0,

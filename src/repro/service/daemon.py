@@ -64,6 +64,7 @@ from repro.service.queue import Job, JobQueue, QueueFull
 from repro.service.store import ArtifactStore
 from repro.service.workers import (
     WorkerPool,
+    run_chunk_job,
     run_explore_job,
     run_map_job,
     source_digest,
@@ -218,6 +219,8 @@ class MappingService:
         try:
             if job.kind == "map":
                 await self._run_map(job)
+            elif job.kind == "sweep-chunk":
+                await self._run_chunk(job)
             else:
                 await self._run_explore(job)
         except Exception as error:  # noqa: BLE001 — fault isolation
@@ -255,7 +258,27 @@ class MappingService:
         payload, info = await self._execute(
             run_explore_job, request, str(self.store.root), frontends)
         self.stats.computed += 1
+        # The sweep wrote records through its own cache handle on our
+        # store directory; drop the stale incremental entry count.
+        self.store.invalidate_count()
         self.queue.finish(job, payload, cache="sweep",
+                          worker=info.get("worker"),
+                          stats=info.get("stats"))
+
+    async def _run_chunk(self, job: Job) -> None:
+        """One distributed-sweep lease: evaluate the chunk's points
+        against the artifact store and return records by cache key.
+        The chunk runs as one worker-pool task (chunks of one sweep
+        spread across the pool), and its fresh records land in the
+        store, so a re-leased or repeated chunk is pure store reads.
+        """
+        request = job.request
+        frontends = self._compiled_frontends(request["source"])
+        payload, info = await self._execute(
+            run_chunk_job, request, str(self.store.root), frontends)
+        self.stats.computed += 1
+        self.store.invalidate_count()  # records written by the worker
+        self.queue.finish(job, payload, cache="chunk",
                           worker=info.get("worker"),
                           stats=info.get("stats"))
 
@@ -350,6 +373,13 @@ class MappingService:
             await _send_json(writer, error.status,
                              {"error": str(error)})
         except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except asyncio.CancelledError:
+            # Daemon shutdown while this connection long-polls or
+            # streams: finish quietly (the task would otherwise be
+            # logged as "exception never retrieved" by the streams
+            # machinery).  The writer is closed in `finally` either
+            # way; the client sees the connection drop.
             pass
         except Exception as error:  # noqa: BLE001 — keep serving
             try:

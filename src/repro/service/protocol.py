@@ -1,13 +1,16 @@
 """The service wire contract: requests, job keys, payload shapes.
 
-A *request* is one JSON object submitted to ``POST /jobs``.  Two
+A *request* is one JSON object submitted to ``POST /jobs``.  Three
 kinds exist:
 
 * ``kind: "map"`` — map one source at one configuration; the result
   payload is **bit-identical** to ``fpfa-map map --json`` for the
   same flags;
 * ``kind: "explore"`` — sweep a design space; the result payload
-  mirrors ``fpfa-map explore --json``.
+  mirrors ``fpfa-map explore --json``;
+* ``kind: "sweep-chunk"`` — evaluate an explicit list of design
+  points of one sweep and return the records keyed by cache key; the
+  lease unit of :mod:`repro.dse.distributed`.
 
 Validation happens here, once, at submission time — a malformed
 request is rejected with HTTP 400 before it ever reaches the queue,
@@ -69,6 +72,12 @@ TERMINAL_STATES = (DONE, FAILED)
 
 #: Search strategies an explore job may name (mirrors the CLI).
 EXPLORE_STRATEGIES = ("exhaustive", "random", "hill")
+
+#: Bound on points per ``sweep-chunk`` job: a chunk is a lease unit,
+#: not a whole sweep — the distributed coordinator re-leases a chunk
+#: wholesale when its daemon dies, so chunks must stay cheap to
+#: repeat.
+MAX_CHUNK_POINTS = 256
 
 
 class ProtocolError(ValueError):
@@ -201,6 +210,43 @@ def normalise_explore_request(raw: Mapping) -> dict:
     }
 
 
+def normalise_sweep_chunk_request(raw: Mapping) -> dict:
+    """Validate one sweep-chunk request; returns the canonical form.
+
+    A chunk is the distributed coordinator's lease unit: an explicit
+    list of design points (``to_dict`` payloads) of one sweep.  Every
+    point is round-tripped through :class:`DesignPoint` here, so the
+    canonical form carries exactly the dicts the result cache hashes
+    — chunk identity and per-point artifact identity cannot drift.
+    """
+    source = _require_source(raw)
+    points = raw.get("points")
+    if not isinstance(points, list) or not points:
+        raise ProtocolError("sweep-chunk requests need 'points': "
+                            "[{tile: ..., library: ...}, ...]")
+    if len(points) > MAX_CHUNK_POINTS:
+        raise ProtocolError(
+            f"sweep-chunk carries {len(points)} points; the lease "
+            f"bound is {MAX_CHUNK_POINTS} — split the chunk")
+    canonical = []
+    for entry in points:
+        if not isinstance(entry, Mapping):
+            raise ProtocolError(
+                f"sweep-chunk points must be objects, got {entry!r}")
+        try:
+            canonical.append(DesignPoint.from_dict(entry).to_dict())
+        except SpaceError as error:
+            raise ProtocolError(str(error))
+    return {
+        "kind": "sweep-chunk",
+        "source": source,
+        "file": raw.get("file"),
+        "points": canonical,
+        "verify_seed": _optional_int(raw, "verify_seed"),
+        "priority": _optional_int(raw, "priority", 0),
+    }
+
+
 def normalise_request(raw) -> dict:
     """Dispatch on ``kind``; raises :class:`ProtocolError` on junk."""
     if not isinstance(raw, Mapping):
@@ -210,8 +256,10 @@ def normalise_request(raw) -> dict:
         return normalise_map_request(raw)
     if kind == "explore":
         return normalise_explore_request(raw)
+    if kind == "sweep-chunk":
+        return normalise_sweep_chunk_request(raw)
     raise ProtocolError(f"unknown job kind {kind!r}; "
-                        f"known: map, explore")
+                        f"known: map, explore, sweep-chunk")
 
 
 # ---------------------------------------------------------------------------
@@ -233,10 +281,17 @@ def job_key(request: Mapping) -> str:
     """
     if request["kind"] == "map":
         return cache_key(request["source"], request_point(request))
+    if request["kind"] == "sweep-chunk":
+        # Chunk identity: the ordered canonical point list.  Two
+        # coordinators sweeping the same chunk of the same sweep
+        # coalesce; the per-point records are stored under map keys.
+        names = ("kind", "source", "points")
+    else:
+        names = ("kind", "source", "dimensions", "objectives",
+                 "strategy", "samples", "max_steps", "restarts",
+                 "seed")
     envelope = json.dumps(
-        {name: request[name] for name in
-         ("kind", "source", "dimensions", "objectives", "strategy",
-          "samples", "max_steps", "restarts", "seed")},
+        {name: request[name] for name in names},
         sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(envelope.encode("utf-8")).hexdigest()
 

@@ -62,9 +62,20 @@ class Job:
     priority: int = 0
     state: str = QUEUED
     submits: int = 1    #: submissions coalesced into this job
-    created: float = field(default_factory=time.time)
+    #: Wall-clock timestamps — presentation only (the JSON views).
+    #: Durations are NEVER derived from these: ``time.time()`` steps
+    #: under NTP corrections, so ``finished - started`` can go
+    #: negative.  The ``*_mono`` twins below are the duration source.
+    created: float = field(default_factory=lambda: time.time())
     started: float | None = None
     finished: float | None = None
+    #: ``time.monotonic()`` twins of the timestamps above; immune to
+    #: wall-clock steps, meaningless across processes — used only as
+    #: pairs to compute the ``waited``/``runtime`` durations.  (The
+    #: lambdas look the clock up at call time, so tests can patch it.)
+    created_mono: float = field(default_factory=lambda: time.monotonic())
+    started_mono: float | None = None
+    finished_mono: float | None = None
     result: dict | None = None      #: the response payload when DONE
     error: str | None = None        #: failure description when FAILED
     meta: dict = field(default_factory=dict)   #: service-side profile
@@ -73,6 +84,10 @@ class Job:
     #: leave more than one heap entry per job, and a job must never
     #: dispatch twice.
     dispatched: bool = False
+    #: Sequence number of this job's *live* heap entry (its latest
+    #: push) — what heap compaction rebuilds from, preserving FIFO
+    #: order within a priority exactly.
+    sort_seq: int = 0
 
     def add_event(self, event: str, **detail) -> dict:
         entry = {"seq": len(self.events), "event": event,
@@ -84,8 +99,35 @@ class Job:
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
 
+    @property
+    def waited(self) -> float:
+        """Seconds spent queued (monotonic; never negative)."""
+        end = self.started_mono
+        if end is None:
+            end = self.finished_mono  # finished without running
+        if end is None:
+            end = time.monotonic()    # still queued
+        return max(0.0, end - self.created_mono)
+
+    @property
+    def runtime(self) -> float | None:
+        """Seconds spent running (monotonic), or None before start."""
+        if self.started_mono is None:
+            return None
+        end = self.finished_mono
+        if end is None:
+            end = time.monotonic()    # still running
+        return max(0.0, end - self.started_mono)
+
     def view(self, *, with_result: bool = True) -> dict:
-        """The JSON view the status endpoints serve."""
+        """The JSON view the status endpoints serve.
+
+        Wall-clock timestamps stay in the view (clients correlate
+        them with their own logs); the ``waited``/``runtime``
+        durations come from the monotonic pairs, so they hold across
+        NTP wall-clock steps.
+        """
+        runtime = self.runtime
         view = {
             "id": self.id,
             "kind": self.kind,
@@ -96,6 +138,9 @@ class Job:
             "created": self.created,
             "started": self.started,
             "finished": self.finished,
+            "waited": round(self.waited, 6),
+            "runtime": (None if runtime is None
+                        else round(runtime, 6)),
             "file": self.request.get("file"),
             "meta": self.meta,
         }
@@ -125,6 +170,10 @@ class JobQueue:
         self._counter = itertools.count(1)
         self.coalesced = 0
         self.evicted = 0
+        #: Jobs waiting to run, maintained O(1) on every transition —
+        #: ``depth`` is read on every submit, so it must never scan.
+        self._queued = 0
+        self.compactions = 0
 
     # -- admission ----------------------------------------------------
 
@@ -146,11 +195,13 @@ class JobQueue:
                 # still-queued job is re-pushed at the new priority
                 # (pop() skips the stale lower-priority entry).
                 existing.priority = priority
-                if existing.state == QUEUED:
+                if existing.state == QUEUED and \
+                        not existing.dispatched:
+                    existing.sort_seq = next(self._sequence)
                     heapq.heappush(
                         self._heap,
-                        (-priority, next(self._sequence),
-                         existing.id))
+                        (-priority, existing.sort_seq, existing.id))
+                    self._maybe_compact()
             existing.add_event("coalesced",
                                submits=existing.submits,
                                priority=existing.priority)
@@ -166,8 +217,10 @@ class JobQueue:
         job.add_event("queued", priority=job.priority)
         self.jobs[job.id] = job
         self._inflight[coalesce_key] = job
+        job.sort_seq = next(self._sequence)
         heapq.heappush(self._heap,
-                       (-job.priority, next(self._sequence), job.id))
+                       (-job.priority, job.sort_seq, job.id))
+        self._queued += 1
         return job, False
 
     # -- dispatch -----------------------------------------------------
@@ -179,30 +232,53 @@ class JobQueue:
         or were dispatched through an earlier entry (priority
         escalation re-pushes)."""
         while self._heap:
-            __, __, job_id = heapq.heappop(self._heap)
-            job = self.jobs.get(job_id)
+            entry = heapq.heappop(self._heap)
+            job = self.jobs.get(entry[2])
             if job is not None and job.state == QUEUED \
-                    and not job.dispatched:
+                    and not job.dispatched \
+                    and entry[1] == job.sort_seq:
                 job.dispatched = True
+                self._queued -= 1
                 return job
         return None
 
     @property
     def depth(self) -> int:
-        """Jobs currently waiting to run."""
-        return sum(1 for job in self._inflight.values()
-                   if job.state == QUEUED)
+        """Jobs currently waiting to run — an O(1) counter, not a
+        scan: ``submit`` reads it on every admission."""
+        return self._queued
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once stale entries outnumber live ones.
+
+        Priority escalations re-push (leaving the old entry behind)
+        and store hits finish jobs still on the heap; under sustained
+        traffic those stale entries would otherwise accumulate
+        without bound.  Rebuilding from the live queued jobs' current
+        ``(priority, sort_seq)`` reproduces the exact dispatch order.
+        """
+        live = self._queued
+        if len(self._heap) - live <= max(live, 8):
+            return
+        self._heap = [(-job.priority, job.sort_seq, job.id)
+                      for job in self._inflight.values()
+                      if job.state == QUEUED and not job.dispatched]
+        heapq.heapify(self._heap)
+        self.compactions += 1
 
     # -- lifecycle ----------------------------------------------------
 
     def mark_running(self, job: Job) -> None:
         job.state = RUNNING
         job.started = time.time()
+        job.started_mono = time.monotonic()
         job.add_event("running")
 
     def finish(self, job: Job, result: dict, **meta) -> None:
+        self._leave_queued(job)
         job.state = DONE
         job.finished = time.time()
+        job.finished_mono = time.monotonic()
         job.result = result
         job.meta.update(meta)
         self._retire(job)
@@ -212,12 +288,22 @@ class JobQueue:
                                                        float, bool))})
 
     def fail(self, job: Job, error: str, **meta) -> None:
+        self._leave_queued(job)
         job.state = FAILED
         job.finished = time.time()
+        job.finished_mono = time.monotonic()
         job.error = error
         job.meta.update(meta)
         self._retire(job)
         job.add_event("failed", error=error)
+
+    def _leave_queued(self, job: Job) -> None:
+        """Keep the queued counter exact when a job goes terminal
+        straight from the queue (a store hit finishes it before any
+        pop); its heap entry goes stale, so consider compacting."""
+        if job.state == QUEUED and not job.dispatched:
+            self._queued -= 1
+            self._maybe_compact()
 
     def _retire(self, job: Job) -> None:
         """Leave the in-flight set; bound the terminal history.
@@ -254,5 +340,6 @@ class JobQueue:
             "inflight": len(self._inflight),
             "coalesced": self.coalesced,
             "evicted": self.evicted,
+            "compactions": self.compactions,
             "states": states,
         }

@@ -112,6 +112,40 @@ def run_explore_job(request: Mapping, store_root: str | None = None,
                      "worker": os.getpid()}
 
 
+def run_chunk_job(request: Mapping, store_root: str | None = None,
+                  frontends: Mapping[FrontendSpec, Frontend]
+                  | None = None) -> tuple[dict, dict]:
+    """Execute one sweep-chunk job; returns ``(payload, info)``.
+
+    The payload carries the chunk's records keyed by cache key —
+    exactly what :func:`repro.dse.runner.evaluate_chunk` produces,
+    which is exactly what a local ``run_sweep`` would produce for the
+    same points (the distributed sweep's bit-identity guarantee rests
+    on this).  ``store_root`` points the chunk at the daemon's
+    artifact store, so chunk records satisfy later map jobs and
+    sweeps; *frontends* seeds it with the daemon's warm memo.
+    """
+    from repro.dse.runner import evaluate_chunk
+    from repro.dse.space import DesignPoint
+
+    points = [DesignPoint.from_dict(entry)
+              for entry in request["points"]]
+    records, stats = evaluate_chunk(
+        request["source"], points,
+        verify_seed=request.get("verify_seed"),
+        cache=store_root, frontends=frontends)
+    payload = {
+        "kind": "sweep-chunk",
+        "points": len(points),
+        "records": records,
+        "stats": {"cached": stats.cached,
+                  "evaluated": stats.evaluated,
+                  "failed": stats.failed},
+    }
+    return payload, {"stats": payload["stats"],
+                     "worker": os.getpid()}
+
+
 # ---------------------------------------------------------------------------
 # The pool
 # ---------------------------------------------------------------------------

@@ -337,3 +337,47 @@ def test_explore_rejects_bad_topology(capsys):
     with pytest.raises(SystemExit):
         main(["explore", "--kernel", "fir5",
               "--topologies", "torus"])
+
+
+def test_explore_remote_shards_across_a_daemon(capsys):
+    from repro.service import ServiceThread
+    with ServiceThread(workers=2) as daemon:
+        host, port = daemon.address
+        assert main(["explore", "--kernel", "fir5",
+                     "--pps", "1,2", "--buses", "4,10",
+                     "--remote", f"{host}:{port}",
+                     "--chunk-size", "2", "--json", "-"]) == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert len(payload["records"]) == 4
+    assert payload["stats"]["remote_records"] == 4
+    assert "fleet: 1 remote daemon(s)" in captured.err
+    # The distribution ledger reaches the human summary too.
+    assert "1 daemon(s)" in captured.err
+
+
+def test_explore_remote_unreachable_falls_back_locally(capsys):
+    assert main(["explore", "--kernel", "fir5", "--pps", "1,2",
+                 "--remote", "127.0.0.1:1", "--json", "-"]) == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert len(payload["records"]) == 2
+    assert payload["stats"]["local_records"] == 2
+    assert payload["stats"]["lost_daemons"] == 1
+
+
+def test_explore_remote_rejects_junk_fleet():
+    with pytest.raises(SystemExit, match="remote"):
+        main(["explore", "--kernel", "fir5", "--pps", "1,2",
+              "--remote", "https://nope:1"])
+    with pytest.raises(SystemExit, match="chunk-size"):
+        main(["explore", "--kernel", "fir5", "--pps", "1,2",
+              "--remote", "127.0.0.1:1", "--chunk-size", "0"])
+
+
+def test_explore_remote_rejects_hill_strategy():
+    # Hill climbs in tiny sequential batches; sharding those over
+    # HTTP would only add fleet probes per step — refused up front.
+    with pytest.raises(SystemExit, match="hill"):
+        main(["explore", "--kernel", "fir5", "--pps", "1,2",
+              "--strategy", "hill", "--remote", "127.0.0.1:1"])

@@ -137,3 +137,53 @@ class TestClusterGraph:
         assert clustered.n_clusters == 1
         (cluster,) = clustered.clusters.values()
         assert cluster.ops[0] is OpKind.MUX
+
+
+class TestAdjacencyMemo:
+    """The cluster graph is immutable after `cluster_tasks`; its
+    adjacency tables are memoised, so `consumers_of` in a loop is
+    O(degree) per call, not a full O(V+E) recomputation."""
+
+    def test_tables_are_memoised(self):
+        taskgraph = lowered("x = p * q + r * s; y = x + 1; z = y + x;")
+        clustered = cluster_tasks(taskgraph)
+        assert clustered.predecessors() is clustered.predecessors()
+        assert clustered.successors() is clustered.successors()
+
+    def test_consumers_of_does_not_rebuild(self, monkeypatch):
+        taskgraph = lowered("x = p * q + r * s; y = x + 1; z = y + x;")
+        clustered = cluster_tasks(taskgraph)
+        expected = {cid: clustered.consumers_of(cid)
+                    for cid in clustered.clusters}
+        # Once built, per-call lookups must not recompute the table.
+        calls = {"n": 0}
+        original = type(clustered).predecessors
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(type(clustered), "predecessors", counting)
+        for cid in clustered.clusters:
+            assert clustered.consumers_of(cid) == expected[cid]
+        assert calls["n"] == 0  # successors memo already in place
+
+    def test_memo_matches_fresh_recomputation(self):
+        from tests.conftest import FIR_SOURCE
+        graph = build_main_cdfg(FIR_SOURCE)
+        simplify(graph)
+        taskgraph = TaskGraph.from_cdfg(graph)
+        clustered = cluster_tasks(taskgraph)
+        memo_preds = clustered.predecessors()
+        memo_succs = clustered.successors()
+        fresh = {c.id: set(c.predecessor_cluster_ids(clustered.owner))
+                 for c in clustered.clusters.values()}
+        assert memo_preds == fresh
+        rederived = {cid: set() for cid in clustered.clusters}
+        for cid, preds in fresh.items():
+            for pred in preds:
+                rederived[pred].add(cid)
+        assert memo_succs == rederived
+        for cid in clustered.clusters:
+            assert clustered.consumers_of(cid) == \
+                sorted(rederived[cid])

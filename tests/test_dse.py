@@ -180,6 +180,54 @@ class TestResultCache:
         assert cache.stats() == {"entries": 1, "hits": 1,
                                  "misses": 1, "hit_rate": 0.5}
 
+    def test_entry_count_is_incremental_not_a_walk(self, tmp_path,
+                                                   monkeypatch):
+        """`stats()` is the daemon's per-request `/stats` hot path:
+        after the one lazy initial scan it must never glob the store
+        again — puts, overwrites, discards and clears keep the count
+        exact incrementally."""
+        import pathlib
+
+        cache = ResultCache(tmp_path)
+        keys = [cache.key(f"src{index}", DesignPoint.make())
+                for index in range(3)]
+        cache.put(keys[0], {"ok": True})
+        assert cache.stats()["entries"] == 1  # lazy initial scan
+        # From here on, any directory walk is a bug.
+        monkeypatch.setattr(
+            pathlib.Path, "glob",
+            lambda *a, **k: pytest.fail("stats() walked the store"))
+        cache.put(keys[1], {"ok": True})
+        cache.put(keys[1], {"ok": True, "again": 1})  # overwrite
+        cache.put(keys[2], {"ok": True})
+        assert cache.stats()["entries"] == 3
+        # A corrupt entry is discarded on read and leaves the count.
+        cache.path_for(keys[2]).write_text("{junk",
+                                           encoding="utf-8")
+        assert cache.get(keys[2]) is None
+        assert cache.stats()["entries"] == 2
+        assert len(cache) == 2
+
+    def test_invalidate_count_rescans_foreign_writes(self, tmp_path):
+        mine = ResultCache(tmp_path)
+        assert len(mine) == 0  # count initialised
+        foreign = ResultCache(tmp_path)  # another handle, same dir
+        foreign.put(foreign.key("x", DesignPoint.make()),
+                    {"ok": True})
+        assert len(mine) == 0  # stale by design...
+        mine.invalidate_count()
+        assert len(mine) == 1  # ...exact again after invalidation
+
+    def test_entry_count_lazy_scan_sees_preexisting(self, tmp_path):
+        first = ResultCache(tmp_path)
+        for index in range(4):
+            first.put(first.key(str(index), DesignPoint.make()),
+                      {"ok": True})
+        fresh = ResultCache(tmp_path)  # same dir, new instance
+        assert len(fresh) == 4
+        fresh.clear()
+        assert len(fresh) == 0 and fresh.stats()["entries"] == 0
+
 
 class TestPareto:
     RECORDS = [
@@ -295,3 +343,27 @@ class TestSearchStrategies:
         result = hill_climb(FIR5, self.SPACE, seed=1, cache=tmp_path)
         assert result.stats.evaluated == 0  # every point pre-cached
         assert result.stats.cached == result.stats.unique
+
+    def test_hill_climb_resamples_infeasible_starts(self):
+        """A space with sparse feasibility (n_pps/n_buses 0 points
+        fail at evaluation) used to burn the whole restart on one
+        infeasible sample; now the restart resamples and climbs."""
+        space = DesignSpace({"n_pps": [0, 5], "n_buses": [0, 10]})
+        # seed=1 samples the doubly-infeasible corner first.
+        assert space.random_point(seed=1).assignment()["n_pps"] == 0
+        result = hill_climb(FIR5, space, seed=1, restarts=1,
+                            objectives=("cycles",))
+        assert result.best is not None
+        assert result.best["ok"]
+        notes = [step for step in result.history
+                 if step.get("note") == "infeasible start"]
+        assert notes  # the bad sample is on record, then resampled
+
+    def test_hill_climb_fully_infeasible_space_terminates(self):
+        from repro.dse.search import MAX_START_RESAMPLES
+        space = DesignSpace({"n_pps": [0, -1]})
+        result = hill_climb(FIR5, space, seed=0, restarts=2,
+                            objectives=("cycles",))
+        assert result.best is None
+        # Bounded: at most 1 + MAX_START_RESAMPLES samples/restart.
+        assert len(result.history) <= 2 * (1 + MAX_START_RESAMPLES)

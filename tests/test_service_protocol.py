@@ -149,3 +149,63 @@ def test_record_round_trips_to_the_map_payload():
     assert payload["multitile"]["tiles"] == 2
     assert record_to_map_payload(record, want_verified=True)[
         "verified"] is True
+
+
+# -- sweep-chunk (the distributed lease unit) -----------------------------
+
+def _chunk_request(**overrides):
+    raw = {"kind": "sweep-chunk", "source": FIR_SOURCE,
+           "points": [{"tile": {"n_pps": 2}, "library": "two-level",
+                       "options": {}},
+                      {"tile": {"n_pps": 3}, "library": "two-level",
+                       "options": {}}]}
+    raw.update(overrides)
+    return normalise_request(raw)
+
+
+def test_chunk_points_round_trip_canonically():
+    request = _chunk_request()
+    assert request["kind"] == "sweep-chunk"
+    from repro.dse.space import DesignPoint
+    for entry in request["points"]:
+        assert DesignPoint.from_dict(entry).to_dict() == entry
+
+
+@pytest.mark.parametrize("raw", [
+    {"kind": "sweep-chunk", "source": FIR_SOURCE},
+    {"kind": "sweep-chunk", "source": FIR_SOURCE, "points": []},
+    {"kind": "sweep-chunk", "source": FIR_SOURCE, "points": ["x"]},
+    {"kind": "sweep-chunk", "source": FIR_SOURCE,
+     "points": [{"library": "no-such-library"}]},
+    {"kind": "sweep-chunk", "source": "", "points": [{}]},
+])
+def test_junk_chunk_requests_are_rejected(raw):
+    with pytest.raises(ProtocolError):
+        normalise_request(raw)
+
+
+def test_chunk_lease_bound_is_enforced():
+    from repro.service.protocol import MAX_CHUNK_POINTS
+    points = [{"tile": {"n_pps": index + 1}} for index in
+              range(MAX_CHUNK_POINTS + 1)]
+    with pytest.raises(ProtocolError, match="lease bound"):
+        normalise_request({"kind": "sweep-chunk",
+                           "source": FIR_SOURCE, "points": points})
+
+
+def test_chunk_key_is_point_list_sensitive():
+    first = _chunk_request()
+    same = _chunk_request()
+    assert job_key(first) == job_key(same)  # coordinators coalesce
+    fewer = _chunk_request(points=first["points"][:1])
+    assert job_key(first) != job_key(fewer)
+    # Order matters: a chunk is an ordered lease, not a set.
+    swapped = _chunk_request(points=list(reversed(first["points"])))
+    assert job_key(first) != job_key(swapped)
+
+
+def test_chunk_coalesce_key_splits_on_verification():
+    plain = _chunk_request()
+    verifying = _chunk_request(verify_seed=7)
+    assert job_key(plain) == job_key(verifying)
+    assert coalesce_key(plain) != coalesce_key(verifying)

@@ -139,6 +139,115 @@ def test_terminal_history_is_bounded():
     assert queue.get(fresh.id) is fresh
 
 
+def test_durations_survive_wall_clock_steps(monkeypatch):
+    """An NTP step between start and finish must not make durations
+    negative: wall-clock timestamps stay in the view, but `waited` /
+    `runtime` come from monotonic pairs."""
+    import repro.service.queue as queue_module
+
+    wall = {"now": 1_000_000.0}
+    mono = {"now": 50.0}
+    monkeypatch.setattr(queue_module.time, "time",
+                        lambda: wall["now"])
+    monkeypatch.setattr(queue_module.time, "monotonic",
+                        lambda: mono["now"])
+
+    queue = JobQueue()
+    job, __ = _submit(queue, "k")
+    wall["now"] += 2.0
+    mono["now"] += 2.0
+    queue.mark_running(job)
+    # The wall clock steps BACKWARDS by an hour mid-run (NTP).
+    wall["now"] -= 3600.0
+    mono["now"] += 1.5
+    queue.finish(job, {"x": 1})
+    view = job.view()
+    assert view["finished"] < view["started"]  # the raw step, kept
+    assert view["waited"] == pytest.approx(2.0)
+    assert view["runtime"] == pytest.approx(1.5)
+    assert job.runtime >= 0 and job.waited >= 0
+
+
+def test_durations_before_terminal_states(monkeypatch):
+    import repro.service.queue as queue_module
+
+    mono = {"now": 10.0}
+    monkeypatch.setattr(queue_module.time, "monotonic",
+                        lambda: mono["now"])
+    queue = JobQueue()
+    job, __ = _submit(queue, "k")
+    assert job.view()["runtime"] is None
+    mono["now"] += 4.0
+    assert job.waited == pytest.approx(4.0)   # still queued
+    queue.mark_running(job)
+    mono["now"] += 1.0
+    assert job.waited == pytest.approx(4.0)   # frozen at dispatch
+    assert job.runtime == pytest.approx(1.0)  # still running
+    # A store hit finishes a job that never ran: waited spans the
+    # whole queued life, runtime stays None.
+    hit, __ = _submit(queue, "hit")
+    mono["now"] += 2.0
+    queue.finish(hit, {"cached": True})
+    assert hit.waited == pytest.approx(2.0)
+    assert hit.runtime is None
+
+
+def _scan_depth(queue):
+    return sum(1 for job in queue._inflight.values()
+               if job.state == QUEUED and not job.dispatched)
+
+
+def test_depth_counter_matches_linear_scan():
+    """`depth` is an O(1) counter now; it must agree with the old
+    linear scan across every lifecycle transition."""
+    queue = JobQueue()
+    jobs = []
+    for index in range(6):
+        job, __ = _submit(queue, f"k{index}", priority=index % 3)
+        jobs.append(job)
+        assert queue.depth == _scan_depth(queue)
+    queue.finish(jobs[4], {"hit": True})     # store hit from QUEUED
+    assert queue.depth == _scan_depth(queue)
+    _submit(queue, "k1", priority=9)          # escalation re-push
+    assert queue.depth == _scan_depth(queue)
+    while (job := queue.pop()) is not None:
+        assert queue.depth == _scan_depth(queue)
+        queue.mark_running(job)
+        queue.finish(job, {})
+        assert queue.depth == _scan_depth(queue)
+    assert queue.depth == 0
+
+
+def test_heap_compaction_bounds_stale_entries():
+    """Escalation re-pushes and store-hit finishes leave stale heap
+    entries; once they outnumber live ones the heap is rebuilt, and
+    dispatch order is preserved exactly."""
+    queue = JobQueue()
+    first, __ = _submit(queue, "first", priority=1)
+    second, __ = _submit(queue, "second", priority=1)
+    # Escalate `second` repeatedly: each bump strands one entry.
+    for priority in range(2, 40):
+        _submit(queue, "second", priority=priority)
+    assert queue.compactions >= 1
+    assert len(queue._heap) <= 2 * queue.depth + 8 + 1
+    # Order after compaction: the escalated job first, then FIFO.
+    third, __ = _submit(queue, "third", priority=1)
+    assert queue.pop() is second
+    assert queue.pop() is first
+    assert queue.pop() is third
+    assert queue.pop() is None
+    assert queue.stats()["compactions"] == queue.compactions
+
+
+def test_store_hit_churn_does_not_grow_heap():
+    queue = JobQueue()
+    for index in range(200):
+        job, __ = _submit(queue, f"hit{index}")
+        queue.finish(job, {"n": index})  # finished while queued
+    assert queue.depth == 0
+    assert len(queue._heap) <= 16
+
+
 def test_view_shape_and_stats():
     queue = JobQueue()
     job, __ = _submit(queue, "k", file="fir.c")

@@ -14,7 +14,10 @@ Times representative workloads of the mapping engine end to end:
   ``repro.dse.runner.run_sweep`` (frontend reuse + backend cost);
 * ``service``      — warm submit→result rounds of the kernel suite
   through a live ``repro.service`` daemon (HTTP + queue + store
-  overhead; the backend is served from the artifact store).
+  overhead; the backend is served from the artifact store);
+* ``distributed``  — a sweep sharded across two daemon subprocesses
+  with warm stores through ``repro.dse.distributed`` (lease HTTP
+  rounds + chunk merging; the distribution layer's own overhead).
 
 Each workload is run ``--repeats`` times and the median wall time is
 recorded, together with a *normalized* value: seconds divided by the
@@ -208,6 +211,46 @@ def _workload_service(quick: bool):
     return run, {"kernels": len(kernels), "clients": clients}
 
 
+def _workload_distributed(quick: bool):
+    """A sweep sharded across two real daemon subprocesses with warm
+    artifact stores and no coordinator cache: every chunk crosses
+    the wire, so the measured cost is the distribution layer itself
+    (leasing HTTP rounds, chunk merging, store reads) — the overhead
+    a fleet pays on top of the backend work it parallelises."""
+    import atexit
+    import tempfile
+
+    from repro.dse.distributed import run_distributed_sweep
+    from repro.dse.space import DesignSpace
+    from repro.eval.kernels import fir_source
+    from repro.service.subproc import DaemonProcess
+
+    if quick:
+        space = DesignSpace({"n_pps": [1, 2, 4, 6], "n_buses": [4, 10]})
+    else:
+        space = DesignSpace({"n_pps": [1, 2, 3, 4, 5, 6, 7, 8],
+                             "n_buses": [2, 6, 10, 14]})
+    source = fir_source(16)
+    points = space.grid()
+    workdir = tempfile.TemporaryDirectory(prefix="fpfa-bench-dist-")
+    atexit.register(workdir.cleanup)
+    fleet = [DaemonProcess(f"{workdir.name}/store-{index}",
+                           workers=2).start() for index in range(2)]
+    atexit.register(lambda: [daemon.kill() for daemon in fleet])
+    urls = [daemon.url for daemon in fleet]
+
+    def run():
+        # No local cache: every run leases every chunk (the first —
+        # the harness warm-up — also populates the daemon stores).
+        result = run_distributed_sweep(source, points, remotes=urls,
+                                       chunk_size=4)
+        if result.stats.remote_records != result.stats.unique:
+            raise RuntimeError("fleet did not serve the whole sweep")
+        return result.stats.remote_records
+
+    return run, {"points": len(points), "daemons": len(fleet)}
+
+
 WORKLOADS = {
     "transforms": _workload_transforms,
     "single_tile": _workload_single_tile,
@@ -215,6 +258,7 @@ WORKLOADS = {
     "alloc_scaling": _workload_alloc_scaling,
     "sweep": _workload_sweep,
     "service": _workload_service,
+    "distributed": _workload_distributed,
 }
 
 

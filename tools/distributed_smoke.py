@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Distributed-sweep smoke harness — the acceptance check, end to end.
+
+Computes a local ``run_sweep`` ground truth for a kernel grid, then
+exercises :mod:`repro.dse.distributed` against a fleet of **real**
+``fpfa-map serve`` subprocesses:
+
+1. **Sharding** — the sweep distributed over the whole fleet must
+   yield records *bit-identical* to the local ground truth, with
+   every record produced remotely (no local fallback), and the
+   coordinator's cache must afterwards satisfy a purely local warm
+   sweep (local and remote runs warm each other).
+2. **Daemon death** — a fresh fleet, a fresh coordinator cache, and
+   one daemon SIGKILLed the moment the first chunk completes: the
+   sweep must still finish, with identical records, by re-leasing
+   the dead daemon's chunks to the survivors.
+3. **Total fleet loss** — every daemon down before the sweep: the
+   local fallback backend must complete it, identically.
+
+Exit code 0 means every phase held.  This is the CI ``distributed``
+job::
+
+    python tools/distributed_smoke.py [--daemons 2] [--chunk-size 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import threading
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.dse.distributed import run_distributed_sweep  # noqa: E402
+from repro.dse.runner import run_sweep                   # noqa: E402
+from repro.dse.space import DesignSpace                  # noqa: E402
+from repro.eval.kernels import get_kernel                # noqa: E402
+from repro.service.subproc import DaemonProcess          # noqa: E402
+
+#: The swept grid: 24 points, a few seconds of real mapping work —
+#: enough chunks that a mid-sweep kill always strands leases.
+SPACE = DesignSpace({
+    "n_pps": [1, 2, 3, 4, 6, 8],
+    "n_buses": [2, 4, 6, 10],
+})
+
+
+def canon(records) -> str:
+    return json.dumps(records, sort_keys=True)
+
+
+def start_fleet(workdir: pathlib.Path, label: str, n: int,
+                workers: int) -> list[DaemonProcess]:
+    fleet = []
+    try:
+        for index in range(n):
+            daemon = DaemonProcess(
+                workdir / f"{label}-store-{index}", workers=workers)
+            fleet.append(daemon.start())
+    except BaseException:
+        for daemon in fleet:
+            daemon.kill()
+        raise
+    return fleet
+
+
+def phase_sharding(source, expected, fleet, workdir, chunk_size,
+                   failures):
+    cache = workdir / "coordinator-cache"
+    result = run_distributed_sweep(
+        source, SPACE.grid(), remotes=[d.url for d in fleet],
+        cache=cache, chunk_size=chunk_size)
+    stats = result.stats
+    print(f"  {stats.summary()}")
+    if canon(result.records) != canon(expected.records):
+        failures.append("sharded records differ from local run_sweep")
+    if stats.local_records:
+        failures.append(f"{stats.local_records} record(s) fell back "
+                        f"locally with a healthy fleet")
+    if stats.lost_daemons:
+        failures.append(f"healthy fleet lost {stats.lost_daemons} "
+                        f"daemon(s)")
+    # Remote records warmed the coordinator cache in the shared
+    # on-disk format: a purely local warm sweep is pure cache reads.
+    warm = run_sweep(source, SPACE.grid(), cache=cache)
+    if canon(warm.records) != canon(expected.records):
+        failures.append("warm local sweep differs after remote run")
+    if warm.stats.cached != warm.stats.unique:
+        failures.append(f"local warm sweep evaluated "
+                        f"{warm.stats.evaluated} point(s); the "
+                        f"remote run should have cached all "
+                        f"{warm.stats.unique}")
+
+
+def phase_daemon_death(source, expected, fleet, workdir, chunk_size,
+                       failures):
+    victim = fleet[0]
+    killed = threading.Event()
+
+    def progress(event):
+        if event["event"] == "chunk" and not killed.is_set():
+            killed.set()
+            victim.kill()   # SIGKILL mid-sweep, sockets torn down
+
+    result = run_distributed_sweep(
+        source, SPACE.grid(), remotes=[d.url for d in fleet],
+        cache=workdir / "death-cache", chunk_size=chunk_size,
+        timeout=30, progress=progress)
+    stats = result.stats
+    print(f"  {stats.summary()}")
+    if not killed.is_set():
+        failures.append("kill hook never fired (no chunk completed?)")
+    if canon(result.records) != canon(expected.records):
+        failures.append("records differ after mid-sweep daemon kill")
+    if len(result.records) != stats.total:
+        failures.append("sweep did not return one record per point")
+    print(f"  killed {victim.url} mid-sweep; "
+          f"{stats.stolen} chunk(s) stolen, "
+          f"{stats.local_records} evaluated locally, "
+          f"sweep completed with {len(result.records)} records")
+
+
+def phase_total_loss(source, expected, dead_urls, workdir, failures):
+    result = run_distributed_sweep(
+        source, SPACE.grid(), remotes=dead_urls,
+        cache=workdir / "loss-cache", chunk_size=6, timeout=10)
+    stats = result.stats
+    print(f"  {stats.summary()}")
+    if canon(result.records) != canon(expected.records):
+        failures.append("records differ under total fleet loss")
+    if stats.local_records != stats.unique:
+        failures.append("total fleet loss should evaluate every "
+                        "point locally")
+
+
+def run(daemons: int, workers: int, chunk_size: int) -> int:
+    source = get_kernel("fir5").source
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="fpfa-dist-") as work:
+        workdir = pathlib.Path(work)
+        print(f"ground truth: local run_sweep over "
+              f"{SPACE.size} points...")
+        expected = run_sweep(source, SPACE.grid(), workers=1)
+        if expected.stats.failed:
+            raise SystemExit(f"{expected.stats.failed} ground-truth "
+                             f"point(s) failed; bad grid")
+
+        print(f"\nphase 1 — sharding across {daemons} daemon(s):")
+        fleet = start_fleet(workdir, "shard", daemons, workers)
+        try:
+            phase_sharding(source, expected, fleet, workdir,
+                           chunk_size, failures)
+        finally:
+            for daemon in fleet:
+                daemon.stop()
+
+        print("\nphase 2 — daemon SIGKILLed mid-sweep:")
+        fleet = start_fleet(workdir, "death", daemons, workers)
+        try:
+            phase_daemon_death(source, expected, fleet, workdir,
+                               chunk_size, failures)
+        finally:
+            for daemon in fleet:
+                daemon.kill()
+        dead_urls = [daemon.url for daemon in fleet]
+
+        print("\nphase 3 — whole fleet unreachable:")
+        phase_total_loss(source, expected, dead_urls, workdir,
+                         failures)
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall phases bit-identical: sharding, mid-sweep daemon "
+          "death and total fleet loss all completed the sweep")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Shard a sweep over real serve daemons, kill one "
+                    "mid-sweep, and verify records stay "
+                    "bit-identical to a local run_sweep.")
+    parser.add_argument("--daemons", type=int, default=2,
+                        help="fleet size (default 2)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker pool size per daemon "
+                             "(default 2)")
+    parser.add_argument("--chunk-size", type=int, default=3,
+                        help="points per lease (default 3)")
+    args = parser.parse_args(argv)
+    if args.daemons < 2:
+        parser.error("--daemons must be >= 2 (the death phase "
+                     "needs a survivor)")
+    return run(args.daemons, args.workers, args.chunk_size)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
