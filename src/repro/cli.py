@@ -1,6 +1,6 @@
 """Command-line driver: map C onto an FPFA tile, or explore tiles.
 
-Five subcommands::
+Six subcommands::
 
     fpfa-map map program.c [--listing] [--schedule] [--cdfg]
              [--profile] [--dot out.dot] [--pps N] [--buses N]
@@ -27,8 +27,12 @@ Five subcommands::
     fpfa-map jobs   [--host H] [--port P] [--job ID] [--follow]
              [--state STATE] [--json PATH]
 
-(See ``docs/cli.md`` for the full flag reference and
-``docs/service.md`` for the daemon protocol.)
+    fpfa-map dashboard --remote URL[,URL...] [--host H] [--port P]
+             [--interval S]
+
+(See ``docs/cli.md`` for the full flag reference,
+``docs/service.md`` for the daemon protocol and
+``docs/observability.md`` for the dashboard.)
 
 ``map`` preserves the original single-point behaviour (and plain
 ``fpfa-map program.c`` still works — a missing subcommand defaults to
@@ -73,7 +77,8 @@ from repro.core.pipeline import (
 )
 from repro.eval.metrics import mapping_metrics
 
-SUBCOMMANDS = ("map", "explore", "serve", "submit", "jobs")
+SUBCOMMANDS = ("map", "explore", "serve", "submit", "jobs",
+               "dashboard")
 
 
 # ---------------------------------------------------------------------------
@@ -217,6 +222,25 @@ def _add_jobs_arguments(parser: argparse.ArgumentParser) -> None:
                              "('-' for stdout)")
 
 
+def _add_dashboard_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--remote", action="append", required=True,
+                        metavar="URL[,URL...]",
+                        help="running `fpfa-map serve` daemons to "
+                             "watch (repeatable or comma-separated) "
+                             "— the same flag `explore --remote` "
+                             "takes")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="dashboard bind address (default "
+                             "127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8600,
+                        help="dashboard bind port (default 8600, "
+                             "0 picks a free one)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        metavar="S",
+                        help="fleet poll period in seconds "
+                             "(default 1.0)")
+
+
 def _add_explore_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("file", nargs="?",
                         help="C source file ('-' for stdin); or use "
@@ -314,6 +338,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "submit", help="submit one mapping job to a running daemon"))
     _add_jobs_arguments(subparsers.add_parser(
         "jobs", help="inspect a running daemon's jobs"))
+    _add_dashboard_arguments(subparsers.add_parser(
+        "dashboard", help="serve the live fleet dashboard "
+                          "(repro.obs)"))
     return parser
 
 
@@ -637,11 +664,16 @@ def _cmd_explore(args: argparse.Namespace) -> int:
              f"{failures[0]['error']}")
     exit_code = 0 if result.best is not None else 1
     if args.json_path:
+        # stats.as_dict() is the full provenance ledger: for a
+        # --remote run it is a DistributedSweepStats, so the
+        # shard/steal/fallback counters (daemons, leases, stolen,
+        # local_records, ...) land in the payload for scripts and
+        # dashboards.
         _dump_json({
             "workload": workload,
             "strategy": args.strategy,
             "objectives": objectives,
-            "stats": vars(result.stats),
+            "stats": result.stats.as_dict(),
             "best": result.best,
             "frontier": front,
             "records": result.records,
@@ -768,6 +800,18 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.dse.distributed import DistributedError
+    from repro.obs.dashboard import serve_dashboard
+
+    try:
+        serve_dashboard(args.remote, host=args.host, port=args.port,
+                        interval=args.interval)
+    except DistributedError as error:
+        raise SystemExit(str(error))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -786,7 +830,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     commands = {"map": _cmd_map, "explore": _cmd_explore,
                 "serve": _cmd_serve, "submit": _cmd_submit,
-                "jobs": _cmd_jobs}
+                "jobs": _cmd_jobs, "dashboard": _cmd_dashboard}
     return commands[args.command](args)
 
 

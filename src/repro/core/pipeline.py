@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import random
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.arch.control import TileProgram
@@ -67,12 +68,30 @@ from repro.core.clustering import ClusterGraph, cluster_tasks
 from repro.core.scheduling import Schedule, schedule_clusters
 from repro.core.taskgraph import TaskGraph
 from repro.multitile.mapping import MultiTileReport, map_multitile
+from repro.obs import trace
 from repro.transforms.base import PassStats
 from repro.transforms.pipeline import simplify as run_simplify
 
 
 class VerificationError(Exception):
     """The mapped program does not reproduce the program's semantics."""
+
+
+@contextmanager
+def _stage(timings: dict[str, float], name: str):
+    """Time one pipeline stage into *timings* under a tracing span.
+
+    The timing semantics are exactly the old inline
+    ``perf_counter()`` pairs (``report.timings`` and ``--profile``
+    output are unchanged); the ``pipeline.<name>`` span is additive
+    and free while tracing is disabled.
+    """
+    with trace.span(f"pipeline.{name}"):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            timings[name] = time.perf_counter() - started
 
 
 @dataclass
@@ -183,19 +202,20 @@ def prepare_graph(graph: Graph, *, simplify: bool = True,
     original = graph.clone()
     pass_stats = None
     working = graph.clone()
-    started = time.perf_counter()
-    if simplify:
-        pass_stats = run_simplify(
-            working, max_loop_iterations=max_loop_iterations,
-            width=width)
-    if balance:
-        from repro.transforms.reassociate import balance as run_balance
-        run_balance(working)
-        if simplify:  # clean up after the rebuild
-            run_simplify(working,
-                         max_loop_iterations=max_loop_iterations,
-                         width=width)
-    timings = {"transforms": time.perf_counter() - started}
+    timings: dict[str, float] = {}
+    with _stage(timings, "transforms"):
+        if simplify:
+            pass_stats = run_simplify(
+                working, max_loop_iterations=max_loop_iterations,
+                width=width)
+        if balance:
+            from repro.transforms.reassociate import \
+                balance as run_balance
+            run_balance(working)
+            if simplify:  # clean up after the rebuild
+                run_simplify(working,
+                             max_loop_iterations=max_loop_iterations,
+                             width=width)
     return Frontend(original=original, minimised=working,
                     pass_stats=pass_stats, width=width, source=source,
                     timings=timings)
@@ -205,13 +225,13 @@ def compile_frontend(source: str, *, width: int | None = None,
                      simplify: bool = True, balance: bool = False,
                      max_loop_iterations: int = 4096) -> Frontend:
     """Parse C *source* and run the transform frontend on ``main``."""
-    started = time.perf_counter()
-    graph = build_main_cdfg(source)
-    parse_seconds = time.perf_counter() - started
+    parse_timing: dict[str, float] = {}
+    with _stage(parse_timing, "parse"):
+        graph = build_main_cdfg(source)
     frontend = prepare_graph(
         graph, simplify=simplify, balance=balance, width=width,
         max_loop_iterations=max_loop_iterations, source=source)
-    frontend.timings = {"parse": parse_seconds, **frontend.timings}
+    frontend.timings = {**parse_timing, **frontend.timings}
     return frontend
 
 
@@ -234,29 +254,25 @@ def map_frontend(frontend: Frontend,
             f"frontend was compiled for width={frontend.width}, "
             f"tile has width={params.width}; recompile the frontend")
     timings = dict(frontend.timings)
-    started = time.perf_counter()
-    taskgraph = TaskGraph.from_cdfg(frontend.minimised)
-    timings["taskgraph"] = time.perf_counter() - started
-    started = time.perf_counter()
-    clustered = cluster_tasks(taskgraph, library)
-    timings["cluster"] = time.perf_counter() - started
+    with _stage(timings, "taskgraph"):
+        taskgraph = TaskGraph.from_cdfg(frontend.minimised)
+    with _stage(timings, "cluster"):
+        clustered = cluster_tasks(taskgraph, library)
     # Every cluster result is broadcast on one crossbar bus in its
     # execute cycle, so a level can hold at most min(PPs, buses)
     # clusters — with fewer buses than ALUs the scheduler serialises.
     capacity = min(params.n_pps, params.n_buses)
-    started = time.perf_counter()
-    schedule = schedule_clusters(clustered, n_pps=capacity)
-    timings["schedule"] = time.perf_counter() - started
-    started = time.perf_counter()
-    program, alloc_stats = allocate(clustered, schedule, params,
-                                    **alloc_options)
-    timings["allocate"] = time.perf_counter() - started
+    with _stage(timings, "schedule"):
+        schedule = schedule_clusters(clustered, n_pps=capacity)
+    with _stage(timings, "allocate"):
+        program, alloc_stats = allocate(clustered, schedule, params,
+                                        **alloc_options)
     multitile = None
     if array is not None:
-        started = time.perf_counter()
-        multitile = map_multitile(clustered, array, capacity=capacity,
-                                  base_levels=schedule.n_levels)
-        timings["multitile"] = time.perf_counter() - started
+        with _stage(timings, "multitile"):
+            multitile = map_multitile(clustered, array,
+                                      capacity=capacity,
+                                      base_levels=schedule.n_levels)
     return MappingReport(
         source=frontend.source, original=frontend.original,
         minimised=frontend.minimised, pass_stats=frontend.pass_stats,

@@ -58,6 +58,7 @@ from repro.dse.runner import (
     run_sweep,
 )
 from repro.dse.space import DesignPoint
+from repro.obs import trace
 
 #: Points per lease by default: big enough to amortise one HTTP round
 #: trip over several mappings, small enough that re-evaluating a lost
@@ -224,6 +225,10 @@ def _lease_worker(remote: tuple[str, int], source: str,
         }
         with fleet.lock:
             fleet.stats.leases += 1
+        trace.count("distributed.leases")
+        if trace.enabled():
+            trace.event("distributed.lease", daemon=label,
+                        points=len(chunk))
         try:
             job = client.submit(request)["job"]
             if job["state"] == "done":
@@ -247,6 +252,13 @@ def _lease_worker(remote: tuple[str, int], source: str,
                 if first_loss:
                     fleet.stats.lost_daemons += 1
                 fleet.stats.stolen += 1
+            trace.count("distributed.steals")
+            if trace.enabled():
+                trace.event("distributed.steal", daemon=label,
+                            points=len(chunk))
+                if first_loss:
+                    trace.event("distributed.retire", daemon=label,
+                                error=str(error))
             if progress is not None:
                 progress({"event": "lost", "daemon": label,
                           "error": str(error)})
@@ -352,6 +364,10 @@ def run_distributed_sweep(
             if workers is None:
                 fleet.lost.add(remote)
                 stats.lost_daemons += 1
+                if trace.enabled():
+                    trace.event("distributed.retire",
+                                daemon=f"{remote[0]}:{remote[1]}",
+                                error="unreachable at probe")
                 if progress is not None:
                     progress({"event": "lost",
                               "daemon": f"{remote[0]}:{remote[1]}",
@@ -399,6 +415,10 @@ def run_distributed_sweep(
                 fleet.merged[key] = record
             stats.local_records = len(leftover)
             stats.workers = max(stats.workers, local.stats.workers)
+            trace.count("distributed.fallbacks")
+            if trace.enabled():
+                trace.event("distributed.fallback",
+                            points=len(leftover))
             if progress is not None:
                 progress({"event": "fallback",
                           "points": len(leftover)})

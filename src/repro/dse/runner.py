@@ -57,6 +57,7 @@ from repro.core.pipeline import (
 from repro.dse.cache import ResultCache, cache_key
 from repro.dse.space import DesignPoint
 from repro.eval.metrics import mapping_metrics, multitile_metrics
+from repro.obs import trace
 
 #: A frontend's identity within one sweep: everything the frontend
 #: stage depends on besides the (shared) program source.
@@ -106,31 +107,33 @@ def evaluate_point(source: str, point: DesignPoint,
     producer.
     """
     record = {"point": point.to_dict(), "config": point.assignment()}
-    try:
-        params = point.tile_params()
-        library = point.template_library()
-        if frontend is None:
-            frontend = _compile_spec(source, frontend_spec(point))
-        report = map_frontend(frontend, params, library,
-                              array=point.tile_array_params())
-        if sink is not None:
-            sink["report"] = report
-            sink["timings"] = dict(report.timings)
-        if verify_seed is not None:
-            verify_mapping(report,
-                           random_input_state(report, verify_seed))
-            record["verified"] = True
-        record["ok"] = True
-        record["metrics"] = mapping_metrics(report)
-        if report.multitile is not None:
-            # Array-dimension points carry the multi-tile aggregates
-            # (per-tile utilisation, cut, transfer steps/energy) in
-            # the same flat metrics dict, so objectives and tables
-            # address them by name like any other metric.
-            record["metrics"].update(multitile_metrics(report))
-    except Exception as error:  # noqa: BLE001 — fault isolation
-        record["ok"] = False
-        record["error"] = f"{type(error).__name__}: {error}"
+    with trace.span("dse.point"):
+        try:
+            params = point.tile_params()
+            library = point.template_library()
+            if frontend is None:
+                frontend = _compile_spec(source, frontend_spec(point))
+            report = map_frontend(frontend, params, library,
+                                  array=point.tile_array_params())
+            if sink is not None:
+                sink["report"] = report
+                sink["timings"] = dict(report.timings)
+            if verify_seed is not None:
+                verify_mapping(report,
+                               random_input_state(report, verify_seed))
+                record["verified"] = True
+            record["ok"] = True
+            record["metrics"] = mapping_metrics(report)
+            if report.multitile is not None:
+                # Array-dimension points carry the multi-tile
+                # aggregates (per-tile utilisation, cut, transfer
+                # steps/energy) in the same flat metrics dict, so
+                # objectives and tables address them by name like any
+                # other metric.
+                record["metrics"].update(multitile_metrics(report))
+        except Exception as error:  # noqa: BLE001 — fault isolation
+            record["ok"] = False
+            record["error"] = f"{type(error).__name__}: {error}"
     return record
 
 
@@ -186,6 +189,16 @@ class SweepStats:
     workers: int = 1        #: pool size used (1 = in-process serial)
     frontends: int = 0      #: frontend specs shared by >1 swept point
     elapsed: float = 0.0    #: wall-clock seconds for the whole sweep
+
+    def as_dict(self) -> dict:
+        """The JSON-ready ledger ``fpfa-map explore --json`` embeds.
+
+        Subclasses (:class:`repro.dse.distributed
+        .DistributedSweepStats`) inherit this, so a remote run's
+        shard/steal/fallback counters flow into the same payload
+        field — scripts and dashboards read one shape either way.
+        """
+        return dict(vars(self))
 
     def summary(self) -> str:
         rate = self.cached / self.unique if self.unique else 0.0
@@ -309,6 +322,24 @@ def run_sweep(source: str, points: Iterable[DesignPoint], *,
         return run_distributed_sweep(
             source, points, remotes=remotes, cache=cache,
             verify_seed=verify_seed, frontends=frontends, **extra)
+    with trace.span("dse.sweep") as sweep_span:
+        result = _run_local_sweep(
+            source, points, workers=workers, cache=cache,
+            chunksize=chunksize, verify_seed=verify_seed,
+            frontends=frontends)
+        sweep_span.note(points=result.stats.total,
+                        cached=result.stats.cached,
+                        evaluated=result.stats.evaluated,
+                        failed=result.stats.failed)
+    return result
+
+
+def _run_local_sweep(source: str, points: Iterable[DesignPoint], *,
+                     workers: int | None, cache,
+                     chunksize: int | None,
+                     verify_seed: int | None,
+                     frontends: Mapping[FrontendSpec, Frontend] | None
+                     ) -> SweepResult:
     started = time.perf_counter()
     points = list(points)
     cache = _resolve_cache(cache)
@@ -440,8 +471,14 @@ def evaluate_chunk(source: str, points: Iterable[DesignPoint], *,
     coordinator how much of the chunk was already in the remote
     store.
     """
-    result = run_sweep(source, points, workers=1, cache=cache,
-                       verify_seed=verify_seed, frontends=frontends)
+    with trace.span("dse.chunk") as chunk_span:
+        result = _run_local_sweep(source, list(points), workers=1,
+                                  cache=cache, chunksize=None,
+                                  verify_seed=verify_seed,
+                                  frontends=frontends)
+        chunk_span.note(points=result.stats.total,
+                        cached=result.stats.cached,
+                        evaluated=result.stats.evaluated)
     records = {cache_key(source, point): record
                for point, record in zip(result.points, result.records)}
     return records, result.stats

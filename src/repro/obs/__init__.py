@@ -1,0 +1,41 @@
+"""Fleet observability: tracing spans, metrics, and the dashboard.
+
+The PR 1–5 arc turned the paper's single-shot mapping flow into a
+daemon fleet running sharded sweeps; :mod:`repro.obs` is the layer
+that makes that fleet watchable.  Three parts, each consumable on its
+own:
+
+* :mod:`repro.obs.trace` — a lightweight in-process span/event
+  recorder.  Hot layers (the pipeline stages, the job queue, the
+  worker executors, the sweep runner, the distributed coordinator)
+  are instrumented against the module-level default tracer, which is
+  **disabled by default and zero-cost while disabled** — a disabled
+  ``span()`` returns a shared no-op context manager and records
+  nothing.
+* :mod:`repro.obs.metrics` — a Prometheus-style metrics registry
+  (counters, gauges, fixed-bucket histograms) with a text-format
+  renderer and a strict parser.  The daemon exposes a registry as
+  ``GET /metrics``; the parser is what the tests and the CI smoke
+  job validate the endpoint with.
+* :mod:`repro.obs.dashboard` — ``fpfa-map dashboard``: a stdlib-only
+  HTTP + SSE server that polls ``/stats`` and ``/metrics`` across a
+  daemon fleet, tails job NDJSON event streams, and serves a live
+  single-page ops view.
+
+Invariant: **observation never mutates**.  Nothing in this package is
+allowed to change a mapped artifact, a record, or a payload — with
+tracing enabled or disabled, every surface stays bit-identical
+(enforced by the equivalence tests in ``tests/test_obs.py``).
+
+See ``docs/observability.md`` for span names, metric families and a
+dashboard walkthrough.
+"""
+
+from repro.obs.metrics import MetricsRegistry, parse_prometheus
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "Tracer",
+    "parse_prometheus",
+]

@@ -1,0 +1,309 @@
+"""In-process tracing: nested spans, counters, ring-buffered events.
+
+The tracer is the observation half of the observability layer — the
+metrics registry (:mod:`repro.obs.metrics`) is the exposition half.
+Hot layers call the **module-level default tracer** through the free
+functions below::
+
+    from repro.obs import trace
+
+    with trace.span("pipeline.schedule"):
+        ...
+    trace.event("distributed.steal", daemon=label, chunk=index)
+    trace.count("queue.finished")
+
+Design constraints, in priority order:
+
+1. **Zero cost while disabled.**  Tracing is off by default;
+   mapping's hot loops (per-point evaluation inside a sweep, queue
+   pops under the service lock) must not pay for instrumentation
+   nobody asked for.  A disabled ``span()`` returns one shared no-op
+   context manager — no allocation, no clock read, no lock.
+   ``event()``/``count()`` are a single attribute check.  Call sites
+   that would *build* expensive attributes guard on
+   ``trace.enabled()`` first.
+2. **Observation never mutates.**  Span bodies return whatever the
+   traced code returns; the tracer holds its own copies of
+   everything it records.  Mapped artifacts stay bit-identical with
+   tracing on (see ``tests/test_obs.py``).
+3. **Monotonic durations.**  Span timing uses
+   :func:`time.perf_counter` pairs; wall-clock timestamps on ring
+   events are presentation-only, matching the PR 5 convention in
+   ``service/queue.py``.
+
+Aggregation model: per-span-name ``{count, total, min, max}``
+rollups plus named counters, both O(distinct names) memory; recent
+finished spans and point events land in one bounded ring
+(``collections.deque(maxlen=...)``) so a long sweep cannot grow the
+tracer without bound.  Nesting depth is tracked per thread so the
+ring shows call structure even when the worker pool interleaves
+spans from many threads.
+
+Enable globally with the ``FPFA_TRACE=1`` environment variable, or
+programmatically with :func:`enable`.  The daemon enables its own
+tracer when serving ``/metrics`` consumers that want span rollups.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Iterator
+
+__all__ = [
+    "Tracer",
+    "TRACER",
+    "span",
+    "event",
+    "count",
+    "enabled",
+    "enable",
+    "disable",
+    "snapshot",
+    "reset",
+]
+
+#: Default capacity of the recent-event ring.
+DEFAULT_RING = 1024
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while disabled.
+
+    A single module-level instance serves every disabled ``span()``
+    call, so the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def note(self, **attrs: Any) -> None:
+        """Accept and drop late attributes (API parity with _Span)."""
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span: times itself and reports back to its tracer."""
+
+    __slots__ = ("tracer", "name", "attrs", "depth", "started")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.depth = 0
+        self.started = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = self.tracer._local
+        self.depth = getattr(stack, "depth", 0)
+        stack.depth = self.depth + 1
+        # Read the clock last so nesting bookkeeping is outside the
+        # measured window.
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        duration = time.perf_counter() - self.started
+        self.tracer._local.depth = self.depth
+        if exc_type is not None:
+            self.attrs["error"] = getattr(exc_type, "__name__",
+                                          str(exc_type))
+        self.tracer._finish(self.name, duration, self.depth,
+                            self.attrs)
+
+    def note(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. a result
+        count known only after the work ran)."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Span/event/counter recorder with bounded memory.
+
+    Thread-safe: span rollups, counters and the ring share one lock,
+    taken only on the *enabled* paths.  Nesting depth is tracked in
+    ``threading.local`` so concurrent worker threads do not corrupt
+    each other's stacks.
+    """
+
+    def __init__(self, enabled: bool = False,
+                 ring: int = DEFAULT_RING) -> None:
+        self._enabled = enabled
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=ring)
+        self._spans: dict[str, dict[str, float]] = {}
+        self._counters: dict[str, int] = {}
+        self._seq = 0
+
+    # -- switches ---------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # -- recording --------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Context manager timing a named region.
+
+        Returns the shared no-op when disabled; the real span
+        otherwise.  Attributes are copied into the ring entry when
+        the span closes.
+        """
+        if not self._enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time event into the ring."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._seq += 1
+            entry = {"seq": self._seq, "kind": "event",
+                     "name": name, "at": time.time()}
+            if attrs:
+                entry.update(attrs)
+            self._ring.append(entry)
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Bump a named monotonic counter."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def _finish(self, name: str, duration: float, depth: int,
+                attrs: dict[str, Any]) -> None:
+        with self._lock:
+            rollup = self._spans.get(name)
+            if rollup is None:
+                self._spans[name] = {"count": 1, "total": duration,
+                                     "min": duration, "max": duration}
+            else:
+                rollup["count"] += 1
+                rollup["total"] += duration
+                if duration < rollup["min"]:
+                    rollup["min"] = duration
+                if duration > rollup["max"]:
+                    rollup["max"] = duration
+            self._seq += 1
+            entry = {"seq": self._seq, "kind": "span", "name": name,
+                     "at": time.time(), "depth": depth,
+                     "duration": duration}
+            if attrs:
+                entry.update(attrs)
+            self._ring.append(entry)
+
+    # -- reading ----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Consistent copy of rollups, counters and recent events."""
+        with self._lock:
+            return {
+                "enabled": self._enabled,
+                "spans": {name: dict(rollup)
+                          for name, rollup in self._spans.items()},
+                "counters": dict(self._counters),
+                "events": [dict(entry) for entry in self._ring],
+            }
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def recent(self, limit: int | None = None) -> list[dict[str, Any]]:
+        with self._lock:
+            entries = list(self._ring)
+        if limit is not None:
+            entries = entries[-limit:]
+        return entries
+
+    def reset(self) -> None:
+        """Drop all recorded data; the enabled flag is untouched."""
+        with self._lock:
+            self._ring.clear()
+            self._spans.clear()
+            self._counters.clear()
+            self._seq = 0
+
+
+#: The module-level default tracer every instrumented layer uses.
+TRACER = Tracer(enabled=bool(os.environ.get("FPFA_TRACE")))
+
+
+def span(name: str, **attrs: Any):
+    return TRACER.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    TRACER.event(name, **attrs)
+
+
+def count(name: str, value: int = 1) -> None:
+    TRACER.count(name, value)
+
+
+def enabled() -> bool:
+    return TRACER.enabled
+
+
+def enable() -> None:
+    TRACER.enable()
+
+
+def disable() -> None:
+    TRACER.disable()
+
+
+def snapshot() -> dict[str, Any]:
+    return TRACER.snapshot()
+
+
+def reset() -> None:
+    TRACER.reset()
+
+
+class scoped_tracing:
+    """Context manager enabling the default tracer for a region.
+
+    Restores the previous enabled state on exit — the bench harness
+    and tests use this so they never leak a globally-enabled tracer::
+
+        with trace.scoped_tracing():
+            run_sweep(...)
+    """
+
+    __slots__ = ("_was",)
+
+    def __enter__(self) -> Tracer:
+        self._was = TRACER.enabled
+        TRACER.enable()
+        return TRACER
+
+    def __exit__(self, *exc_info: object) -> None:
+        if not self._was:
+            TRACER.disable()
+
+
+def iter_span_names(snapshot_dict: dict[str, Any]) -> Iterator[str]:
+    """Span names present in a snapshot, sorted for stable output."""
+    return iter(sorted(snapshot_dict.get("spans", {})))

@@ -82,6 +82,22 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``GET /metrics``
+        (parse with :func:`repro.obs.metrics.parse_prometheus`)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            data = response.read()
+        finally:
+            connection.close()
+        if response.status >= 400:
+            raise ServiceError(f"HTTP {response.status}",
+                               status=response.status)
+        return data.decode("utf-8")
+
     def submit(self, request: Mapping) -> dict:
         """POST one raw job request; returns ``{"job": ...,
         "coalesced": ...}``."""

@@ -18,6 +18,7 @@ Endpoints (see ``docs/service.md`` for the full reference)::
 
     GET  /healthz            liveness + uptime
     GET  /stats              queue / store / worker / service counters
+    GET  /metrics            Prometheus text exposition of the same
     POST /jobs               submit one job (map or explore)
     GET  /jobs               list jobs (?state= filter)
     GET  /jobs/<id>          one job (?wait=SECONDS long-polls)
@@ -50,6 +51,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.pipeline import Frontend
 from repro.dse.runner import FrontendSpec, _compile_spec, frontend_spec
+from repro.obs.metrics import MetricsRegistry
 from repro.service.protocol import (
     DEFAULT_HOST,
     DEFAULT_PORT,
@@ -72,6 +74,11 @@ from repro.service.workers import (
 
 #: Compiled frontends kept warm before the oldest is evicted.
 FRONTEND_MEMO_LIMIT = 128
+
+#: Chunk keys remembered for the re-lease counter before the oldest
+#: is forgotten (a forgotten key under-counts one re-lease; the set
+#: must not grow with every chunk a long-lived daemon ever served).
+CHUNK_MEMO_LIMIT = 4096
 
 
 @dataclass
@@ -106,10 +113,22 @@ class MappingService:
         self.store = store if isinstance(store, ArtifactStore) \
             else ArtifactStore(store)
         self.pool = WorkerPool(workers, worker_mode)
-        self.queue = JobQueue(max_depth=max_queue)
+        self.queue = JobQueue(max_depth=max_queue,
+                              observer=self._observe_job)
         self.stats = ServiceStats()
+        #: Wall-clock start — presentation only (clients correlate it
+        #: with their logs).  ``uptime`` everywhere derives from the
+        #: monotonic twin: ``time.time()`` steps under NTP
+        #: corrections, so a wall-clock uptime can jump or go
+        #: negative (the queue.py convention from PR 5).
         self.started_at = time.time()
+        self.started_mono = time.monotonic()
         self.address: tuple[str, int] | None = None
+        self.metrics = MetricsRegistry()
+        self._build_metrics()
+        #: Chunk keys already leased once — a repeat is a re-lease
+        #: (work stealing / a coordinator retry landing here).
+        self._seen_chunks: dict[str, None] = {}
         #: (source digest, frontend spec) -> asyncio.Task[Frontend]
         self._frontends: dict[tuple[str, FrontendSpec],
                               asyncio.Task] = {}
@@ -178,6 +197,8 @@ class MappingService:
         job, coalesced = self.queue.submit(request, key,
                                            coalesce_key(request))
         self.stats.submits += 1
+        if request["kind"] == "sweep-chunk" and not coalesced:
+            self._note_chunk_lease(key)
         if coalesced:
             self.stats.coalesced += 1
             await self._notify()
@@ -352,15 +373,159 @@ class MappingService:
 
     # -- stats --------------------------------------------------------
 
+    @property
+    def uptime(self) -> float:
+        """Seconds since start — monotonic, immune to clock steps."""
+        return time.monotonic() - self.started_mono
+
     def describe(self) -> dict:
         return {
-            "uptime": round(time.time() - self.started_at, 3),
+            "uptime": round(self.uptime, 3),
+            "started_at": self.started_at,
             "service": self.stats.as_dict(),
             "queue": self.queue.stats(),
             "workers": self.pool.describe(),
             "store": {"root": str(self.store.root),
                       **self.store.stats()},
         }
+
+    # -- metrics ------------------------------------------------------
+
+    def _build_metrics(self) -> None:
+        """Register the daemon's metric families.
+
+        Two feeding models: lifetime totals the service already
+        counts (``ServiceStats``, queue, store) are adopted at scrape
+        time via ``set_total``/``set`` in :meth:`_sync_metrics` — one
+        source of truth, no drift; latency histograms and the lease
+        counters are fed at event time (:meth:`_observe_job`,
+        :meth:`submit`) because the data is gone by scrape time.
+        """
+        registry = self.metrics
+        self._m_uptime = registry.gauge(
+            "fpfa_service_uptime_seconds",
+            "Seconds since the daemon started (monotonic).")
+        self._m_service = {
+            name: registry.counter(
+                f"fpfa_service_{name}",
+                f"Lifetime {name.replace('_', ' ')} "
+                f"(the /stats service section).")
+            for name in ("submits", "coalesced", "store_hits",
+                         "computed", "failed")}
+        self._m_frontends = registry.counter(
+            "fpfa_service_frontends",
+            "Frontend memo outcomes by result.",
+            labels=("result",))
+        self._m_frontend_reuse = registry.gauge(
+            "fpfa_frontend_reuse_ratio",
+            "Fraction of frontend requests served from the memo.")
+        self._m_queue_gauges = {
+            name: registry.gauge(
+                f"fpfa_queue_{name}",
+                f"Queue {name.replace('_', ' ')} right now.")
+            for name in ("depth", "inflight", "jobs")}
+        self._m_queue_counters = {
+            name: registry.counter(
+                f"fpfa_queue_{name}",
+                f"Lifetime queue {name} count.")
+            for name in ("coalesced", "evicted", "compactions")}
+        self._m_queue_states = registry.gauge(
+            "fpfa_queue_jobs_by_state",
+            "Tracked jobs by lifecycle state.",
+            labels=("state",))
+        self._m_jobs = registry.counter(
+            "fpfa_jobs", "Terminal jobs by kind and outcome.",
+            labels=("kind", "state"))
+        self._m_job_wait = registry.histogram(
+            "fpfa_job_wait_seconds",
+            "Seconds a job spent queued before running, by kind.",
+            labels=("kind",))
+        self._m_job_runtime = registry.histogram(
+            "fpfa_job_runtime_seconds",
+            "Seconds a job spent running, by kind.",
+            labels=("kind",))
+        self._m_store_entries = registry.gauge(
+            "fpfa_store_entries", "Records in the artifact store.")
+        self._m_store_hit_rate = registry.gauge(
+            "fpfa_store_hit_rate",
+            "Fraction of store lookups that hit.")
+        self._m_store_counters = {
+            name: registry.counter(
+                f"fpfa_store_{name}",
+                f"Lifetime artifact store {name}.")
+            for name in ("hits", "misses")}
+        self._m_workers = registry.gauge(
+            "fpfa_workers", "Worker pool size by mode.",
+            labels=("mode",))
+        self._m_chunk_leases = registry.counter(
+            "fpfa_chunk_leases",
+            "Distributed sweep-chunk leases accepted.")
+        self._m_chunk_releases = registry.counter(
+            "fpfa_chunk_releases",
+            "Sweep-chunk keys leased more than once (a re-lease "
+            "after work stealing or a coordinator retry).")
+
+    def _observe_job(self, event: str, job: Job) -> None:
+        """Queue observer: feed the latency histograms the moment a
+        job goes terminal (its monotonic durations are exact then;
+        at scrape time an evicted job would be gone)."""
+        if event not in ("done", "failed"):
+            return
+        self._m_jobs.inc(kind=job.kind, state=job.state)
+        self._m_job_wait.observe(job.waited, kind=job.kind)
+        runtime = job.runtime
+        if runtime is not None:
+            self._m_job_runtime.observe(runtime, kind=job.kind)
+
+    def _note_chunk_lease(self, key: str) -> None:
+        self._m_chunk_leases.inc()
+        if key in self._seen_chunks:
+            self._m_chunk_releases.inc()
+            return
+        self._seen_chunks[key] = None
+        while len(self._seen_chunks) > CHUNK_MEMO_LIMIT:
+            self._seen_chunks.pop(next(iter(self._seen_chunks)))
+
+    def _sync_metrics(self, described: dict) -> None:
+        """Adopt the scrape-time truth from one ``describe()``."""
+        self._m_uptime.set(round(described["uptime"], 3))
+        service = described["service"]
+        for name, counter in self._m_service.items():
+            counter.set_total(service[name])
+        self._m_frontends.set_total(service["frontends_compiled"],
+                                    result="compiled")
+        self._m_frontends.set_total(service["frontends_reused"],
+                                    result="reused")
+        requests = (service["frontends_compiled"]
+                    + service["frontends_reused"])
+        self._m_frontend_reuse.set(
+            round(service["frontends_reused"] / requests, 6)
+            if requests else 0.0)
+        queue = described["queue"]
+        for name, gauge in self._m_queue_gauges.items():
+            gauge.set(queue[name])
+        for name, counter in self._m_queue_counters.items():
+            counter.set_total(queue[name])
+        for state, count in queue["states"].items():
+            self._m_queue_states.set(count, state=state)
+        store = described["store"]
+        self._m_store_entries.set(store["entries"])
+        self._m_store_hit_rate.set(store["hit_rate"])
+        for name, counter in self._m_store_counters.items():
+            counter.set_total(store[name])
+        workers = described["workers"]
+        self._m_workers.set(workers["workers"],
+                            mode=workers["mode"])
+
+    def _render_metrics(self) -> str:
+        """One scrape: sync gauges/totals from describe(), render.
+
+        Runs in an executor (describe() walks the store directory);
+        the event-time metrics (histograms, lease counters) are
+        already up to date.
+        """
+        self._sync_metrics(self.describe())
+        return self.metrics.render()
 
     # -- HTTP front ---------------------------------------------------
 
@@ -403,7 +568,8 @@ class MappingService:
         if method == "GET" and path == "/healthz":
             await _send_json(writer, 200, {
                 "ok": True,
-                "uptime": round(time.time() - self.started_at, 3)})
+                "uptime": round(self.uptime, 3),
+                "started_at": self.started_at})
         elif method == "GET" and path == "/stats":
             # describe() counts store entries with a directory walk —
             # O(entries) disk work that must not stall the event loop
@@ -411,6 +577,14 @@ class MappingService:
             stats = await asyncio.get_running_loop() \
                 .run_in_executor(None, self.describe)
             await _send_json(writer, 200, stats)
+        elif method == "GET" and path == "/metrics":
+            # Same executor rule: the scrape syncs from describe().
+            text = await asyncio.get_running_loop() \
+                .run_in_executor(None, self._render_metrics)
+            await _send_text(
+                writer, 200, text,
+                content_type="text/plain; version=0.0.4; "
+                             "charset=utf-8")
         elif method == "POST" and path == "/jobs":
             await self._handle_submit(body, writer)
         elif method == "GET" and path == "/jobs":
@@ -527,18 +701,34 @@ async def _read_request(reader: asyncio.StreamReader
     return method.upper(), target, body
 
 
-async def _send_json(writer: asyncio.StreamWriter, status: int,
-                     payload: dict) -> None:
-    body = json.dumps(payload, sort_keys=True).encode("utf-8")
-    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-              413: "Payload Too Large", 500: "Internal Server Error",
-              503: "Service Unavailable"}.get(status, "OK")
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            413: "Payload Too Large", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+async def _send_body(writer: asyncio.StreamWriter, status: int,
+                     body: bytes, content_type: str) -> None:
+    reason = _REASONS.get(status, "OK")
     head = (f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n").encode("latin-1")
     writer.write(head + body)
     await writer.drain()
+
+
+async def _send_json(writer: asyncio.StreamWriter, status: int,
+                     payload: dict) -> None:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    await _send_body(writer, status, body, "application/json")
+
+
+async def _send_text(writer: asyncio.StreamWriter, status: int,
+                     text: str, *,
+                     content_type: str = "text/plain; charset=utf-8"
+                     ) -> None:
+    await _send_body(writer, status, text.encode("utf-8"),
+                     content_type)
 
 
 # ---------------------------------------------------------------------------

@@ -37,6 +37,7 @@ import itertools
 import time
 from dataclasses import dataclass, field
 
+from repro.obs import trace
 from repro.service.protocol import (
     DONE,
     FAILED,
@@ -155,8 +156,16 @@ class JobQueue:
     """Admission, ordering and lifecycle for service jobs."""
 
     def __init__(self, max_depth: int = 1024,
-                 max_history: int = 1024):
+                 max_history: int = 1024, observer=None):
         self.max_depth = max_depth
+        #: Optional ``observer(event, job)`` callable invoked on every
+        #: lifecycle transition (``queued``, ``coalesced``,
+        #: ``running``, ``done``, ``failed``) — how the daemon feeds
+        #: its metrics registry (latency histograms need the job's
+        #: monotonic durations at the moment it goes terminal, not at
+        #: scrape time).  Observers observe: they run after the
+        #: queue's own state change and must not mutate the job.
+        self.observer = observer
         #: Terminal jobs kept inspectable before the oldest is
         #: evicted — the bound that keeps a long-running daemon's
         #: memory flat under sustained traffic (results themselves
@@ -174,6 +183,17 @@ class JobQueue:
         #: ``depth`` is read on every submit, so it must never scan.
         self._queued = 0
         self.compactions = 0
+
+    def _notify(self, event: str, job: Job) -> None:
+        """Fan one lifecycle transition out to the observer and the
+        tracer.  The queue's own state is already consistent when
+        this runs, so an observer reading ``stats()`` sees the
+        post-transition picture."""
+        trace.count(f"queue.{event}")
+        if trace.enabled():
+            trace.event(f"queue.{event}", job=job.id, kind=job.kind)
+        if self.observer is not None:
+            self.observer(event, job)
 
     # -- admission ----------------------------------------------------
 
@@ -206,6 +226,7 @@ class JobQueue:
                                submits=existing.submits,
                                priority=existing.priority)
             self.coalesced += 1
+            self._notify("coalesced", existing)
             return existing, True
         if self.depth >= self.max_depth:
             raise QueueFull(
@@ -221,6 +242,7 @@ class JobQueue:
         heapq.heappush(self._heap,
                        (-job.priority, job.sort_seq, job.id))
         self._queued += 1
+        self._notify("queued", job)
         return job, False
 
     # -- dispatch -----------------------------------------------------
@@ -273,6 +295,7 @@ class JobQueue:
         job.started = time.time()
         job.started_mono = time.monotonic()
         job.add_event("running")
+        self._notify("running", job)
 
     def finish(self, job: Job, result: dict, **meta) -> None:
         self._leave_queued(job)
@@ -286,6 +309,7 @@ class JobQueue:
                                  for name, value in meta.items()
                                  if isinstance(value, (str, int,
                                                        float, bool))})
+        self._notify("done", job)
 
     def fail(self, job: Job, error: str, **meta) -> None:
         self._leave_queued(job)
@@ -296,6 +320,7 @@ class JobQueue:
         job.meta.update(meta)
         self._retire(job)
         job.add_event("failed", error=error)
+        self._notify("failed", job)
 
     def _leave_queued(self, job: Job) -> None:
         """Keep the queued counter exact when a job goes terminal

@@ -36,6 +36,7 @@ from typing import Mapping
 
 from repro.core.pipeline import Frontend
 from repro.dse.runner import FrontendSpec, evaluate_point
+from repro.obs import trace
 from repro.service.protocol import request_point
 
 
@@ -58,9 +59,11 @@ def run_map_job(request: Mapping,
     record.
     """
     sink: dict = {}
-    record = evaluate_point(request["source"], request_point(request),
-                            request.get("verify_seed"),
-                            frontend=frontend, sink=sink)
+    with trace.span("worker.map", warm=frontend is not None):
+        record = evaluate_point(request["source"],
+                                request_point(request),
+                                request.get("verify_seed"),
+                                frontend=frontend, sink=sink)
     return record, {"timings": sink.get("timings"),
                     "worker": os.getpid()}
 
@@ -96,20 +99,21 @@ def run_explore_job(request: Mapping, store_root: str | None = None,
                      seed=request["seed"])
     else:
         extra = {}
-    result = STRATEGIES[strategy](request["source"], space,
-                                  objectives=objectives,
-                                  **extra, **run_kwargs)
+    with trace.span("worker.explore", strategy=strategy):
+        result = STRATEGIES[strategy](request["source"], space,
+                                      objectives=objectives,
+                                      **extra, **run_kwargs)
+    stats = result.stats.as_dict()
     payload = {
         "workload": request.get("file") or "<submitted source>",
         "strategy": strategy,
         "objectives": objectives,
-        "stats": vars(result.stats),
+        "stats": stats,
         "best": result.best,
         "frontier": pareto_front(result.records, objectives),
         "records": result.records,
     }
-    return payload, {"stats": vars(result.stats),
-                     "worker": os.getpid()}
+    return payload, {"stats": stats, "worker": os.getpid()}
 
 
 def run_chunk_job(request: Mapping, store_root: str | None = None,
@@ -130,10 +134,11 @@ def run_chunk_job(request: Mapping, store_root: str | None = None,
 
     points = [DesignPoint.from_dict(entry)
               for entry in request["points"]]
-    records, stats = evaluate_chunk(
-        request["source"], points,
-        verify_seed=request.get("verify_seed"),
-        cache=store_root, frontends=frontends)
+    with trace.span("worker.chunk", points=len(points)):
+        records, stats = evaluate_chunk(
+            request["source"], points,
+            verify_seed=request.get("verify_seed"),
+            cache=store_root, frontends=frontends)
     payload = {
         "kind": "sweep-chunk",
         "points": len(points),

@@ -1,0 +1,718 @@
+"""Tests for the observability layer (repro.obs) end to end.
+
+Four rings, inside out:
+
+* the tracer and metrics primitives in isolation;
+* the daemon's ``GET /metrics`` exposition (validated with the same
+  strict parser the CI smoke job uses) and the uptime fields on
+  ``/stats``;
+* the NDJSON job event stream contract (ordering, terminal replay,
+  mid-stream disconnect);
+* the dashboard: collector + SSE front against an in-process daemon,
+  and the acceptance-shaped run — a real sharded sweep over a
+  2-daemon :class:`DaemonProcess` fleet with SSE payloads asserted,
+  no browser involved.
+
+Throughout, the layer's core invariant is pinned: **observation
+never mutates** — artifacts are bit-identical with tracing on.
+"""
+
+import http.client
+import json
+import math
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.dse.distributed import run_distributed_sweep
+from repro.dse.runner import run_sweep
+from repro.dse.space import DesignSpace
+from repro.eval.kernels import get_kernel
+from repro.obs import trace
+from repro.obs.dashboard import (
+    DashboardServer,
+    FleetCollector,
+    _flatten_metrics,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsParseError,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from repro.obs.trace import Tracer, scoped_tracing
+from repro.service import ServiceClient, ServiceThread
+from tests.conftest import FIR_SOURCE
+
+FIR5 = get_kernel("fir5").source
+SPACE = DesignSpace({"n_pps": [1, 2, 3, 5], "n_buses": [2, 10]})
+
+
+def canon(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    with ServiceThread(store=tmp_path / "store", workers=2) as thread:
+        yield thread
+
+
+@pytest.fixture
+def client(daemon):
+    return ServiceClient(*daemon.address)
+
+
+# -- tracer ---------------------------------------------------------------
+
+class TestTracer:
+    def test_disabled_records_nothing_and_allocates_nothing(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("a", big=list(range(100)))
+        second = tracer.span("b")
+        assert first is second  # the shared no-op singleton
+        with first as span:
+            span.note(late=1)
+        tracer.event("e", x=1)
+        tracer.count("c")
+        snap = tracer.snapshot()
+        assert snap["spans"] == {}
+        assert snap["counters"] == {}
+        assert snap["events"] == []
+        assert snap["enabled"] is False
+
+    def test_rollups_and_nesting_depth(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        snap = tracer.snapshot()
+        assert snap["spans"]["outer"]["count"] == 1
+        inner = snap["spans"]["inner"]
+        assert inner["count"] == 2
+        assert 0 <= inner["min"] <= inner["max"] <= inner["total"]
+        depths = {entry["name"]: entry["depth"]
+                  for entry in snap["events"]}
+        assert depths == {"outer": 0, "inner": 1}
+        # Inner spans finish (and land in the ring) before outer.
+        assert [e["name"] for e in snap["events"]] \
+            == ["inner", "inner", "outer"]
+
+    def test_note_and_error_attrs_reach_the_ring(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work", points=4) as span:
+            span.note(cached=1)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        events = {entry["name"]: entry for entry in tracer.recent()}
+        assert events["work"]["points"] == 4
+        assert events["work"]["cached"] == 1
+        assert events["boom"]["error"] == "RuntimeError"
+        # The failed span still rolled up.
+        assert tracer.snapshot()["spans"]["boom"]["count"] == 1
+
+    def test_counters_and_reset(self):
+        tracer = Tracer(enabled=True)
+        tracer.count("hits")
+        tracer.count("hits", 2)
+        assert tracer.counters() == {"hits": 3}
+        tracer.reset()
+        assert tracer.counters() == {}
+        assert tracer.enabled  # reset never flips the switch
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(enabled=True, ring=8)
+        for index in range(20):
+            tracer.event("tick", index=index)
+        events = tracer.recent()
+        assert len(events) == 8
+        assert [entry["index"] for entry in events] \
+            == list(range(12, 20))
+        assert events[-1]["seq"] == 20  # seq keeps counting
+
+    def test_scoped_tracing_restores_disabled_state(self):
+        assert not trace.enabled()
+        with scoped_tracing() as tracer:
+            assert trace.enabled()
+            assert tracer is trace.TRACER
+        assert not trace.enabled()
+        trace.reset()
+
+    def test_threads_keep_independent_depth(self):
+        tracer = Tracer(enabled=True)
+        barrier = threading.Barrier(2)
+
+        def worker():
+            with tracer.span("t-outer"):
+                barrier.wait(timeout=10)
+                with tracer.span("t-inner"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        depths = {(e["name"], e["depth"])
+                  for e in tracer.recent()}
+        assert depths == {("t-outer", 0), ("t-inner", 1)}
+
+
+# -- metrics registry and renderer ---------------------------------------
+
+class TestMetrics:
+    def test_counter_renders_total_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("fpfa_things", "Things seen.")
+        counter.inc()
+        counter.inc(2)
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        text = registry.render()
+        assert "# TYPE fpfa_things_total counter" in text
+        assert "fpfa_things_total 3" in text
+        assert counter.value() == 3
+
+    def test_set_total_adopts_external_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("fpfa_submits", "Submits.")
+        counter.set_total(41)
+        counter.set_total(42)
+        assert parse_prometheus(registry.render()) \
+            .value("fpfa_submits_total") == 42
+
+    def test_labelled_series_and_escaping_round_trip(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("fpfa_jobs_by_state", "Jobs.",
+                               labels=("state",))
+        nasty = 'we"ird\\state\nname'
+        gauge.set(7, state=nasty)
+        gauge.set(1, state="done")
+        parsed = parse_prometheus(registry.render())
+        assert parsed.value("fpfa_jobs_by_state", state=nasty) == 7
+        assert parsed.value("fpfa_jobs_by_state", state="done") == 1
+        with pytest.raises(ValueError):
+            gauge.set(1)  # missing required label
+        with pytest.raises(ValueError):
+            gauge.set(1, state="x", extra="y")
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "fpfa_wait_seconds", "Wait.", labels=("kind",),
+            buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value, kind="map")
+        parsed = parse_prometheus(registry.render())
+        buckets = {labels["le"]: value for labels, value
+                   in parsed.values("fpfa_wait_seconds_bucket")}
+        assert buckets == {"0.1": 1, "1": 3, "10": 4, "+Inf": 5}
+        assert parsed.value("fpfa_wait_seconds_count",
+                            kind="map") == 5
+        assert parsed.value("fpfa_wait_seconds_sum",
+                            kind="map") == pytest.approx(56.05)
+
+    def test_default_buckets_are_sorted_and_finite(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert all(math.isfinite(b) for b in DEFAULT_BUCKETS)
+
+    def test_duplicate_registration_raises(self):
+        registry = MetricsRegistry()
+        registry.gauge("fpfa_x", "X.")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("fpfa_x", "X again.")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.gauge("2bad", "nope")
+        with pytest.raises(ValueError):
+            registry.gauge("fpfa_ok", "nope", labels=("bad-label",))
+
+    def test_render_ends_with_newline_and_parses(self):
+        registry = MetricsRegistry()
+        registry.gauge("fpfa_empty", "Never set.")
+        registry.counter("fpfa_c", "C.").inc()
+        text = registry.render()
+        assert text.endswith("\n")
+        parsed = parse_prometheus(text)
+        # A never-observed family still declares itself.
+        assert parsed.family("fpfa_empty")["type"] == "gauge"
+        assert parsed.family("fpfa_c_total")["type"] == "counter"
+
+
+class TestPrometheusParserStrictness:
+    def test_sample_without_type_family_raises(self):
+        with pytest.raises(MetricsParseError, match="no # TYPE"):
+            parse_prometheus("orphan_metric 1\n")
+
+    def test_counter_sample_needs_total_suffix(self):
+        text = ("# TYPE fpfa_c counter\n"
+                "fpfa_c 1\n")
+        with pytest.raises(MetricsParseError, match="_total"):
+            parse_prometheus(text)
+
+    def test_non_cumulative_histogram_raises(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\n'
+                'h_bucket{le="2"} 3\n'
+                'h_bucket{le="+Inf"} 5\n'
+                "h_sum 1\n"
+                "h_count 5\n")
+        with pytest.raises(MetricsParseError,
+                           match="not cumulative"):
+            parse_prometheus(text)
+
+    def test_histogram_missing_inf_bucket_raises(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\n'
+                "h_sum 1\n"
+                "h_count 5\n")
+        with pytest.raises(MetricsParseError, match=r"\+Inf"):
+            parse_prometheus(text)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 4\n'
+                "h_sum 1\n"
+                "h_count 5\n")
+        with pytest.raises(MetricsParseError, match="!= count"):
+            parse_prometheus(text)
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(MetricsParseError):
+            parse_prometheus("# TYPE only_name\n")
+        with pytest.raises(MetricsParseError):
+            parse_prometheus("# TYPE x welp\nx 1\n")
+        with pytest.raises(MetricsParseError):
+            parse_prometheus("# TYPE x gauge\nx notanumber\n")
+        with pytest.raises(MetricsParseError):
+            parse_prometheus('# TYPE x gauge\nx{oops} 1\n')
+
+
+# -- the daemon's /metrics endpoint and /stats uptime ---------------------
+
+class TestServiceMetricsEndpoint:
+    def test_exposition_is_valid_and_consistent_with_stats(
+            self, client):
+        client.map_source(FIR_SOURCE, file="a.c")
+        client.map_source(FIR_SOURCE, file="a.c")  # store hit
+        parsed = parse_prometheus(client.metrics())
+        stats = client.stats()
+
+        # Families for every layer the issue names.
+        for family, kind in [
+                ("fpfa_service_uptime_seconds", "gauge"),
+                ("fpfa_service_submits_total", "counter"),
+                ("fpfa_service_computed_total", "counter"),
+                ("fpfa_queue_depth", "gauge"),
+                ("fpfa_queue_coalesced_total", "counter"),
+                ("fpfa_jobs_total", "counter"),
+                ("fpfa_job_wait_seconds", "histogram"),
+                ("fpfa_job_runtime_seconds", "histogram"),
+                ("fpfa_store_entries", "gauge"),
+                ("fpfa_store_hits_total", "counter"),
+                ("fpfa_workers", "gauge"),
+                ("fpfa_chunk_leases_total", "counter"),
+                ("fpfa_chunk_releases_total", "counter"),
+        ]:
+            assert parsed.family(family)["type"] == kind, family
+
+        # Scrape-time sync: totals mirror the authoritative /stats.
+        assert parsed.value("fpfa_service_submits_total") \
+            == stats["service"]["submits"]
+        assert parsed.value("fpfa_service_computed_total") \
+            == stats["service"]["computed"] == 1
+        assert parsed.value("fpfa_service_store_hits_total") \
+            == stats["service"]["store_hits"] == 1
+        assert parsed.value("fpfa_store_entries") \
+            == stats["store"]["entries"]
+        assert parsed.value("fpfa_workers",
+                            mode=stats["workers"]["mode"]) \
+            == stats["workers"]["workers"]
+
+        # Event-time feeding: one computed job ran, both finished.
+        assert parsed.value("fpfa_jobs_total", kind="map",
+                            state="done") == 2
+        assert parsed.value("fpfa_job_runtime_seconds_count",
+                            kind="map") == 1
+        assert parsed.value("fpfa_job_wait_seconds_count",
+                            kind="map") == 2
+
+    def test_content_type_is_prometheus_text(self, daemon):
+        host, port = daemon.address
+        connection = http.client.HTTPConnection(host, port,
+                                                timeout=10)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            body = response.read()
+        finally:
+            connection.close()
+        assert response.status == 200
+        assert response.getheader("Content-Type") \
+            == "text/plain; version=0.0.4; charset=utf-8"
+        parse_prometheus(body.decode("utf-8"))  # must not raise
+
+    def test_stats_and_healthz_carry_monotonic_uptime(self, client):
+        before = time.time()
+        stats = client.stats()
+        health = client.health()
+        assert 0 <= stats["uptime"] < 300
+        assert stats["started_at"] <= before
+        assert stats["started_at"] == pytest.approx(before, abs=300)
+        assert health["uptime"] >= 0
+        assert health["started_at"] == stats["started_at"]
+        # Uptime advances between scrapes.
+        time.sleep(0.02)
+        assert client.stats()["uptime"] > stats["uptime"]
+
+    def test_failed_job_lands_in_failure_families(self, client):
+        response = client.submit({"kind": "map",
+                                  "source": FIR_SOURCE, "pps": 0})
+        with pytest.raises(Exception):
+            client.result(response["job"]["id"])
+        parsed = parse_prometheus(client.metrics())
+        assert parsed.value("fpfa_service_failed_total") == 1
+        assert parsed.value("fpfa_jobs_total", kind="map",
+                            state="failed") == 1
+
+
+# -- NDJSON job event stream contract -------------------------------------
+
+class TestJobEventStream:
+    def test_events_are_seq_ordered_with_terminal_last(self, client):
+        response = client.submit({"kind": "map",
+                                  "source": FIR_SOURCE})
+        events = list(client.events(response["job"]["id"]))
+        seqs = [event["seq"] for event in events]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == len(set(seqs))
+        assert events[0]["event"] == "queued"
+        assert events[-1]["event"] == "done"
+
+    def test_terminal_job_replays_whole_lifecycle_and_closes(
+            self, client):
+        response = client.submit({"kind": "map",
+                                  "source": FIR_SOURCE})
+        client.result(response["job"]["id"])  # finish first
+        started = time.monotonic()
+        events = [e["event"]
+                  for e in client.events(response["job"]["id"])]
+        assert time.monotonic() - started < 10  # replay, no hang
+        assert events[0] == "queued"
+        assert "running" in events
+        assert events[-1] == "done"
+
+    def test_failed_job_stream_ends_with_failed(self, client):
+        response = client.submit({"kind": "map",
+                                  "source": FIR_SOURCE, "pps": 0})
+        events = list(client.events(response["job"]["id"]))
+        assert events[-1]["event"] == "failed"
+        assert "error" in events[-1]
+
+    def test_mid_stream_disconnect_leaves_daemon_healthy(
+            self, daemon, client):
+        response = client.submit({"kind": "map",
+                                  "source": FIR_SOURCE})
+        job_id = response["job"]["id"]
+        host, port = daemon.address
+        connection = http.client.HTTPConnection(host, port,
+                                                timeout=10)
+        connection.request("GET", f"/jobs/{job_id}/events")
+        stream = connection.getresponse()
+        first = stream.readline()
+        assert json.loads(first)["event"] == "queued"
+        connection.close()  # hang up mid-stream
+
+        # The daemon shrugs: the job still completes, the API still
+        # answers, and a fresh stream replays everything.
+        payload = client.result(job_id)
+        assert payload["metrics"]["cycles"] > 0
+        assert client.health()["ok"] is True
+        events = [e["event"] for e in client.events(job_id)]
+        assert events[-1] == "done"
+
+
+# -- observation never mutates --------------------------------------------
+
+class TestTracingBitIdentity:
+    def test_map_artifacts_identical_with_tracing_enabled(
+            self, tmp_path, capsys):
+        source_path = tmp_path / "fir.c"
+        source_path.write_text(FIR_SOURCE)
+        plain_path = tmp_path / "plain.json"
+        traced_path = tmp_path / "traced.json"
+
+        assert main(["map", str(source_path), "--json",
+                     str(plain_path)]) == 0
+        with scoped_tracing() as tracer:
+            tracer.reset()
+            assert main(["map", str(source_path), "--json",
+                         str(traced_path)]) == 0
+            snap = tracer.snapshot()
+        trace.reset()
+        capsys.readouterr()
+
+        assert canon(json.loads(plain_path.read_text())) \
+            == canon(json.loads(traced_path.read_text()))
+        # ... and the pipeline stages actually traced.
+        for name in ("pipeline.parse", "pipeline.taskgraph",
+                     "pipeline.schedule", "pipeline.allocate"):
+            assert name in snap["spans"], name
+
+    def test_sweep_records_identical_with_tracing_enabled(self):
+        points = list(DesignSpace({"n_pps": [1, 2],
+                                   "n_buses": [10]}).grid())
+        plain = run_sweep(FIR5, points, workers=1)
+        with scoped_tracing() as tracer:
+            tracer.reset()
+            traced = run_sweep(FIR5, points, workers=1)
+            snap = tracer.snapshot()
+        trace.reset()
+        assert canon(plain.records) == canon(traced.records)
+        assert snap["spans"]["dse.sweep"]["count"] == 1
+        assert snap["spans"]["dse.point"]["count"] == 2
+
+
+# -- explore --json surfaces the distribution ledger ----------------------
+
+class TestExploreJsonStats:
+    def test_local_run_keeps_plain_sweep_stats(self, tmp_path,
+                                               capsys):
+        json_path = tmp_path / "sweep.json"
+        source_path = tmp_path / "fir.c"
+        source_path.write_text(FIR_SOURCE)
+        assert main(["explore", str(source_path), "--pps", "1,2",
+                     "--workers", "1", "--json",
+                     str(json_path)]) == 0
+        capsys.readouterr()
+        stats = json.loads(json_path.read_text())["stats"]
+        assert stats["total"] == 2
+        assert "leases" not in stats  # no fleet, no ledger
+
+    def test_remote_run_surfaces_distributed_stats(self, daemon,
+                                                   tmp_path,
+                                                   capsys):
+        json_path = tmp_path / "sweep.json"
+        source_path = tmp_path / "fir5.c"
+        source_path.write_text(FIR5)
+        assert main(["explore", str(source_path),
+                     "--sweep", "n_pps=1,2,3", "--workers", "1",
+                     "--remote", url(daemon), "--chunk-size", "2",
+                     "--json", str(json_path)]) == 0
+        capsys.readouterr()
+        stats = json.loads(json_path.read_text())["stats"]
+        assert stats["total"] == 3
+        assert stats["daemons"] == 1
+        assert stats["chunks"] == 2
+        assert stats["leases"] >= stats["chunks"]
+        assert stats["remote_records"] == 3
+        assert stats["stolen"] == 0
+        assert stats["lost_daemons"] == 0
+
+
+# -- dashboard ------------------------------------------------------------
+
+def url(thread):
+    return f"{thread.address[0]}:{thread.address[1]}"
+
+
+def _read_sse_frames(host, port, predicate, timeout=30.0):
+    """Open ``/events`` and collect ``data:`` frames until
+    *predicate*(frames) is true or *timeout* elapses; the frames."""
+    connection = http.client.HTTPConnection(host, port,
+                                            timeout=timeout)
+    frames = []
+    try:
+        connection.request("GET", "/events")
+        response = connection.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") \
+            == "text/event-stream"
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            line = response.readline()
+            if not line:
+                break
+            line = line.strip()
+            if line.startswith(b"data: "):
+                frames.append(json.loads(line[len(b"data: "):]))
+                if predicate(frames):
+                    break
+    finally:
+        connection.close()
+    return frames
+
+
+class TestFlattenMetrics:
+    def test_labels_flatten_and_buckets_drop(self):
+        registry = MetricsRegistry()
+        registry.counter("fpfa_jobs", "Jobs.",
+                         labels=("kind", "state")) \
+            .inc(3, kind="map", state="done")
+        registry.histogram("fpfa_wait", "Wait.",
+                           buckets=(1.0,)).observe(0.5)
+        flat = _flatten_metrics(registry.render())
+        assert flat["fpfa_jobs_total{kind=map,state=done}"] == 3
+        assert flat["fpfa_wait_sum"] == 0.5
+        assert flat["fpfa_wait_count"] == 1
+        assert not any("bucket" in key for key in flat)
+
+    def test_garbage_yields_empty_dict(self):
+        assert _flatten_metrics("not prometheus at all") == {}
+
+
+class TestDashboardSingleDaemon:
+    def test_index_api_and_sse_against_one_daemon(self, daemon,
+                                                  client):
+        client.map_source(FIR_SOURCE, file="a.c")
+        with FleetCollector(url(daemon), interval=0.1) as collector:
+            with DashboardServer(collector) as server:
+                host, port = server.address
+
+                # The page itself.
+                connection = http.client.HTTPConnection(
+                    host, port, timeout=10)
+                connection.request("GET", "/")
+                response = connection.getresponse()
+                body = response.read()
+                assert response.status == 200
+                assert b"fleet dashboard" in body
+                assert b"EventSource" in body
+                connection.request("GET", "/nope")
+                response = connection.getresponse()
+                response.read()
+                assert response.status == 404
+                connection.close()
+
+                # SSE frames carry the fleet picture + job timeline.
+                frames = _read_sse_frames(
+                    host, port,
+                    lambda fs: fs[-1]["daemons"][0].get("ok")
+                    and fs[-1]["timeline"])
+                last = frames[-1]
+                assert last["seq"] >= 1
+                entry = last["daemons"][0]
+                assert entry["url"] == url(daemon)
+                assert entry["ok"] is True
+                assert entry["stats"]["service"]["computed"] == 1
+                assert entry["metrics"][
+                    "fpfa_service_computed_total"] == 1
+                # The finished map job was tailed via replay.
+                timeline_events = [item["event"]
+                                   for item in last["timeline"]]
+                assert "queued" in timeline_events
+                assert "done" in timeline_events
+
+    def test_api_fleet_snapshot_and_seq_advances(self, daemon):
+        with FleetCollector(url(daemon), interval=0.05) as collector:
+            first = collector.wait(0, timeout=10)
+            assert first["seq"] >= 1
+            second = collector.wait(first["seq"], timeout=10)
+            assert second["seq"] > first["seq"]
+            with DashboardServer(collector) as server:
+                connection = http.client.HTTPConnection(
+                    *server.address, timeout=10)
+                try:
+                    connection.request("GET", "/api/fleet")
+                    response = connection.getresponse()
+                    payload = json.loads(response.read())
+                finally:
+                    connection.close()
+                assert response.status == 200
+                assert payload["daemons"][0]["ok"] is True
+
+    def test_down_daemon_renders_as_error_entry(self):
+        # Nobody listens on this port (bound-then-closed pattern
+        # would race; 1 is never listening on localhost).
+        with FleetCollector("127.0.0.1:1",
+                            interval=0.05, timeout=0.5) as collector:
+            snapshot = collector.wait(0, timeout=10)
+        entry = snapshot["daemons"][0]
+        assert entry["ok"] is False
+        assert entry["error"]
+
+    def test_empty_fleet_is_rejected(self):
+        with pytest.raises(ValueError):
+            FleetCollector([])
+
+
+class TestDashboardAcceptance:
+    """The issue's acceptance check: live progress for a real sharded
+    sweep over a 2-daemon subprocess fleet, asserted from SSE frames."""
+
+    def test_sse_renders_live_sharded_sweep(self, tmp_path):
+        from repro.service.subproc import DaemonProcess
+
+        points = list(SPACE.grid())
+        local = run_sweep(FIR5, points, workers=1)
+        with DaemonProcess(tmp_path / "store-a") as first, \
+                DaemonProcess(tmp_path / "store-b") as second:
+            fleet = f"{first.url},{second.url}"
+            with FleetCollector(fleet, interval=0.1) as collector:
+                with DashboardServer(collector) as server:
+                    sweep: dict = {}
+
+                    def run():
+                        sweep["result"] = run_distributed_sweep(
+                            FIR5, points, remotes=fleet,
+                            chunk_size=2)
+
+                    runner = threading.Thread(target=run)
+                    runner.start()
+
+                    def sweep_visible(frames):
+                        latest = frames[-1]
+                        if not all(d.get("ok")
+                                   for d in latest["daemons"]):
+                            return False
+                        leases = sum(
+                            d["metrics"].get(
+                                "fpfa_chunk_leases_total", 0)
+                            for d in latest["daemons"])
+                        done_on = {
+                            item["daemon"]
+                            for item in latest["timeline"]
+                            if item["kind"] == "sweep-chunk"
+                            and item["event"] == "done"}
+                        # Keep reading until the timeline shows
+                        # finished chunks on *both* daemons — the job
+                        # tails land asynchronously, a poll or two
+                        # after the leases themselves.
+                        return leases >= 2 \
+                            and done_on == {first.url, second.url}
+
+                    frames = _read_sse_frames(*server.address,
+                                              sweep_visible,
+                                              timeout=120)
+                    runner.join(timeout=120)
+                    assert not runner.is_alive()
+
+        # The dashboard saw the sweep happen, live.
+        assert frames, "no SSE frames at all"
+        final = frames[-1]
+        assert sweep_visible([final])
+        assert [d["url"] for d in final["daemons"]] \
+            == [first.url, second.url]
+        for entry in final["daemons"]:
+            assert entry["stats"]["uptime"] > 0
+            assert "fpfa_service_uptime_seconds" in entry["metrics"]
+        kinds = {item["kind"] for item in final["timeline"]}
+        assert "sweep-chunk" in kinds
+        # Both daemons took leases (the sweep round-robins chunks).
+        leased_by = {item["daemon"]
+                     for item in final["timeline"]
+                     if item["kind"] == "sweep-chunk"}
+        assert leased_by == {first.url, second.url}
+
+        # ... and observation never mutated the sweep itself.
+        result = sweep["result"]
+        assert canon(result.records) == canon(local.records)
+        assert result.stats.daemons == 2
+        assert result.stats.remote_records == len(points)

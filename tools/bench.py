@@ -17,7 +17,13 @@ Times representative workloads of the mapping engine end to end:
   overhead; the backend is served from the artifact store);
 * ``distributed``  — a sweep sharded across two daemon subprocesses
   with warm stores through ``repro.dse.distributed`` (lease HTTP
-  rounds + chunk merging; the distribution layer's own overhead).
+  rounds + chunk merging; the distribution layer's own overhead);
+* ``obs``          — the ``sweep`` workload with the tracer enabled
+  (span records, rollups, ring writes).  Its setup also *asserts*
+  the observability contract: enabled tracing costs < 3% over the
+  disabled path on the same sweep (best-of-N alternating pairs, so
+  scheduler noise cancels), and the disabled path is a bare
+  attribute check — the overhead nobody pays unless they opt in.
 
 Each workload is run ``--repeats`` times and the median wall time is
 recorded, together with a *normalized* value: seconds divided by the
@@ -251,6 +257,75 @@ def _workload_distributed(quick: bool):
     return run, {"points": len(points), "daemons": len(fleet)}
 
 
+def _workload_obs(quick: bool):
+    """The ``sweep`` workload under an enabled tracer, plus a one-shot
+    overhead gate in setup: tracing must cost < 3% when enabled and
+    must be a plain attribute check when disabled.  Uses best-of-N
+    over alternating enabled/disabled runs so a background hiccup
+    hits both sides equally instead of deciding the verdict."""
+    from repro.dse.runner import run_sweep
+    from repro.dse.space import DesignSpace
+    from repro.eval.kernels import fir_source
+    from repro.obs import trace
+
+    space = DesignSpace({"n_pps": [1, 2, 3, 4, 6, 8],
+                         "n_buses": [2, 6, 10, 14]})
+    source = fir_source(16)
+    points = space.grid()
+
+    def sweep():
+        result = run_sweep(source, points, workers=1)
+        if result.stats.failed:
+            raise RuntimeError(
+                f"{result.stats.failed} sweep points failed")
+        return result.stats.evaluated
+
+    def timed() -> float:
+        started = time.perf_counter()
+        sweep()
+        return time.perf_counter() - started
+
+    sweep()  # warm imports/caches before any timing
+    pairs = 4 if quick else 6
+    plain = traced = float("inf")
+    # Interleaved pairs, alternating which side goes first: clock
+    # drift and the second-in-pair cache penalty hit both sides
+    # equally instead of deciding the verdict.
+    for index in range(pairs):
+        if index % 2:
+            with trace.scoped_tracing():
+                traced = min(traced, timed())
+            plain = min(plain, timed())
+        else:
+            plain = min(plain, timed())
+            with trace.scoped_tracing():
+                traced = min(traced, timed())
+    trace.reset()
+    overhead = traced / plain - 1.0
+    print(f"  [obs] tracing overhead on sweep: {overhead:+.2%} "
+          f"(enabled {traced * 1e3:.1f} ms, "
+          f"disabled {plain * 1e3:.1f} ms)")
+    # 3% relative with a small absolute floor so a sub-second sweep
+    # on a noisy runner cannot fail on microseconds.
+    if traced > plain * 1.03 + 0.010:
+        raise RuntimeError(
+            f"tracing overhead {overhead:+.2%} exceeds the 3% "
+            f"budget (enabled {traced:.4f}s vs disabled "
+            f"{plain:.4f}s)")
+    # Disabled tracing is one attribute check per span: the no-op
+    # span must be shared (no allocation) and nothing recorded.
+    assert not trace.enabled()
+    assert trace.span("a") is trace.span("b")
+    assert trace.snapshot()["spans"] == {}
+
+    def run():
+        with trace.scoped_tracing():
+            return sweep()
+
+    return run, {"points": len(points), "pairs": pairs,
+                 "overhead": round(overhead, 4)}
+
+
 WORKLOADS = {
     "transforms": _workload_transforms,
     "single_tile": _workload_single_tile,
@@ -259,6 +334,7 @@ WORKLOADS = {
     "sweep": _workload_sweep,
     "service": _workload_service,
     "distributed": _workload_distributed,
+    "obs": _workload_obs,
 }
 
 

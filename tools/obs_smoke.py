@@ -1,0 +1,265 @@
+#!/usr/bin/env python
+"""Observability smoke harness — the CI ``observability`` job.
+
+Starts a real ``fpfa-map serve`` subprocess, gives it work, then
+checks the whole observation surface from the outside, exactly the
+way a Prometheus scraper and a dashboard browser would:
+
+* ``GET /metrics`` returns ``text/plain; version=0.0.4`` that parses
+  under the strict Prometheus validator
+  (:func:`repro.obs.metrics.parse_prometheus`) with the expected
+  counter / gauge / histogram families present and consistent with
+  ``GET /stats``;
+* ``GET /stats`` carries the daemon's monotonic ``uptime`` and
+  wall-clock ``started_at``;
+* the dashboard (collector + HTTP front) comes up against the live
+  daemon: the index page loads over HTTP, ``/api/fleet`` returns a
+  sequence-numbered snapshot in which the daemon is ``ok``, and one
+  SSE frame arrives on ``/events``.
+
+Exit code 0 means every check held::
+
+    python tools/obs_smoke.py [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.kernels import KERNELS                    # noqa: E402
+from repro.obs.dashboard import (                         # noqa: E402
+    DashboardServer,
+    FleetCollector,
+)
+from repro.obs.metrics import (                           # noqa: E402
+    MetricsParseError,
+    parse_prometheus,
+)
+from repro.service.client import ServiceClient            # noqa: E402
+
+#: Families the endpoint must expose, with their declared types —
+#: one per layer the daemon aggregates (service, queue, jobs, store,
+#: workers, distributed chunk leases).
+REQUIRED_FAMILIES = {
+    "fpfa_service_uptime_seconds": "gauge",
+    "fpfa_service_submits_total": "counter",
+    "fpfa_service_computed_total": "counter",
+    "fpfa_service_failed_total": "counter",
+    "fpfa_queue_depth": "gauge",
+    "fpfa_queue_coalesced_total": "counter",
+    "fpfa_jobs_total": "counter",
+    "fpfa_job_wait_seconds": "histogram",
+    "fpfa_job_runtime_seconds": "histogram",
+    "fpfa_store_entries": "gauge",
+    "fpfa_store_hits_total": "counter",
+    "fpfa_workers": "gauge",
+    "fpfa_chunk_leases_total": "counter",
+    "fpfa_chunk_releases_total": "counter",
+}
+
+
+def start_daemon(store: pathlib.Path,
+                 workers: int) -> tuple[subprocess.Popen,
+                                        ServiceClient]:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", str(workers), "--store", str(store)],
+        cwd=REPO_ROOT, stdout=subprocess.PIPE, text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+    line = process.stdout.readline()
+    if "listening on http://" not in line:
+        process.kill()
+        raise SystemExit(f"daemon failed to start: {line!r}")
+    host, port = line.rsplit("http://", 1)[1].strip().split(":")
+    client = ServiceClient(host, int(port))
+    deadline = time.monotonic() + 15
+    while True:
+        try:
+            client.health()
+            return process, client
+        except OSError:
+            if time.monotonic() > deadline:
+                process.kill()
+                raise SystemExit("daemon never became healthy")
+            time.sleep(0.05)
+
+
+def check_metrics(client: ServiceClient,
+                  failures: list[str]) -> None:
+    host, port = client.host, client.port
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        body = response.read().decode("utf-8")
+    finally:
+        connection.close()
+    content_type = response.getheader("Content-Type")
+    if content_type != "text/plain; version=0.0.4; charset=utf-8":
+        failures.append(f"/metrics Content-Type {content_type!r}")
+    try:
+        parsed = parse_prometheus(body)
+    except MetricsParseError as error:
+        failures.append(f"/metrics does not parse: {error}")
+        return
+    for family, kind in REQUIRED_FAMILIES.items():
+        try:
+            actual = parsed.family(family)["type"]
+        except MetricsParseError:
+            failures.append(f"/metrics missing family {family}")
+            continue
+        if actual != kind:
+            failures.append(
+                f"/metrics family {family} is {actual}, "
+                f"expected {kind}")
+    stats = client.stats()
+    pairs = [
+        ("fpfa_service_submits_total",
+         stats["service"]["submits"]),
+        ("fpfa_service_computed_total",
+         stats["service"]["computed"]),
+        ("fpfa_store_entries", stats["store"]["entries"]),
+    ]
+    for name, expected in pairs:
+        value = parsed.value(name)
+        if value != expected:
+            failures.append(
+                f"{name} = {value}, /stats says {expected}")
+    if "uptime" not in stats or stats["uptime"] < 0:
+        failures.append(f"/stats uptime missing or negative: "
+                        f"{stats.get('uptime')!r}")
+    if "started_at" not in stats:
+        failures.append("/stats missing started_at")
+    print(f"  /metrics: {len(parsed.families)} families, "
+          f"all {len(REQUIRED_FAMILIES)} required present; "
+          f"uptime {stats.get('uptime')}s")
+
+
+def http_get(address: tuple[str, int],
+             path: str) -> tuple[int, str, bytes]:
+    connection = http.client.HTTPConnection(*address, timeout=30)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        body = response.read()
+    finally:
+        connection.close()
+    return (response.status, response.getheader("Content-Type") or "",
+            body)
+
+
+def check_dashboard(client: ServiceClient,
+                    failures: list[str]) -> None:
+    remote = f"{client.host}:{client.port}"
+    with FleetCollector(remote, interval=0.2) as collector:
+        collector.wait(0, timeout=30)
+        with DashboardServer(collector) as server:
+            status, content_type, body = http_get(server.address, "/")
+            if status != 200 or b"fleet dashboard" not in body:
+                failures.append(
+                    f"dashboard index: HTTP {status}, "
+                    f"{len(body)} bytes")
+            if not content_type.startswith("text/html"):
+                failures.append(
+                    f"dashboard index Content-Type {content_type!r}")
+            status, __, body = http_get(server.address, "/api/fleet")
+            snapshot = json.loads(body) if status == 200 else {}
+            if status != 200 or snapshot.get("seq", 0) < 1:
+                failures.append(f"/api/fleet: HTTP {status}, "
+                                f"{body[:100]!r}")
+            daemons = snapshot.get("daemons", [])
+            if not daemons or not daemons[0].get("ok"):
+                failures.append(f"/api/fleet daemon not ok: "
+                                f"{daemons!r}")
+            frame = read_one_sse_frame(server.address, failures)
+            if frame is not None \
+                    and frame.get("seq", 0) < snapshot.get("seq", 0):
+                failures.append("SSE frame older than /api/fleet "
+                                "snapshot")
+            print(f"  dashboard on {server.url}: index "
+                  f"{len(body)} B snapshot, SSE seq "
+                  f"{frame and frame.get('seq')}")
+
+
+def read_one_sse_frame(address: tuple[str, int],
+                       failures: list[str]) -> dict | None:
+    connection = http.client.HTTPConnection(*address, timeout=30)
+    try:
+        connection.request("GET", "/events")
+        response = connection.getresponse()
+        if response.getheader("Content-Type") != "text/event-stream":
+            failures.append("SSE Content-Type wrong")
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = response.readline().strip()
+            if line.startswith(b"data: "):
+                return json.loads(line[len(b"data: "):])
+        failures.append("no SSE frame within 30s")
+        return None
+    finally:
+        connection.close()
+
+
+def run(workers: int) -> int:
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="fpfa-obs-smoke-") \
+            as work:
+        workdir = pathlib.Path(work)
+        process, client = start_daemon(workdir / "store", workers)
+        try:
+            print(f"daemon up at {client.url}; priming with "
+                  f"3 kernels...")
+            for kernel in KERNELS[:3]:
+                client.map_source(kernel.source, file=kernel.name,
+                                  timeout=120)
+            # One duplicate (a store hit) and one failure, so the
+            # hit/failure families carry non-zero samples too.
+            client.map_source(KERNELS[0].source,
+                              file=KERNELS[0].name, timeout=120)
+            try:
+                client.map_source(KERNELS[0].source,
+                                  file=KERNELS[0].name, pps=0)
+            except Exception:
+                pass  # the failure is the point
+            check_metrics(client, failures)
+            check_dashboard(client, failures)
+            client.shutdown()
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\n/metrics parses strictly, families complete and "
+          "consistent with /stats; dashboard served index, "
+          "snapshot and SSE")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Scrape a live daemon's /metrics and load the "
+                    "dashboard over HTTP — the observability "
+                    "acceptance smoke.")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="daemon worker pool size (default 4)")
+    args = parser.parse_args(argv)
+    return run(args.workers)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
