@@ -1,6 +1,6 @@
 """Command-line driver: map C onto an FPFA tile, or explore tiles.
 
-Six subcommands::
+Seven subcommands::
 
     fpfa-map map program.c [--listing] [--schedule] [--cdfg]
              [--profile] [--dot out.dot] [--pps N] [--buses N]
@@ -14,12 +14,17 @@ Six subcommands::
              [--tiles LIST] [--topologies LIST]
              [--balance off|on|both] [--strategy exhaustive|random|hill]
              [--samples N] [--workers N] [--cache DIR]
+             [--cache-max-entries N] [--cache-max-bytes N]
              [--remote URL[,URL...]] [--chunk-size N]
              [--remote-timeout S]
              [--objectives LIST] [--verify-seed SEED] [--json out.json]
 
     fpfa-map serve  [--host H] [--port P] [--workers N]
              [--worker-mode process|thread] [--store DIR]
+             [--store-max-entries N] [--store-max-bytes N]
+
+    fpfa-map cache  stats|fsck|gc|clear DIR
+             [--max-entries N] [--max-bytes N] [--json PATH]
 
     fpfa-map submit program.c [map flags] [--host H] [--port P]
              [--priority N] [--no-wait] [--timeout S] [--json PATH]
@@ -78,7 +83,7 @@ from repro.core.pipeline import (
 from repro.eval.metrics import mapping_metrics
 
 SUBCOMMANDS = ("map", "explore", "serve", "submit", "jobs",
-               "dashboard")
+               "dashboard", "cache")
 
 
 # ---------------------------------------------------------------------------
@@ -180,6 +185,15 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
                         help="artifact store directory — shares its "
                              "format and keys with `explore --cache` "
                              "(default: a per-run temp dir)")
+    parser.add_argument("--store-max-entries", type=int, default=None,
+                        metavar="N",
+                        help="bound the store to N records; the "
+                             "least recently accessed are evicted "
+                             "(default: unbounded)")
+    parser.add_argument("--store-max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="bound the store to N bytes of records "
+                             "(LRU eviction; default: unbounded)")
     parser.add_argument("--max-queue", type=int, default=1024,
                         help="queued-job depth bound; beyond it "
                              "submissions get HTTP 503 (default 1024)")
@@ -286,6 +300,15 @@ def _add_explore_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache", metavar="DIR",
                         help="persistent result-cache directory "
                              "(repeated sweeps skip re-mapping)")
+    parser.add_argument("--cache-max-entries", type=int, default=None,
+                        metavar="N",
+                        help="with --cache: bound the cache to N "
+                             "records (LRU eviction; the sweep "
+                             "result is unaffected)")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="with --cache: bound the cache to N "
+                             "bytes of records (LRU eviction)")
     parser.add_argument("--remote", action="append", default=[],
                         metavar="URL[,URL...]",
                         help="shard the sweep across running "
@@ -321,6 +344,27 @@ def _add_explore_arguments(parser: argparse.ArgumentParser) -> None:
                              "as JSON ('-' for stdout)")
 
 
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("action",
+                        choices=("stats", "fsck", "gc", "clear"),
+                        help="stats: counters and totals; fsck: "
+                             "reconcile manifest and directory, "
+                             "remove corpses; gc: enforce the given "
+                             "bounds now; clear: delete every record")
+    parser.add_argument("dir", metavar="DIR",
+                        help="the store directory (an `explore "
+                             "--cache` or `serve --store` path)")
+    parser.add_argument("--max-entries", type=int, default=None,
+                        metavar="N",
+                        help="for gc: evict down to N records (LRU)")
+    parser.add_argument("--max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="for gc: evict down to N bytes (LRU)")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="dump the report as JSON "
+                             "('-' for stdout)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fpfa-map",
@@ -341,6 +385,9 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_dashboard_arguments(subparsers.add_parser(
         "dashboard", help="serve the live fleet dashboard "
                           "(repro.obs)"))
+    _add_cache_arguments(subparsers.add_parser(
+        "cache", help="inspect or maintain a result-cache / "
+                      "artifact-store directory"))
     return parser
 
 
@@ -598,6 +645,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     strategy = STRATEGIES[args.strategy]
     run_kwargs = dict(cache=args.cache,
                       verify_seed=args.verify_seed)
+    if args.cache_max_entries is not None \
+            or args.cache_max_bytes is not None:
+        if not args.cache:
+            raise SystemExit("--cache-max-entries/--cache-max-bytes "
+                             "need --cache DIR")
+        run_kwargs.update(cache_max_entries=args.cache_max_entries,
+                          cache_max_bytes=args.cache_max_bytes)
     if args.workers is not None:
         # Leave the key out otherwise: each strategy picks its own
         # default (hill-climb stays in-process, sweeps use all CPUs).
@@ -692,7 +746,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     service = MappingService(store=args.store, workers=args.workers,
                              worker_mode=args.worker_mode,
-                             max_queue=args.max_queue)
+                             max_queue=args.max_queue,
+                             store_max_entries=args.store_max_entries,
+                             store_max_bytes=args.store_max_bytes)
 
     async def _serve() -> None:
         host, port = await service.start(args.host, args.port)
@@ -800,6 +856,43 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Operate on a store directory offline (`fpfa-map cache`).
+
+    Uses :class:`~repro.service.store.ArtifactStore` — the same
+    class the daemon and the sweeps use — so what this subcommand
+    reports is exactly what they would see.  ``stats`` and ``fsck``
+    never need bounds; ``gc`` requires at least one.
+    """
+    from repro.service.store import ArtifactStore
+
+    if not os.path.isdir(args.dir):
+        # Opening would silently create an empty store — for an
+        # inspection tool a typo'd path must be an error instead.
+        raise SystemExit(f"no store directory: {args.dir}")
+    if args.action == "gc" and args.max_entries is None \
+            and args.max_bytes is None:
+        raise SystemExit("cache gc needs --max-entries and/or "
+                         "--max-bytes (the bound to enforce)")
+    store = ArtifactStore(args.dir, max_entries=args.max_entries,
+                          max_bytes=args.max_bytes)
+    if args.action == "stats":
+        payload = store.stats()
+    elif args.action == "fsck":
+        payload = store.fsck()
+    elif args.action == "gc":
+        payload = store.gc()
+    else:  # clear
+        payload = {"removed": store.clear()}
+    if args.json_path:
+        _dump_json(payload, args.json_path)
+    else:
+        print(f"store: {store.root}")
+        for name, value in payload.items():
+            print(f"  {name}: {value}")
+    return 0
+
+
 def _cmd_dashboard(args: argparse.Namespace) -> int:
     from repro.dse.distributed import DistributedError
     from repro.obs.dashboard import serve_dashboard
@@ -830,7 +923,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     commands = {"map": _cmd_map, "explore": _cmd_explore,
                 "serve": _cmd_serve, "submit": _cmd_submit,
-                "jobs": _cmd_jobs, "dashboard": _cmd_dashboard}
+                "jobs": _cmd_jobs, "dashboard": _cmd_dashboard,
+                "cache": _cmd_cache}
     return commands[args.command](args)
 
 

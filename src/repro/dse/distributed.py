@@ -3,11 +3,15 @@
 :func:`run_distributed_sweep` is :func:`repro.dse.runner.run_sweep`
 stretched over a fleet: the coordinator deduplicates the requested
 points exactly as a local sweep would, satisfies what it can from its
-own :class:`~repro.dse.cache.ResultCache`, splits the rest into
-*chunks*, and leases the chunks to remote daemons through the
-service's ``sweep-chunk`` job kind.  Each lease is one HTTP job; the
-daemon runs the chunk through its worker pool against its artifact
-store and answers with records keyed by cache key.
+own :class:`~repro.dse.cache.ResultCache`, then asks the fleet's
+*stores* before asking its *workers* — a peering pass over the
+``store-has``/``store-fetch`` endpoints pulls every record some
+daemon already holds (one daemon's finished sweep warms every
+coordinator; see ``docs/store.md``) — and only the still-missing
+keys are split into *chunks* and leased to remote daemons through
+the service's ``sweep-chunk`` job kind.  Each lease is one HTTP job;
+the daemon runs the chunk through its worker pool against its
+artifact store and answers with records keyed by cache key.
 
 Fault model — the sweep **always completes**:
 
@@ -140,6 +144,12 @@ class DistributedSweepStats(SweepStats):
     remote_records: int = 0  #: records produced by daemon leases
     remote_cached: int = 0   #: ... of which the daemon's store served
     local_records: int = 0   #: records from the local fallback backend
+    peer_records: int = 0    #: records fetched from peer stores
+    #: Per-peer ledger of the peering pass: ``{"host:port":
+    #: {"hits": fetched-from-here, "misses": pending keys this store
+    #: did not hold}}``.  A key several daemons hold counts as a hit
+    #: only at the first (fleet order) — each record is fetched once.
+    peers: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         base = super().summary()
@@ -149,6 +159,7 @@ class DistributedSweepStats(SweepStats):
                  f"{f', {self.stolen} stolen' if self.stolen else ''}; "
                  f"{self.remote_records} remote record(s) "
                  f"({self.remote_cached} store-hit), "
+                 f"{self.peer_records} peer-fetched, "
                  f"{self.local_records} local")
         return f"{base}\n{fleet}"
 
@@ -175,6 +186,116 @@ def _probe(remote: tuple[str, int], timeout: float) -> int | None:
         return None
     workers = stats.get("workers", {}).get("workers", 1)
     return max(1, int(workers))
+
+
+#: Keys per ``store-has`` probe request (stays under the protocol's
+#: ``MAX_STORE_KEYS`` bound).
+PEER_QUERY_BATCH = 1024
+#: Keys per ``store-fetch`` request — records ride along, so fetch
+#: batches stay small enough that one response is a few MB at most.
+PEER_FETCH_BATCH = 256
+
+
+def _peer_prefetch(remotes: Sequence[tuple[str, int]],
+                   pending: Sequence[str], fleet: _Fleet,
+                   want_verified: bool, timeout: float,
+                   progress: Callable[[dict], None] | None) -> None:
+    """Pull records the fleet's stores already hold, before any
+    chunk is leased — a daemon that mapped these points in an earlier
+    sweep (or was warmed by another coordinator) serves them as store
+    reads instead of re-mapping them.
+
+    Strictly best-effort: a daemon that cannot answer (unreachable,
+    or an old build without the store endpoints) contributes nothing
+    but is **not** retired — it can still serve leases.  Fetched
+    records land in ``fleet.merged`` exactly like leased ones, so
+    the caller's merge, cache write-back and fallback logic need no
+    special casing; the per-peer ledger goes to
+    ``DistributedSweepStats.peers``.
+    """
+    from repro.service.client import ServiceClient, ServiceError
+
+    inventories: dict[tuple[str, int], set[str] | None] = {}
+
+    def inventory(remote: tuple[str, int]) -> None:
+        client = ServiceClient(*remote, timeout=min(timeout, 30.0))
+        found: set[str] = set()
+        try:
+            for start in range(0, len(pending), PEER_QUERY_BATCH):
+                found.update(client.store_has(
+                    pending[start:start + PEER_QUERY_BATCH],
+                    verified=want_verified))
+        except (ServiceError, OSError, ValueError):
+            inventories[remote] = None
+            return
+        inventories[remote] = found
+
+    threads = []
+    for remote in remotes:
+        thread = threading.Thread(target=inventory, args=(remote,),
+                                  daemon=True)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+
+    # Assign each held key to the first daemon (fleet order) holding
+    # it: deterministic, and each record crosses the wire once.
+    taken: set[str] = set()
+    assignments: list[tuple[tuple[str, int], str, list[str]]] = []
+    for remote in remotes:
+        label = f"{remote[0]}:{remote[1]}"
+        found = inventories.get(remote)
+        if found is None:
+            with fleet.lock:
+                fleet.stats.peers[label] = {
+                    "hits": 0, "misses": 0, "unreachable": True}
+            continue
+        mine = [key for key in pending
+                if key in found and key not in taken]
+        taken.update(mine)
+        with fleet.lock:
+            fleet.stats.peers[label] = {
+                "hits": 0, "misses": len(pending) - len(found)}
+        if mine:
+            assignments.append((remote, label, mine))
+
+    def fetch(remote: tuple[str, int], label: str,
+              keys: list[str]) -> None:
+        client = ServiceClient(*remote, timeout=min(timeout, 30.0))
+        got: dict[str, dict] = {}
+        try:
+            for start in range(0, len(keys), PEER_FETCH_BATCH):
+                got.update(client.store_fetch(
+                    keys[start:start + PEER_FETCH_BATCH],
+                    verified=want_verified))
+        except (ServiceError, OSError, ValueError):
+            pass  # partial batches still count; the rest is leased
+        wanted = set(keys)
+        valid = {key: record for key, record in got.items()
+                 if key in wanted and isinstance(record, dict)}
+        with fleet.lock:
+            for key, record in valid.items():
+                fleet.merged.setdefault(key, record)
+            fleet.stats.peer_records += len(valid)
+            fleet.stats.peers[label]["hits"] = len(valid)
+        trace.count("distributed.peer_records", len(valid))
+        if trace.enabled():
+            trace.event("distributed.peer", daemon=label,
+                        records=len(valid))
+        if progress is not None:
+            progress({"event": "peer", "daemon": label,
+                      "records": len(valid)})
+
+    threads = []
+    for remote, label, keys in assignments:
+        thread = threading.Thread(target=fetch,
+                                  args=(remote, label, keys),
+                                  daemon=True)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
 
 
 def _lease_worker(remote: tuple[str, int], source: str,
@@ -295,9 +416,10 @@ def run_distributed_sweep(
     records); *remotes* names the fleet, *chunk_size* the lease
     granularity, *timeout* the per-lease deadline after which a chunk
     is re-leased.  *progress*, when given, receives one dict per
-    completed chunk (``event: "chunk"``) and per retired daemon
-    (``event: "lost"``) — the smoke harness uses it to kill daemons
-    at deterministic moments.
+    completed chunk (``event: "chunk"``), per peer-store fetch
+    (``event: "peer"``) and per retired daemon (``event: "lost"``) —
+    the smoke harness uses it to kill daemons at deterministic
+    moments.
     """
     started = time.perf_counter()
     points = list(points)
@@ -336,11 +458,6 @@ def run_distributed_sweep(
 
     fleet = _Fleet(stats=stats)
     if pending:
-        chunk_lists = [pending[index:index + chunk_size]
-                       for index in range(0, len(pending),
-                                          chunk_size)]
-        stats.chunks = len(chunk_lists)
-
         # Probe the fleet (concurrently — a down daemon costs one
         # connect timeout, not one per fleet member in sequence);
         # unreachable daemons never get a lease.
@@ -378,7 +495,24 @@ def run_distributed_sweep(
         stats.workers = max(
             [1] + [workers for __, workers in alive])
 
+        # Peering pass: before leasing any chunk, pull every pending
+        # record some daemon's *store* already holds — a store read
+        # on the peer instead of a re-map on its workers.
         if alive:
+            _peer_prefetch([remote for remote, __ in alive],
+                           pending, fleet,
+                           verify_seed is not None, timeout,
+                           progress)
+
+        # Only keys no peer could serve are leased as chunks.
+        to_lease = [key for key in pending
+                    if key not in fleet.merged]
+        chunk_lists = [to_lease[index:index + chunk_size]
+                       for index in range(0, len(to_lease),
+                                          chunk_size)]
+        stats.chunks = len(chunk_lists)
+
+        if alive and chunk_lists:
             chunks: queue_module.SimpleQueue = \
                 queue_module.SimpleQueue()
             for chunk in chunk_lists:

@@ -255,10 +255,17 @@ class SweepResult:
         return rows
 
 
-def _resolve_cache(cache) -> ResultCache | None:
-    if cache is None or isinstance(cache, ResultCache):
+def _resolve_cache(cache, max_entries: int | None = None,
+                   max_bytes: int | None = None
+                   ) -> ResultCache | None:
+    if cache is None:
+        return None
+    if isinstance(cache, ResultCache):
+        if max_entries is not None or max_bytes is not None:
+            cache.set_bounds(max_entries, max_bytes)
         return cache
-    return ResultCache(cache)
+    return ResultCache(cache, max_entries=max_entries,
+                       max_bytes=max_bytes)
 
 
 def _resolve_workers(workers: int | None, n_jobs: int) -> int:
@@ -269,6 +276,8 @@ def _resolve_workers(workers: int | None, n_jobs: int) -> int:
 
 def run_sweep(source: str, points: Iterable[DesignPoint], *,
               workers: int | None = None, cache=None,
+              cache_max_entries: int | None = None,
+              cache_max_bytes: int | None = None,
               chunksize: int | None = None,
               verify_seed: int | None = None,
               frontends: Mapping[FrontendSpec, Frontend] | None = None,
@@ -286,6 +295,10 @@ def run_sweep(source: str, points: Iterable[DesignPoint], *,
     cache:
         ``None``, a directory path, or a :class:`ResultCache`.  Hits
         skip evaluation; fresh records are written back.
+        ``cache_max_entries`` / ``cache_max_bytes`` bound the store
+        (LRU eviction, see ``docs/store.md``); the sweep's *result*
+        is unaffected by the bound — only which records survive on
+        disk afterwards.
     chunksize:
         Points per pool task (default: balanced for ~4 chunks per
         worker).
@@ -312,6 +325,7 @@ def run_sweep(source: str, points: Iterable[DesignPoint], *,
         :func:`evaluate_point`); a dead or lagging daemon's chunks
         are re-leased, local evaluation is the last-resort backend.
     """
+    cache = _resolve_cache(cache, cache_max_entries, cache_max_bytes)
     if remotes:
         from repro.dse.distributed import run_distributed_sweep
         extra = {}

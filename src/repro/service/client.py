@@ -115,6 +115,24 @@ class ServiceClient:
         path = "/jobs" + (f"?state={state}" if state else "")
         return self._request("GET", path)["jobs"]
 
+    def store_has(self, keys, *, verified: bool = False) -> list[str]:
+        """Which of *keys* (cache-key hex digests) this daemon's
+        store holds servable records for — the peering probe.  With
+        *verified*, unverified ``ok`` records do not count (they
+        could not satisfy a verifying sweep)."""
+        return self._request(
+            "POST", "/store/has",
+            body={"keys": list(keys), "verified": verified})["present"]
+
+    def store_fetch(self, keys, *,
+                    verified: bool = False) -> dict[str, dict]:
+        """The stored records for *keys*, keyed by cache key; absent
+        keys are simply missing from the result — a peer fetch never
+        fails on a miss."""
+        return self._request(
+            "POST", "/store/fetch",
+            body={"keys": list(keys), "verified": verified})["records"]
+
     def shutdown(self) -> dict:
         return self._request("POST", "/shutdown")
 

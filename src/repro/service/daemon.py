@@ -23,6 +23,8 @@ Endpoints (see ``docs/service.md`` for the full reference)::
     GET  /jobs               list jobs (?state= filter)
     GET  /jobs/<id>          one job (?wait=SECONDS long-polls)
     GET  /jobs/<id>/events   NDJSON progress stream until terminal
+    POST /store/has          which of these store keys are held here
+    POST /store/fetch        the stored records for these keys
     POST /shutdown           graceful stop
 
 Invariants
@@ -59,6 +61,7 @@ from repro.service.protocol import (
     coalesce_key,
     job_key,
     normalise_request,
+    normalise_store_query,
     record_to_map_payload,
     request_point,
 )
@@ -92,6 +95,8 @@ class ServiceStats:
     failed: int = 0             #: jobs that ended in FAILED
     frontends_compiled: int = 0  #: frontend memo misses (compiles)
     frontends_reused: int = 0   #: frontend memo hits
+    peer_queries: int = 0       #: store-has/store-fetch requests
+    peer_records: int = 0       #: records served to peer fetches
 
     def as_dict(self) -> dict:
         return dict(vars(self))
@@ -102,7 +107,9 @@ class MappingService:
 
     def __init__(self, *, store=None, workers: int | None = None,
                  worker_mode: str = "process",
-                 max_queue: int = 1024):
+                 max_queue: int = 1024,
+                 store_max_entries: int | None = None,
+                 store_max_bytes: int | None = None):
         self._own_store: tempfile.TemporaryDirectory | None = None
         if store is None:
             # Ephemeral store: still fully functional (coalescing,
@@ -112,6 +119,11 @@ class MappingService:
             store = self._own_store.name
         self.store = store if isinstance(store, ArtifactStore) \
             else ArtifactStore(store)
+        if store_max_entries is not None or \
+                store_max_bytes is not None:
+            # Bound the store now: an over-full inherited directory
+            # is trimmed before the daemon serves its first request.
+            self.store.set_bounds(store_max_entries, store_max_bytes)
         self.pool = WorkerPool(workers, worker_mode)
         self.queue = JobQueue(max_depth=max_queue,
                               observer=self._observe_job)
@@ -282,6 +294,7 @@ class MappingService:
         # The sweep wrote records through its own cache handle on our
         # store directory; drop the stale incremental entry count.
         self.store.invalidate_count()
+        await self._trim_store()
         self.queue.finish(job, payload, cache="sweep",
                           worker=info.get("worker"),
                           stats=info.get("stats"))
@@ -299,9 +312,24 @@ class MappingService:
             run_chunk_job, request, str(self.store.root), frontends)
         self.stats.computed += 1
         self.store.invalidate_count()  # records written by the worker
+        await self._trim_store()
         self.queue.finish(job, payload, cache="chunk",
                           worker=info.get("worker"),
                           stats=info.get("stats"))
+
+    async def _trim_store(self) -> None:
+        """Re-enforce the store bounds after a worker-side write.
+
+        Sweep and chunk jobs write records through the worker's own
+        cache handle, which shares the directory and manifest but
+        not this instance's ``max_*`` configuration — so eviction
+        has to happen here, off the event loop.
+        """
+        if self.store.max_entries is None \
+                and self.store.max_bytes is None:
+            return
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.store.gc)
 
     async def _execute(self, fn, *args):
         """Run one executor function on the pool without blocking the
@@ -411,7 +439,8 @@ class MappingService:
                 f"Lifetime {name.replace('_', ' ')} "
                 f"(the /stats service section).")
             for name in ("submits", "coalesced", "store_hits",
-                         "computed", "failed")}
+                         "computed", "failed", "peer_queries",
+                         "peer_records")}
         self._m_frontends = registry.counter(
             "fpfa_service_frontends",
             "Frontend memo outcomes by result.",
@@ -452,8 +481,14 @@ class MappingService:
         self._m_store_counters = {
             name: registry.counter(
                 f"fpfa_store_{name}",
-                f"Lifetime artifact store {name}.")
-            for name in ("hits", "misses")}
+                f"Lifetime artifact store "
+                f"{name.replace('_', ' ')}.")
+            for name in ("hits", "misses", "evictions",
+                         "put_errors")}
+        self._m_store_bytes = registry.gauge(
+            "fpfa_store_bytes",
+            "Bytes of records in the artifact store (from the "
+            "manifest; absent while the index tier is degraded).")
         self._m_workers = registry.gauge(
             "fpfa_workers", "Worker pool size by mode.",
             labels=("mode",))
@@ -511,6 +546,8 @@ class MappingService:
         store = described["store"]
         self._m_store_entries.set(store["entries"])
         self._m_store_hit_rate.set(store["hit_rate"])
+        if store.get("bytes") is not None:
+            self._m_store_bytes.set(store["bytes"])
         for name, counter in self._m_store_counters.items():
             counter.set_total(store[name])
         workers = described["workers"]
@@ -571,9 +608,9 @@ class MappingService:
                 "uptime": round(self.uptime, 3),
                 "started_at": self.started_at})
         elif method == "GET" and path == "/stats":
-            # describe() counts store entries with a directory walk —
-            # O(entries) disk work that must not stall the event loop
-            # when the store is a big shared sweep cache.
+            # describe() reads the store manifest (sqlite I/O, or a
+            # full directory walk when the index tier is degraded) —
+            # disk work that must not stall the event loop.
             stats = await asyncio.get_running_loop() \
                 .run_in_executor(None, self.describe)
             await _send_json(writer, 200, stats)
@@ -594,6 +631,10 @@ class MappingService:
                          for job in self.queue.list_jobs(state)]})
         elif method == "GET" and path.startswith("/jobs/"):
             await self._handle_job_get(path, query, writer)
+        elif method == "POST" and path == "/store/has":
+            await self._handle_store(body, writer, fetch=False)
+        elif method == "POST" and path == "/store/fetch":
+            await self._handle_store(body, writer, fetch=True)
         elif method == "POST" and path == "/shutdown":
             await _send_json(writer, 200, {"ok": True})
             self.request_shutdown()
@@ -614,6 +655,46 @@ class MappingService:
             raise _HttpError(503, str(error))
         await _send_json(writer, 200,
                          {"job": job.view(), "coalesced": coalesced})
+
+    async def _handle_store(self, body: bytes,
+                            writer: asyncio.StreamWriter, *,
+                            fetch: bool) -> None:
+        """The peering side channel: ``store-has`` answers presence
+        from the manifest without touching hit/miss accounting (a
+        peer probing is not a lookup this daemon failed to serve);
+        ``store-fetch`` serves the records through the normal
+        :meth:`~repro.service.store.ArtifactStore.lookup` policy —
+        fetched records are real served traffic and count."""
+        try:
+            raw = json.loads(body.decode("utf-8") or "null")
+        except ValueError:
+            raise _HttpError(400, "request body is not valid JSON")
+        try:
+            query = normalise_store_query(raw)
+        except ProtocolError as error:
+            raise _HttpError(400, str(error))
+        self.stats.peer_queries += 1
+        want_verified = query["verified"]
+        loop = asyncio.get_running_loop()
+        if fetch:
+            def fetch_records() -> dict:
+                records = {}
+                for key in query["keys"]:
+                    record = self.store.lookup(
+                        key, want_verified=want_verified)
+                    if record is not None:
+                        records[key] = record
+                return records
+            records = await loop.run_in_executor(None, fetch_records)
+            self.stats.peer_records += len(records)
+            await _send_json(writer, 200, {"records": records})
+        else:
+            def probe_keys() -> list:
+                return [key for key in query["keys"]
+                        if self.store.probe(
+                            key, want_verified=want_verified)]
+            present = await loop.run_in_executor(None, probe_keys)
+            await _send_json(writer, 200, {"present": present})
 
     async def _handle_job_get(self, path: str, query: dict,
                               writer: asyncio.StreamWriter) -> None:

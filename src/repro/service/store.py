@@ -52,8 +52,10 @@ class ArtifactStore(ResultCache):
 
     def admit(self, key: str, record: Mapping) -> bool:
         """Persist *record* if it is admissible (``ok`` records only);
-        returns whether it was written."""
+        returns whether it was written.  A degraded write (full disk —
+        ``put`` returned False) reports False: the record was not
+        admitted, and the store's ``put_errors`` counter carries the
+        event."""
         if not record.get("ok"):
             return False
-        self.put(key, record)
-        return True
+        return self.put(key, record)

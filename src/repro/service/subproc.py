@@ -32,11 +32,15 @@ class DaemonProcess:
     """One ``fpfa-map serve`` subprocess: spawn, address, kill."""
 
     def __init__(self, store, *, workers: int = 2,
-                 worker_mode: str = "thread", port: int = 0):
+                 worker_mode: str = "thread", port: int = 0,
+                 store_max_entries: int | None = None,
+                 store_max_bytes: int | None = None):
         self.store = pathlib.Path(store)
         self.workers = workers
         self.worker_mode = worker_mode
         self.port = port
+        self.store_max_entries = store_max_entries
+        self.store_max_bytes = store_max_bytes
         self.process: subprocess.Popen | None = None
         self.address: tuple[str, int] | None = None
 
@@ -51,13 +55,18 @@ class DaemonProcess:
                "PYTHONPATH": str(repo_src) + (
                    os.pathsep + os.environ["PYTHONPATH"]
                    if os.environ.get("PYTHONPATH") else "")}
+        argv = [sys.executable, "-m", "repro.cli", "serve",
+                "--port", str(self.port),
+                "--workers", str(self.workers),
+                "--worker-mode", self.worker_mode,
+                "--store", str(self.store)]
+        if self.store_max_entries is not None:
+            argv += ["--store-max-entries",
+                     str(self.store_max_entries)]
+        if self.store_max_bytes is not None:
+            argv += ["--store-max-bytes", str(self.store_max_bytes)]
         self.process = subprocess.Popen(
-            [sys.executable, "-m", "repro.cli", "serve",
-             "--port", str(self.port),
-             "--workers", str(self.workers),
-             "--worker-mode", self.worker_mode,
-             "--store", str(self.store)],
-            stdout=subprocess.PIPE, text=True, env=env)
+            argv, stdout=subprocess.PIPE, text=True, env=env)
         line = self.process.stdout.readline()
         if "listening on http://" not in line:
             self.kill()

@@ -381,3 +381,94 @@ def test_explore_remote_rejects_hill_strategy():
     with pytest.raises(SystemExit, match="hill"):
         main(["explore", "--kernel", "fir5", "--pps", "1,2",
               "--strategy", "hill", "--remote", "127.0.0.1:1"])
+
+
+# -- the cache subcommand -------------------------------------------------
+
+def _warm_store(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(["explore", "--kernel", "fir5", "--pps", "1,2,3",
+                 "--buses", "4,10", "--cache", str(store)]) == 0
+    capsys.readouterr()
+    return store
+
+
+def test_cache_stats(tmp_path, capsys):
+    store = _warm_store(tmp_path, capsys)
+    assert main(["cache", "stats", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert f"store: {store}" in out
+    assert "entries: 6" in out
+    assert "manifest_active: True" in out
+
+
+def test_cache_stats_json(tmp_path, capsys):
+    store = _warm_store(tmp_path, capsys)
+    assert main(["cache", "stats", str(store), "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["entries"] == 6
+    assert payload["bytes"] > 0
+    assert payload["evictions"] == 0
+
+
+def test_cache_fsck_heals(tmp_path, capsys):
+    store = _warm_store(tmp_path, capsys)
+    # Drop a corpse the way a crashed writer would.
+    shard = next(path for path in store.iterdir() if path.is_dir())
+    (shard / "tmpcorpse.tmp").write_bytes(b"half")
+    assert main(["cache", "fsck", str(store), "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tmp_removed"] == 1
+    assert payload["corrupt_removed"] == 0
+    assert payload["files"] == 6
+
+
+def test_cache_gc_enforces_bound(tmp_path, capsys):
+    store = _warm_store(tmp_path, capsys)
+    assert main(["cache", "gc", str(store), "--max-entries", "2",
+                 "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["evicted"] == 4
+    assert payload["entries"] == 2
+
+
+def test_cache_gc_requires_a_bound(tmp_path, capsys):
+    store = _warm_store(tmp_path, capsys)
+    with pytest.raises(SystemExit, match="max-entries"):
+        main(["cache", "gc", str(store)])
+
+
+def test_cache_clear(tmp_path, capsys):
+    store = _warm_store(tmp_path, capsys)
+    assert main(["cache", "clear", str(store)]) == 0
+    assert "removed: 6" in capsys.readouterr().out
+    assert main(["cache", "stats", str(store), "--json", "-"]) == 0
+    assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+
+def test_cache_rejects_missing_directory(tmp_path):
+    with pytest.raises(SystemExit, match="no store directory"):
+        main(["cache", "stats", str(tmp_path / "nope")])
+
+
+def test_explore_cache_bounds(tmp_path, capsys):
+    """--cache-max-entries bounds the on-disk store, never the
+    result."""
+    store = tmp_path / "bounded"
+    assert main(["explore", "--kernel", "fir5", "--pps", "1,2,3",
+                 "--buses", "4,10", "--cache", str(store),
+                 "--cache-max-entries", "2", "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["records"]) == 6
+    assert main(["cache", "stats", str(store), "--json", "-"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] == 2
+    # Counters are per-process: a fresh inspection handle starts
+    # its own ledger.
+    assert stats["evictions"] == 0
+
+
+def test_explore_cache_bounds_require_cache():
+    with pytest.raises(SystemExit, match="--cache"):
+        main(["explore", "--kernel", "fir5", "--pps", "1,2",
+              "--cache-max-entries", "2"])

@@ -294,3 +294,105 @@ class TestSweepChunkJobs:
         other, coalesced = queue.submit(
             verifying, job_key(verifying), coalesce_key(verifying))
         assert not coalesced and other is not job
+
+
+# -- cache peering --------------------------------------------------------
+
+class TestPeering:
+    def test_prewarmed_peer_short_circuits_compute(
+            self, tmp_path, local_result):
+        """The peering acceptance: daemon A's store already holds a
+        subset of the sweep; the coordinator fetches those records
+        from A instead of leasing them, so the daemons' computed
+        counters cover only the remainder — and the merged result is
+        still bit-identical to a local run."""
+        warm_points = SPACE.grid()[:5]
+        warm_keys = {cache_key(FIR5, point) for point in warm_points}
+        store_a = tmp_path / "store-a"
+        run_sweep(FIR5, warm_points, workers=1, cache=store_a)
+
+        events = []
+        with ServiceThread(workers=2, store=store_a) as a, \
+                ServiceThread(workers=2,
+                              store=tmp_path / "store-b") as b:
+            result = run_distributed_sweep(
+                FIR5, SPACE.grid(), remotes=[url(a), url(b)],
+                chunk_size=3, progress=events.append)
+            computed = sum(
+                ServiceClient(*thread.address)
+                .stats()["service"]["computed"]
+                for thread in (a, b))
+        assert canon(result.records) == canon(local_result.records)
+
+        stats = result.stats
+        assert stats.peer_records == len(warm_keys) == 5
+        # Only the 7 cold points were chunked; the daemons' computed
+        # counters (jobs dispatched to workers) cover exactly those
+        # chunks — nothing was leased for the warm subset.
+        assert stats.chunks == -(-(stats.unique - 5) // 3) == 3
+        assert computed == stats.chunks
+        # Per-peer ledger: A served the warm subset, B served none.
+        ledger_a = stats.peers[url(a)]
+        ledger_b = stats.peers[url(b)]
+        assert ledger_a["hits"] == 5
+        assert ledger_b["hits"] == 0
+        assert ledger_a["hits"] + ledger_a["misses"] == stats.unique
+        peer_events = [event for event in events
+                       if event.get("event") == "peer"]
+        assert sum(event["records"]
+                   for event in peer_events) == 5
+        assert stats.summary().count("peer-fetched") == 1
+
+    def test_peer_records_reach_the_local_cache(self, tmp_path):
+        """Peer-fetched records take the same write-back path as
+        leased ones: they land in the coordinator's local cache
+        bit-identically."""
+        points = SPACE.grid()[:4]
+        store_a = tmp_path / "store-a"
+        warmed = run_sweep(FIR5, points, workers=1, cache=store_a)
+        local = tmp_path / "local"
+        with ServiceThread(workers=2, store=store_a) as daemon:
+            result = run_distributed_sweep(
+                FIR5, points, remotes=url(daemon), cache=local)
+        assert canon(result.records) == canon(warmed.records)
+        assert result.stats.peer_records == 4
+        assert result.stats.leases == 0
+        # Every fetched record landed in the local cache, equal to
+        # the peer's copy — a warm re-run reads, never computes.
+        local_cache = ResultCache(local)
+        peer_cache = ResultCache(store_a)
+        for point in points:
+            key = cache_key(FIR5, point)
+            assert local_cache.get(key) == peer_cache.get(key)
+        rerun = run_sweep(FIR5, points, cache=local)
+        assert rerun.stats.cached == 4 and rerun.stats.evaluated == 0
+
+    def test_unreachable_peer_never_blocks_the_sweep(
+            self, tmp_path, local_result):
+        """A dead address in the fleet costs the peering pass
+        nothing but a ledger entry — the live daemon carries the
+        sweep and results stay identical."""
+        with ServiceThread(workers=2,
+                           store=tmp_path / "store") as daemon:
+            result = run_distributed_sweep(
+                FIR5, SPACE.grid(),
+                remotes=[url(daemon), "127.0.0.1:1"],
+                chunk_size=4)
+        assert canon(result.records) == canon(local_result.records)
+        assert result.stats.peer_records == 0
+        assert result.stats.daemons == 2
+        assert result.stats.lost_daemons == 1
+
+    def test_verifying_sweep_ignores_unverified_peer_records(
+            self, tmp_path):
+        """Peering honours the verification rule end to end: a peer
+        full of unverified records contributes nothing to a
+        verifying sweep."""
+        points = SPACE.grid()[:3]
+        store_a = tmp_path / "store-a"
+        run_sweep(FIR5, points, workers=1, cache=store_a)  # unverified
+        with ServiceThread(workers=2, store=store_a) as daemon:
+            result = run_distributed_sweep(
+                FIR5, points, remotes=url(daemon), verify_seed=3)
+        assert result.stats.peer_records == 0
+        assert all(record["verified"] for record in result.records)

@@ -177,8 +177,17 @@ class TestResultCache:
         cache.get(key)
         cache.put(key, {"ok": True})
         cache.get(key)
-        assert cache.stats() == {"entries": 1, "hits": 1,
-                                 "misses": 1, "hit_rate": 0.5}
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        # The tiered-store fields ride along, zeroed/idle here.
+        assert stats["bytes"] == cache.path_for(key).stat().st_size
+        assert stats["evictions"] == 0 and stats["put_errors"] == 0
+        assert stats["max_entries"] is None
+        assert stats["max_bytes"] is None
+        assert stats["manifest_active"] is True
+        assert stats["manifest_errors"] == 0
 
     def test_entry_count_is_incremental_not_a_walk(self, tmp_path,
                                                    monkeypatch):

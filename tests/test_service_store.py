@@ -8,12 +8,14 @@ never produces a torn read (atomic rename semantics).
 
 import json
 import multiprocessing
+import tempfile
 
 import pytest
 
 from repro.dse.cache import ResultCache, cache_key
 from repro.dse.runner import evaluate_point, run_sweep
 from repro.dse.space import DesignPoint
+from repro.service import ServiceClient, ServiceError, ServiceThread
 from repro.service.store import ArtifactStore
 
 from tests.conftest import FIR_SOURCE
@@ -89,6 +91,32 @@ def test_admit_rejects_failure_records(tmp_path):
     assert len(store) == 1
 
 
+def test_probe_never_counts_hits_or_misses(tmp_path):
+    """The peering probe (``/store/has``) must not pollute a daemon's
+    hit-rate: probing is inventory, not service."""
+    store = ArtifactStore(tmp_path)
+    store.put(KEY, _record(1))
+    assert store.probe(KEY) is True
+    assert store.probe("ff" * 32) is False
+    assert store.hits == 0 and store.misses == 0
+    # lookup still counts.
+    assert store.lookup(KEY) is not None
+    assert store.hits == 1
+
+
+def test_admit_reports_failed_writes(tmp_path, monkeypatch):
+    """A full disk turns admit into ``False`` (the daemon keeps
+    serving from memory), never an exception."""
+    store = ArtifactStore(tmp_path)
+
+    def no_space(*args, **kwargs):
+        raise OSError(28, "No space left on device")
+    monkeypatch.setattr(tempfile, "mkstemp", no_space)
+    assert store.admit(KEY, _record(ok=True)) is False
+    assert store.put_errors == 1
+    assert len(store) == 0
+
+
 def test_lookup_honours_verification(tmp_path):
     store = ArtifactStore(tmp_path)
     store.put(KEY, _record(1))
@@ -160,3 +188,80 @@ def test_concurrent_put_get_never_tears(tmp_path):
     # The surviving entry is whole.
     final = store.get(KEY)
     assert final is not None and final["pad"] == "x" * 4096
+
+
+# -- peer endpoints (/store/has, /store/fetch) ----------------------------
+
+OTHER = "ef" + "01" * 31
+
+
+@pytest.fixture()
+def peer_daemon(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put(KEY, _record(1))
+    store.put(OTHER, _record(2, verified=True))
+    with ServiceThread(store=tmp_path / "store",
+                       workers=2) as thread:
+        yield ServiceClient(*thread.address), thread
+
+
+def test_store_has_reports_inventory(peer_daemon):
+    client, __ = peer_daemon
+    missing = "00" * 32
+    present = client.store_has([KEY, OTHER, missing])
+    assert sorted(present) == sorted([KEY, OTHER])
+    # The verified filter hides unverified records.
+    assert client.store_has([KEY, OTHER], verified=True) == [OTHER]
+
+
+def test_store_fetch_returns_records_verbatim(peer_daemon):
+    client, thread = peer_daemon
+    records = client.store_fetch([KEY, OTHER, "00" * 32])
+    assert records[KEY] == _record(1)
+    assert records[OTHER] == _record(2, verified=True)
+    assert "00" * 32 not in records
+    assert client.store_fetch([KEY], verified=True) == {}
+    stats = client.stats()
+    assert stats["service"]["peer_queries"] >= 2
+    assert stats["service"]["peer_records"] == 2
+
+
+def test_store_has_does_not_move_the_hit_rate(peer_daemon):
+    client, thread = peer_daemon
+    before = client.stats()["store"]
+    client.store_has([KEY, "00" * 32])
+    after = client.stats()["store"]
+    assert after["hits"] == before["hits"]
+    assert after["misses"] == before["misses"]
+    assert client.stats()["service"]["peer_queries"] >= 1
+
+
+@pytest.mark.parametrize("body", [
+    {"keys": "not-a-list"},
+    {"keys": ["../../etc/passwd"]},
+    {"keys": ["AB" + "cd" * 31]},          # uppercase hex rejected
+    {"keys": ["ab" * 31]},                  # wrong length
+    {"keys": ["zz" + "cd" * 31]},           # non-hex
+])
+def test_store_endpoints_reject_malformed_keys(peer_daemon, body):
+    client, __ = peer_daemon
+    for path in ("/store/has", "/store/fetch"):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", path, body=body)
+        assert excinfo.value.status == 400
+
+
+def test_stats_after_server_side_clear(peer_daemon):
+    """``cache clear`` against a live daemon's directory: the /stats
+    view drops to zero entries and the hit/miss ledger resets."""
+    client, thread = peer_daemon
+    client.store_fetch([KEY])              # one counted hit
+    assert client.stats()["store"]["hits"] == 1
+    thread.service.store.clear()
+    stats = client.stats()["store"]
+    assert stats["entries"] == 0
+    assert stats["hits"] == 0 and stats["misses"] == 0
+    assert stats["hit_rate"] == 0.0
+    # The daemon keeps serving: a new record is admitted cleanly.
+    assert thread.service.store.admit(KEY, _record(3)) is True
+    assert client.store_has([KEY]) == [KEY]

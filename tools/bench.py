@@ -18,6 +18,10 @@ Times representative workloads of the mapping engine end to end:
 * ``distributed``  — a sweep sharded across two daemon subprocesses
   with warm stores through ``repro.dse.distributed`` (lease HTTP
   rounds + chunk merging; the distribution layer's own overhead);
+* ``store``        — artifact-store put/get/stats throughput over a
+  populated store (10^4 entries full, 10^3 quick), with a one-shot
+  contrast of the manifest-indexed entry count against the full
+  directory walk it replaced;
 * ``obs``          — the ``sweep`` workload with the tracer enabled
   (span records, rollups, ring writes).  Its setup also *asserts*
   the observability contract: enabled tracing costs < 3% over the
@@ -246,15 +250,72 @@ def _workload_distributed(quick: bool):
     urls = [daemon.url for daemon in fleet]
 
     def run():
-        # No local cache: every run leases every chunk (the first —
-        # the harness warm-up — also populates the daemon stores).
+        # No local cache: every record crosses the wire each run.
+        # The warm-up populates the daemon stores, so timed runs
+        # measure the warm fleet path — the peering inventory plus
+        # bulk store fetches, with chunk leases for any remainder.
         result = run_distributed_sweep(source, points, remotes=urls,
                                        chunk_size=4)
-        if result.stats.remote_records != result.stats.unique:
+        served = result.stats.remote_records \
+            + getattr(result.stats, "peer_records", 0)
+        if served != result.stats.unique:
             raise RuntimeError("fleet did not serve the whole sweep")
-        return result.stats.remote_records
+        return served
 
     return run, {"points": len(points), "daemons": len(fleet)}
+
+
+def _workload_store(quick: bool):
+    """Artifact-store throughput at scale: put, manifest-indexed
+    stats/len and hit lookups over a populated store.  The setup
+    also contrasts the manifest count against a full directory scan
+    at 10^4 entries (quick: 10^3) — the walk the index tier
+    replaces on every ``/stats`` scrape and coordinator probe."""
+    import atexit
+    import tempfile
+
+    from repro.dse.cache import ResultCache
+
+    entries = 1_000 if quick else 10_000
+    workdir = tempfile.TemporaryDirectory(prefix="fpfa-bench-store-")
+    atexit.register(workdir.cleanup)
+    store = ResultCache(workdir.name)
+    for index in range(entries):
+        store.put(f"{index:064x}",
+                  {"ok": True, "metrics": {"cycles": index}})
+
+    # One-shot contrast: the indexed count vs the directory walk it
+    # replaced (informational; the regression gate times `run`).
+    started = time.perf_counter()
+    indexed = store.stats()["entries"]
+    manifest_ms = (time.perf_counter() - started) * 1e3
+    started = time.perf_counter()
+    walked = sum(1 for __ in store.root.glob("??/*.json"))
+    walk_ms = (time.perf_counter() - started) * 1e3
+    if not (indexed == walked == entries):
+        raise RuntimeError(f"manifest count {indexed} diverges from "
+                           f"directory walk {walked}")
+    print(f"  [store] count at {entries} entries: manifest "
+          f"{manifest_ms:.2f} ms vs directory walk {walk_ms:.2f} ms")
+
+    rounds = 200 if quick else 1_000
+
+    def run():
+        hits = 0
+        for index in range(rounds):
+            key = f"{(index * 7919) % entries:064x}"
+            if store.get(key) is not None:
+                hits += 1
+        store.put(f"{entries:064x}", {"ok": True, "metrics": {}})
+        if store.stats()["entries"] != entries + 1:
+            raise RuntimeError("indexed stats lost the fresh put")
+        if hits != rounds:
+            raise RuntimeError(f"{rounds - hits} unexpected misses")
+        return hits
+
+    return run, {"entries": entries, "rounds": rounds,
+                 "manifest_count_ms": round(manifest_ms, 3),
+                 "walk_count_ms": round(walk_ms, 3)}
 
 
 def _workload_obs(quick: bool):
@@ -334,6 +395,7 @@ WORKLOADS = {
     "sweep": _workload_sweep,
     "service": _workload_service,
     "distributed": _workload_distributed,
+    "store": _workload_store,
     "obs": _workload_obs,
 }
 

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Tiered-store smoke harness — bounds, fsck and peering, end to end.
+
+Exercises the production store paths against **real** ``fpfa-map
+serve`` subprocesses (the in-process equivalents live in
+``tests/test_store_tiered.py``):
+
+1. **Bounds** — fill a store past its ``max_entries`` bound and
+   verify LRU eviction held the line, the sweep result was
+   unaffected, and a follow-up ``fsck`` finds nothing to heal.
+2. **Bounded daemon** — a daemon started with
+   ``--store-max-entries`` keeps its store at the bound while
+   chunks stream through it, and reports its evictions in
+   ``/stats`` and ``/metrics``.
+3. **Peering** — a two-daemon fleet with one store prewarmed: the
+   coordinator must fetch the warm records from the peer's store
+   (``/store/fetch``) instead of recomputing them, with the fleet's
+   computed counters covering only the cold remainder, and the
+   merged result bit-identical to a local run.
+
+Exit code 0 means every phase held.  This is the CI ``store``
+job::
+
+    python tools/store_smoke.py [--workers 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.dse.cache import ResultCache                  # noqa: E402
+from repro.dse.distributed import run_distributed_sweep  # noqa: E402
+from repro.dse.runner import run_sweep                   # noqa: E402
+from repro.dse.space import DesignSpace                  # noqa: E402
+from repro.eval.kernels import get_kernel                # noqa: E402
+from repro.obs.metrics import parse_prometheus           # noqa: E402
+from repro.service.client import ServiceClient           # noqa: E402
+from repro.service.subproc import DaemonProcess          # noqa: E402
+
+#: 12 points — enough records to blow past the bounds below.
+SPACE = DesignSpace({
+    "n_pps": [1, 2, 3, 5],
+    "n_buses": [2, 4, 10],
+})
+
+#: The entry bound both the offline phase and the bounded daemon use.
+MAX_ENTRIES = 4
+
+
+def canon(records) -> str:
+    return json.dumps(records, sort_keys=True)
+
+
+def phase_bounds(source, expected, workdir, failures):
+    root = workdir / "bounded-store"
+    result = run_sweep(source, SPACE.grid(), cache=root,
+                       cache_max_entries=MAX_ENTRIES)
+    if canon(result.records) != canon(expected.records):
+        failures.append("bounded sweep records differ from unbounded")
+    store = ResultCache(root)
+    stats = store.stats()
+    print(f"  {stats['entries']} entries on disk after sweeping "
+          f"{SPACE.size} points (bound {MAX_ENTRIES})")
+    if stats["entries"] != MAX_ENTRIES:
+        failures.append(f"bound not enforced: {stats['entries']} "
+                        f"entries survive a max of {MAX_ENTRIES}")
+    report = store.fsck()
+    print(f"  fsck: {report}")
+    if report["corrupt_removed"] or report["rows_added"] \
+            or report["rows_dropped"] or report["tmp_removed"]:
+        failures.append(f"eviction left fsck work behind: {report}")
+    if report["files"] != MAX_ENTRIES:
+        failures.append(f"fsck scanned {report['files']} files, "
+                        f"expected {MAX_ENTRIES}")
+
+
+def phase_bounded_daemon(source, workdir, workers, failures):
+    store_dir = workdir / "daemon-store"
+    with DaemonProcess(store_dir, workers=workers,
+                       store_max_entries=MAX_ENTRIES) as daemon:
+        result = run_distributed_sweep(
+            source, SPACE.grid(), remotes=daemon.url, chunk_size=3)
+        client = ServiceClient(*daemon.address)
+        stats = client.stats()["store"]
+        metrics = parse_prometheus(client.metrics())
+        print(f"  daemon store after sweep: {stats['entries']} "
+              f"entries, {stats['evictions']} evictions")
+        if len(result.records) != SPACE.size:
+            failures.append("bounded daemon lost sweep records")
+        if stats["entries"] > MAX_ENTRIES:
+            failures.append(f"daemon store grew to "
+                            f"{stats['entries']} entries past the "
+                            f"--store-max-entries bound")
+        if stats["evictions"] < SPACE.size - MAX_ENTRIES:
+            failures.append(f"daemon reported {stats['evictions']} "
+                            f"evictions for {SPACE.size} admits "
+                            f"over a bound of {MAX_ENTRIES}")
+        evictions = metrics.value("fpfa_store_evictions_total")
+        if evictions != stats["evictions"]:
+            failures.append(f"/metrics evictions {evictions!r} "
+                            f"disagrees with /stats "
+                            f"{stats['evictions']}")
+
+
+def phase_peering(source, expected, workdir, workers, failures):
+    warm_points = SPACE.grid()[:5]
+    warm_store = workdir / "peer-warm"
+    run_sweep(source, warm_points, cache=warm_store)
+    fleet = [DaemonProcess(warm_store, workers=workers),
+             DaemonProcess(workdir / "peer-cold", workers=workers)]
+    try:
+        for daemon in fleet:
+            daemon.start()
+        result = run_distributed_sweep(
+            source, SPACE.grid(), remotes=[d.url for d in fleet],
+            chunk_size=3)
+        stats = result.stats
+        print(f"  {stats.summary()}")
+        print(f"  peer ledger: {stats.peers}")
+        computed = sum(
+            ServiceClient(*daemon.address)
+            .stats()["service"]["computed"]
+            for daemon in fleet)
+    finally:
+        for daemon in fleet:
+            daemon.stop()
+    if canon(result.records) != canon(expected.records):
+        failures.append("peered sweep records differ from local run")
+    if stats.peer_records != len(warm_points):
+        failures.append(f"expected {len(warm_points)} peer-fetched "
+                        f"records, got {stats.peer_records}")
+    warm_hits = stats.peers.get(fleet[0].url, {}).get("hits", 0)
+    if warm_hits != len(warm_points):
+        failures.append(f"warm peer served {warm_hits} records, "
+                        f"expected {len(warm_points)}")
+    cold = SPACE.size - len(warm_points)
+    expected_chunks = -(-cold // 3)
+    if computed != expected_chunks:
+        failures.append(f"fleet computed {computed} chunk job(s) "
+                        f"for {cold} cold points; expected "
+                        f"{expected_chunks}")
+
+
+def run(workers: int) -> int:
+    source = get_kernel("fir5").source
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="fpfa-store-") as work:
+        workdir = pathlib.Path(work)
+        print(f"ground truth: local run_sweep over "
+              f"{SPACE.size} points...")
+        expected = run_sweep(source, SPACE.grid(), workers=1)
+        if expected.stats.failed:
+            raise SystemExit(f"{expected.stats.failed} ground-truth "
+                             f"point(s) failed; bad grid")
+
+        print(f"\nphase 1 — LRU bound of {MAX_ENTRIES} entries, "
+              f"then fsck:")
+        phase_bounds(source, expected, workdir, failures)
+
+        print("\nphase 2 — daemon with --store-max-entries "
+              f"{MAX_ENTRIES}:")
+        phase_bounded_daemon(source, workdir, workers, failures)
+
+        print("\nphase 3 — peer fetch from a prewarmed store:")
+        phase_peering(source, expected, workdir, workers, failures)
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall phases held: bounded eviction stayed fsck-clean, "
+          "the bounded daemon enforced and reported its bound, and "
+          "peering served warm records without recomputing them")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Exercise store bounds, fsck and cache peering "
+                    "against real serve daemons.")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker pool size per daemon "
+                             "(default 2)")
+    args = parser.parse_args(argv)
+    return run(args.workers)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
