@@ -16,7 +16,7 @@ Seven subcommands::
              [--samples N] [--workers N] [--cache DIR]
              [--cache-max-entries N] [--cache-max-bytes N]
              [--remote URL[,URL...]] [--chunk-size N]
-             [--remote-timeout S]
+             [--remote-timeout S] [--resume]
              [--objectives LIST] [--verify-seed SEED] [--json out.json]
 
     fpfa-map serve  [--host H] [--port P] [--workers N]
@@ -321,6 +321,11 @@ def _add_explore_arguments(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="points per remote lease with --remote "
                              "(default 8)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from its "
+                             "checkpoint journal (needs --cache; "
+                             "recomputes only records missing from "
+                             "the cache)")
     parser.add_argument("--remote-timeout", type=float, default=120.0,
                         metavar="S",
                         help="seconds per lease before a chunk is "
@@ -627,6 +632,53 @@ def _check_objectives(objectives: list[str], space) -> None:
                 f"maximise)")
 
 
+def _explore_resume_preview(args: argparse.Namespace, source: str,
+                            space, echo) -> None:
+    """Validate and narrate ``explore --resume``.
+
+    Resumption itself is free — completed records are already in the
+    cache (written incrementally), so the normal cache pass skips
+    them and only the missing points are recomputed.  This preview
+    reads the checkpoint journal the interrupted coordinator left
+    beside the cache to (a) refuse resuming a *different* sweep over
+    the same cache and (b) report the recovered/remaining split.
+    """
+    import pathlib
+
+    from repro.dse.checkpoint import JOURNAL_NAME, load_journal
+    from repro.dse.distributed import sweep_identity
+
+    if not args.cache:
+        raise SystemExit("--resume needs --cache DIR (the cache the "
+                         "interrupted sweep was writing)")
+    if args.strategy == "hill":
+        raise SystemExit(
+            "--resume applies to chunked sweeps; --strategy hill "
+            "explores incrementally and keeps no journal")
+    journal_path = pathlib.Path(args.cache).expanduser() \
+        / JOURNAL_NAME
+    state = load_journal(journal_path)
+    if state is None:
+        echo(f"resume: no checkpoint journal at {journal_path} — "
+             "running fresh (cache hits still count)")
+        return
+    points = space.grid() if args.strategy == "exhaustive" \
+        else space.sample(args.samples, seed=args.seed)
+    identity = sweep_identity(source, points, args.verify_seed)
+    if state.sweep != identity:
+        raise SystemExit(
+            f"--resume: the journal at {journal_path} belongs to a "
+            f"different sweep (journal {state.sweep}, this request "
+            f"{identity}); point --cache at the interrupted sweep's "
+            "cache or drop --resume")
+    recovered = len(state.completed)
+    echo(f"resume: journal matches (sweep {identity}); "
+         f"{recovered} of {len(state.pending)} interrupted point(s) "
+         f"already completed, {len(state.remaining)} to recompute"
+         + (" (previous run finished cleanly)"
+            if state.ended else ""))
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     from repro.dse import frontier_table, pareto_front
     from repro.dse.runner import SweepResult
@@ -682,6 +734,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                           remote_timeout=args.remote_timeout)
         echo(f"fleet: {len(fleet)} remote daemon(s): "
              + ", ".join(f"{host}:{port}" for host, port in fleet))
+    if args.resume:
+        _explore_resume_preview(args, source, space, echo)
     if args.strategy == "random":
         extra = dict(n_samples=args.samples, seed=args.seed)
     elif args.strategy == "hill":

@@ -1,0 +1,183 @@
+"""Coordinator checkpoint journal for resumable sweeps.
+
+A distributed sweep writes an append-only NDJSON journal beside its
+:class:`~repro.dse.cache.ResultCache` — one line per state change:
+
+``begin``
+    ``{"event": "begin", "sweep": <id>, "at": <wall>, "total": N,
+    "pending": [...keys]}`` — the deduplicated keys still missing
+    after the coordinator's cache pass.
+``lease``
+    ``{"event": "lease", "sweep": <id>, "chunk": i,
+    "daemon": "host:port", "keys": [...]}`` — a chunk went out.
+``complete``
+    ``{"event": "complete", "sweep": <id>, "chunk": i,
+    "keys": [...]}`` — the chunk's records were merged *and written
+    to the cache* (the write-back happens before the journal line,
+    so a completed chunk is always durable).
+``end``
+    ``{"event": "end", "sweep": <id>}`` — the sweep finished.
+
+The journal is a *progress record*, not the source of truth: what
+makes a sweep resumable is that records land in the on-disk cache
+incrementally, so a re-run's cache pass simply skips everything a
+killed coordinator already finished.  The journal tells the re-run
+(and the operator, and the chaos harness) **how far** the previous
+attempt got — ``fpfa-map explore --resume`` uses it to report the
+recovered/remaining split and to refuse a resume of a *different*
+sweep over the same cache.
+
+Torn tails are expected: a coordinator killed mid-write leaves a
+partial last line, and :func:`load_journal` silently drops it —
+everything before it was flushed line-atomically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+#: Journal filename beside the cache/store root.
+JOURNAL_NAME = "sweep-journal.ndjson"
+
+
+def sweep_id(source: str, point_keys: Sequence[str],
+             verify_seed: int | None) -> str:
+    """Stable identity of one sweep: the source, the *ordered*
+    requested cache keys, and whether it verifies.  Two runs with the
+    same inputs get the same id — which is exactly the condition
+    under which resuming one from the other is sound."""
+    payload = json.dumps(
+        {"source": source, "keys": list(point_keys),
+         "verify": verify_seed},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def journal_path_for(cache) -> pathlib.Path | None:
+    """Where the journal lives for *cache* (None when cacheless —
+    without a durable store there is nothing to resume from)."""
+    root = getattr(cache, "root", None)
+    if root is None:
+        return None
+    return pathlib.Path(root) / JOURNAL_NAME
+
+
+class SweepJournal:
+    """Append-only writer; one line per event, flushed per line.
+
+    Thread-safe — lease lanes complete chunks concurrently.  Opening
+    a journal truncates any previous one: the cache already absorbed
+    the old run's completed records, so its journal has served its
+    purpose (and :func:`load_journal` must see *this* run's pending
+    set, not a stale one).
+    """
+
+    def __init__(self, path, sweep: str):
+        self.path = pathlib.Path(path)
+        self.sweep = sweep
+        self._lock = threading.Lock()
+        self._file = open(self.path, "w", encoding="utf-8")
+
+    def _append(self, payload: Mapping) -> None:
+        line = json.dumps(dict(payload, sweep=self.sweep),
+                          sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._file.closed:
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def begin(self, *, total: int,
+              pending: Iterable[str]) -> None:
+        self._append({"event": "begin", "at": time.time(),
+                      "total": total, "pending": list(pending)})
+
+    def lease(self, chunk: int, daemon: str,
+              keys: Sequence[str]) -> None:
+        self._append({"event": "lease", "chunk": chunk,
+                      "daemon": daemon, "keys": list(keys)})
+
+    def complete(self, chunk: int, keys: Sequence[str]) -> None:
+        self._append({"event": "complete", "chunk": chunk,
+                      "keys": list(keys)})
+
+    def end(self) -> None:
+        self._append({"event": "end"})
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """What a (possibly torn) journal says about the last run."""
+
+    sweep: str = ""
+    total: int = 0
+    pending: list[str] = field(default_factory=list)
+    completed: set[str] = field(default_factory=set)
+    leases: int = 0
+    ended: bool = False
+
+    @property
+    def remaining(self) -> list[str]:
+        return [key for key in self.pending
+                if key not in self.completed]
+
+
+def load_journal(path) -> JournalState | None:
+    """Parse the journal at *path*; None when absent or empty.
+
+    Tolerant by design: a torn (half-written) tail line and any
+    unrecognised event are skipped — the journal only ever grows by
+    whole flushed lines before them.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (FileNotFoundError, OSError):
+        return None
+    state = JournalState()
+    seen_begin = False
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue  # torn tail (or corruption): ignore the line
+        if not isinstance(entry, dict):
+            continue
+        event = entry.get("event")
+        if event == "begin":
+            # A journal holds at most one run (begin truncates), but
+            # stay safe against concatenation: the last begin wins.
+            state = JournalState(
+                sweep=str(entry.get("sweep", "")),
+                total=int(entry.get("total", 0)),
+                pending=[str(key) for key
+                         in entry.get("pending", [])])
+            seen_begin = True
+        elif event == "lease":
+            state.leases += 1
+        elif event == "complete":
+            state.completed.update(
+                str(key) for key in entry.get("keys", []))
+        elif event == "end":
+            state.ended = True
+    return state if seen_begin else None

@@ -13,21 +13,37 @@ the service's ``sweep-chunk`` job kind.  Each lease is one HTTP job;
 the daemon runs the chunk through its worker pool against its
 artifact store and answers with records keyed by cache key.
 
-Fault model — the sweep **always completes**:
+Fault model — the sweep **always completes** (see
+``docs/resilience.md`` for the full lifecycle):
 
 * a daemon that is unreachable at probe time is dropped from the
   fleet before any lease is issued;
-* a chunk whose daemon dies, times out (``timeout`` per lease) or
-  falls behind is *re-leased*: the chunk goes back on the shared
-  queue and any surviving daemon steals it (the daemon that failed
-  is retired from the fleet);
+* inside a lease, transient faults retry under a seeded
+  :class:`~repro.service.resilience.RetryPolicy` (a reset socket, a
+  queue-full 503 honouring ``Retry-After``) before the lease is
+  declared failed — one blip no longer costs a daemon;
+* a daemon that fails a lease outright (its circuit breaker trips,
+  or the retried call still dies) is demoted to **probation**: its
+  chunk is re-queued and stolen by a surviving daemon, while a
+  prober re-checks the daemon's ``/healthz`` on a backoff schedule
+  and **readmits** it to the lease pool when it recovers — a
+  restarted daemon rejoins the running sweep;
 * when every daemon is gone, the leftover chunks are evaluated
   locally — plain :func:`run_sweep`, the fallback backend.
+
+Completed work is durable as it happens: chunk records are written
+to the coordinator's cache the moment they merge (not at sweep end),
+and a checkpoint journal
+(:mod:`repro.dse.checkpoint`) beside the cache records pending keys,
+leases and completions — so a killed coordinator resumes with
+``fpfa-map explore --resume`` and recomputes only what is missing.
 
 Determinism is what makes stealing safe: the mapping flow is
 deterministic, so a chunk evaluated twice (a slow daemon finishing a
 lease the coordinator already re-issued) yields byte-identical
-records, and merging by cache key is idempotent.
+records, and merging by cache key is idempotent.  Completions are
+deduplicated by chunk id, so the late copy also never double-counts
+the :class:`DistributedSweepStats` ledger.
 
 Invariants
 ----------
@@ -45,15 +61,20 @@ Invariants
 
 from __future__ import annotations
 
-import queue as queue_module
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 from urllib.parse import urlsplit
 
 from repro.core.pipeline import Frontend
 from repro.dse.cache import ResultCache, cache_key
+from repro.dse.checkpoint import (
+    SweepJournal,
+    journal_path_for,
+    sweep_id,
+)
 from repro.dse.runner import (
     FrontendSpec,
     SweepResult,
@@ -63,6 +84,12 @@ from repro.dse.runner import (
 )
 from repro.dse.space import DesignPoint
 from repro.obs import trace
+from repro.service.resilience import (
+    BreakerOpen,
+    CircuitBreaker,
+    RetryPolicy,
+    resilience_counter,
+)
 
 #: Points per lease by default: big enough to amortise one HTTP round
 #: trip over several mappings, small enough that re-evaluating a lost
@@ -74,6 +101,19 @@ DEFAULT_LEASE_TIMEOUT = 120.0
 #: worker count below this cap — one lease per worker keeps every
 #: remote pool busy without flooding its queue).
 MAX_LEASES_PER_DAEMON = 8
+
+#: In-lease retry schedule: transient faults get a few fast retries
+#: before the lease is declared failed and the daemon demoted.
+DEFAULT_RETRY = RetryPolicy(attempts=3, base_delay=0.1,
+                            max_delay=2.0, jitter=0.25)
+#: Probation re-probe schedule (only :meth:`RetryPolicy.delay` is
+#: used — probation probes until the sweep ends, not N times).
+PROBE_BACKOFF = RetryPolicy(attempts=2, base_delay=0.25,
+                            max_delay=4.0, jitter=0.25)
+#: Consecutive lease-call failures that open a daemon's breaker.
+BREAKER_THRESHOLD = 4
+#: Seconds an open breaker waits before letting a probe call through.
+BREAKER_RESET = 2.0
 
 
 class DistributedError(RuntimeError):
@@ -127,6 +167,21 @@ def parse_remotes(specs) -> list[tuple[str, int]]:
     return pairs
 
 
+def sweep_identity(source: str, points: Iterable[DesignPoint],
+                   verify_seed: int | None) -> str:
+    """The checkpoint-journal identity this sweep would run under
+    (deduplicated key order, exactly as the coordinator computes
+    it) — ``fpfa-map explore --resume`` matches journals with it."""
+    seen: list[str] = []
+    taken: set[str] = set()
+    for point in points:
+        key = cache_key(source, point)
+        if key not in taken:
+            taken.add(key)
+            seen.append(key)
+    return sweep_id(source, seen, verify_seed)
+
+
 @dataclass
 class DistributedSweepStats(SweepStats):
     """Sweep provenance plus the distribution ledger.
@@ -137,10 +192,12 @@ class DistributedSweepStats(SweepStats):
     """
 
     daemons: int = 0         #: reachable daemons the sweep started with
-    lost_daemons: int = 0    #: daemons retired after a failed lease
+    lost_daemons: int = 0    #: daemons unreachable or never readmitted
     chunks: int = 0          #: chunks the pending points were split into
     leases: int = 0          #: sweep-chunk jobs issued (>= chunks)
     stolen: int = 0          #: chunks re-leased after a lost lease
+    probations: int = 0      #: daemons demoted to probation mid-sweep
+    readmissions: int = 0    #: probation daemons readmitted after re-probe
     remote_records: int = 0  #: records produced by daemon leases
     remote_cached: int = 0   #: ... of which the daemon's store served
     local_records: int = 0   #: records from the local fallback backend
@@ -153,8 +210,13 @@ class DistributedSweepStats(SweepStats):
 
     def summary(self) -> str:
         base = super().summary()
+        probation = ""
+        if self.probations:
+            probation = (f", {self.probations} probation(s)"
+                         f"/{self.readmissions} readmitted")
         fleet = (f"fleet: {self.daemons} daemon(s)"
-                 f"{f', {self.lost_daemons} lost' if self.lost_daemons else ''}, "
+                 f"{f', {self.lost_daemons} lost' if self.lost_daemons else ''}"
+                 f"{probation}, "
                  f"{self.chunks} chunk(s) over {self.leases} lease(s)"
                  f"{f', {self.stolen} stolen' if self.stolen else ''}; "
                  f"{self.remote_records} remote record(s) "
@@ -164,16 +226,45 @@ class DistributedSweepStats(SweepStats):
         return f"{base}\n{fleet}"
 
 
-@dataclass
 class _Fleet:
-    """Shared mutable state of one distributed run (lock-guarded)."""
+    """Shared mutable state of one distributed run.
 
-    lock: threading.Lock = field(default_factory=threading.Lock)
-    merged: dict[str, dict] = field(default_factory=dict)
-    stats: DistributedSweepStats = field(
-        default_factory=DistributedSweepStats)
-    lost: set[tuple[str, int]] = field(default_factory=set)
-    done_chunks: int = 0
+    ``lock``/``cond`` guard everything below; per-run invariants
+    (source, timeouts, hooks) ride along so lease lanes and the
+    probation prober share one context object.
+    """
+
+    def __init__(self, stats: DistributedSweepStats):
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.merged: dict[str, dict] = {}
+        self.stats = stats
+        self.lost: set[tuple[str, int]] = set()
+        #: remote -> {"workers", "attempts", "next"} while demoted.
+        self.probation: dict[tuple[str, int], dict] = {}
+        self.breakers: dict[tuple[str, int], CircuitBreaker] = {}
+        self.chunk_keys: dict[int, list[str]] = {}
+        self.queue: deque[int] = deque()
+        self.completed: set[int] = set()
+        self.lanes: dict[tuple[str, int], int] = {}
+        self.threads: list[threading.Thread] = []
+        self.draining = False
+        self.closed = False
+        # Per-run invariants, filled in by run_distributed_sweep.
+        self.source = ""
+        self.key_points: dict[str, DesignPoint] = {}
+        self.verify_seed: int | None = None
+        self.timeout = DEFAULT_LEASE_TIMEOUT
+        self.retry: RetryPolicy | None = DEFAULT_RETRY
+        self.progress: Callable[[dict], None] | None = None
+        self.cache: ResultCache | None = None
+        self.journal: SweepJournal | None = None
+
+    def finished_locked(self) -> bool:
+        return len(self.completed) >= len(self.chunk_keys)
+
+    def active_lanes_locked(self) -> int:
+        return sum(self.lanes.values())
 
 
 def _probe(remote: tuple[str, int], timeout: float) -> int | None:
@@ -188,12 +279,35 @@ def _probe(remote: tuple[str, int], timeout: float) -> int | None:
     return max(1, int(workers))
 
 
+def _health_probe(remote: tuple[str, int], timeout: float) -> bool:
+    """One ``/healthz`` round trip — the probation re-probe."""
+    from repro.service.client import ServiceClient, ServiceError
+    client = ServiceClient(*remote, timeout=min(timeout, 5.0))
+    try:
+        return bool(client.health().get("ok", True))
+    except (ServiceError, OSError, ValueError):
+        return False
+
+
 #: Keys per ``store-has`` probe request (stays under the protocol's
 #: ``MAX_STORE_KEYS`` bound).
 PEER_QUERY_BATCH = 1024
 #: Keys per ``store-fetch`` request — records ride along, so fetch
 #: batches stay small enough that one response is a few MB at most.
 PEER_FETCH_BATCH = 256
+
+
+def _write_back(cache: ResultCache | None,
+                records: Mapping[str, dict]) -> None:
+    """Persist ok records into the coordinator's cache *now* — the
+    durability half of resumable sweeps.  Written unconditionally:
+    like a local run_sweep, a verified record must replace a stale
+    unverified entry for the same key."""
+    if cache is None:
+        return
+    for key, record in records.items():
+        if record.get("ok"):
+            cache.put(key, record)
 
 
 def _peer_prefetch(remotes: Sequence[tuple[str, int]],
@@ -208,12 +322,12 @@ def _peer_prefetch(remotes: Sequence[tuple[str, int]],
     Strictly best-effort: a daemon that cannot answer (unreachable,
     or an old build without the store endpoints) contributes nothing
     but is **not** retired — it can still serve leases.  Fetched
-    records land in ``fleet.merged`` exactly like leased ones, so
-    the caller's merge, cache write-back and fallback logic need no
-    special casing; the per-peer ledger goes to
-    ``DistributedSweepStats.peers``.
+    records land in ``fleet.merged`` exactly like leased ones (and in
+    the coordinator's cache, immediately), so the caller's merge and
+    fallback logic need no special casing; the per-peer ledger goes
+    to ``DistributedSweepStats.peers``.
     """
-    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.client import ServiceClient
 
     inventories: dict[tuple[str, int], set[str] | None] = {}
 
@@ -225,7 +339,7 @@ def _peer_prefetch(remotes: Sequence[tuple[str, int]],
                 found.update(client.store_has(
                     pending[start:start + PEER_QUERY_BATCH],
                     verified=want_verified))
-        except (ServiceError, OSError, ValueError):
+        except Exception:  # noqa: BLE001 — peering is best-effort
             inventories[remote] = None
             return
         inventories[remote] = found
@@ -269,8 +383,8 @@ def _peer_prefetch(remotes: Sequence[tuple[str, int]],
                 got.update(client.store_fetch(
                     keys[start:start + PEER_FETCH_BATCH],
                     verified=want_verified))
-        except (ServiceError, OSError, ValueError):
-            pass  # partial batches still count; the rest is leased
+        except Exception:  # noqa: BLE001 — best-effort: partial
+            pass  # batches still count; the rest is leased
         wanted = set(keys)
         valid = {key: record for key, record in got.items()
                  if key in wanted and isinstance(record, dict)}
@@ -279,6 +393,9 @@ def _peer_prefetch(remotes: Sequence[tuple[str, int]],
                 fleet.merged.setdefault(key, record)
             fleet.stats.peer_records += len(valid)
             fleet.stats.peers[label]["hits"] = len(valid)
+        _write_back(fleet.cache, valid)
+        if fleet.journal is not None and valid:
+            fleet.journal.complete(-1, list(valid))
         trace.count("distributed.peer_records", len(valid))
         if trace.enabled():
             trace.event("distributed.peer", daemon=label,
@@ -298,106 +415,229 @@ def _peer_prefetch(remotes: Sequence[tuple[str, int]],
         thread.join()
 
 
-def _lease_worker(remote: tuple[str, int], source: str,
-                  chunks: "queue_module.SimpleQueue[list[str]]",
-                  key_points: Mapping[str, DesignPoint],
-                  verify_seed: int | None, timeout: float,
-                  fleet: _Fleet, total_chunks: int,
-                  progress: Callable[[dict], None] | None) -> None:
+def _demote(fleet: _Fleet, remote: tuple[str, int],
+            error: BaseException, chunk_id: int | None) -> None:
+    """Move *remote* to probation and re-queue its chunk (work
+    stealing).  Called from a lease lane that just failed; sibling
+    lanes of the same daemon see the probation entry and exit."""
+    label = f"{remote[0]}:{remote[1]}"
+    with fleet.cond:
+        if fleet.closed:
+            return
+        if chunk_id is not None and \
+                chunk_id not in fleet.completed:
+            fleet.queue.append(chunk_id)
+            fleet.stats.stolen += 1
+        already = remote in fleet.probation or remote in fleet.lost
+        if not already:
+            fleet.probation[remote] = {
+                "workers": fleet.lanes.get(remote, 1),
+                "attempts": 0,
+                "next": time.monotonic()
+                + PROBE_BACKOFF.delay(1, key=label),
+            }
+            fleet.stats.probations += 1
+        fleet.cond.notify_all()
+    if not already:
+        resilience_counter("fpfa_probation_demotions").inc()
+        trace.count("distributed.probations")
+        if trace.enabled():
+            trace.event("distributed.probation", daemon=label,
+                        error=str(error))
+        if fleet.progress is not None:
+            fleet.progress({"event": "probation", "daemon": label,
+                            "error": str(error)})
+    if chunk_id is not None:
+        trace.count("distributed.steals")
+        if trace.enabled():
+            trace.event("distributed.steal", daemon=label,
+                        chunk=chunk_id)
+
+
+def _lease_worker(fleet: _Fleet, remote: tuple[str, int]) -> None:
     """One lease lane: pull chunks, lease them to *remote*, merge.
 
-    Exits when the queue is drained or the daemon fails a lease (the
-    chunk is re-queued first, so a surviving lane — or the local
-    fallback — picks it up).  Several lanes may serve one daemon
-    (one per remote worker); the first failure retires them all via
-    ``fleet.lost``.
+    Exits when every chunk is complete, the run is draining, or the
+    daemon is demoted (the failed chunk is re-queued first, so a
+    surviving lane — or the local fallback — steals it).  Several
+    lanes may serve one daemon (one per remote worker); the first
+    failure demotes them all via ``fleet.probation``.
     """
     from repro.service.client import ServiceClient, ServiceError
 
-    client = ServiceClient(*remote, timeout=min(timeout, 30.0))
+    client = ServiceClient(*remote,
+                           timeout=min(fleet.timeout, 30.0),
+                           retry=fleet.retry,
+                           breaker=fleet.breakers.get(remote))
     label = f"{remote[0]}:{remote[1]}"
-    while True:
-        with fleet.lock:
-            dead = remote in fleet.lost
-            finished = fleet.done_chunks >= total_chunks
-        if dead or finished:
-            return
-        try:
-            # A transiently empty queue is NOT the end: a chunk still
-            # in flight on another daemon may yet fail and be
-            # re-queued, and this lane must be around to steal it —
-            # so wait briefly and re-check instead of exiting.  Every
-            # in-flight lease either merges (done_chunks grows) or
-            # re-queues its chunk within the lease timeout, so the
-            # wait always resolves; the lane that merges the final
-            # chunk posts a ``None`` sentinel so waiting lanes drain
-            # immediately instead of riding out the poll interval.
-            chunk = chunks.get(timeout=0.2)
-        except queue_module.Empty:
-            continue
-        if chunk is None:
-            chunks.put(None)  # pass the drain signal along
-            return
-        request = {
-            "kind": "sweep-chunk",
-            "source": source,
-            "points": [key_points[key].to_dict() for key in chunk],
-            "verify_seed": verify_seed,
-        }
-        with fleet.lock:
-            fleet.stats.leases += 1
-        trace.count("distributed.leases")
-        if trace.enabled():
-            trace.event("distributed.lease", daemon=label,
-                        points=len(chunk))
-        try:
-            job = client.submit(request)["job"]
-            if job["state"] == "done":
-                payload = job["result"]
-            else:
-                payload = client.result(job["id"], timeout=timeout)
-            records = payload["records"]
-            # The chunk contract: exactly one record per leased key.
-            missing = [key for key in chunk if key not in records]
-            if missing:
-                raise ServiceError(
-                    f"daemon answered {len(records)} record(s), "
-                    f"{len(missing)} leased key(s) missing")
-        except (ServiceError, OSError, ValueError) as error:
-            # Dead, lagging or misbehaving daemon: re-queue the chunk
-            # for a sibling (work stealing) and retire the daemon.
-            chunks.put(chunk)
-            with fleet.lock:
-                first_loss = remote not in fleet.lost
-                fleet.lost.add(remote)
-                if first_loss:
-                    fleet.stats.lost_daemons += 1
-                fleet.stats.stolen += 1
-            trace.count("distributed.steals")
+    try:
+        while True:
+            with fleet.cond:
+                chunk_id = None
+                while chunk_id is None:
+                    if fleet.closed or fleet.draining \
+                            or fleet.finished_locked() \
+                            or remote in fleet.probation \
+                            or remote in fleet.lost:
+                        return
+                    if fleet.queue:
+                        candidate = fleet.queue.popleft()
+                        if candidate in fleet.completed:
+                            continue  # stale re-queue of a done chunk
+                        chunk_id = candidate
+                    else:
+                        # A transiently empty queue is NOT the end: a
+                        # chunk in flight on another daemon may yet
+                        # fail and be re-queued, and this lane must
+                        # be around to steal it.
+                        fleet.cond.wait(timeout=0.2)
+                chunk = fleet.chunk_keys[chunk_id]
+                fleet.stats.leases += 1
+            request = {
+                "kind": "sweep-chunk",
+                "source": fleet.source,
+                "points": [fleet.key_points[key].to_dict()
+                           for key in chunk],
+                "verify_seed": fleet.verify_seed,
+            }
+            if fleet.journal is not None:
+                fleet.journal.lease(chunk_id, label, chunk)
+            trace.count("distributed.leases")
             if trace.enabled():
-                trace.event("distributed.steal", daemon=label,
-                            points=len(chunk))
-                if first_loss:
-                    trace.event("distributed.retire", daemon=label,
-                                error=str(error))
-            if progress is not None:
-                progress({"event": "lost", "daemon": label,
-                          "error": str(error)})
+                trace.event("distributed.lease", daemon=label,
+                            chunk=chunk_id, points=len(chunk))
+            try:
+                job = client.submit(request)["job"]
+                if job["state"] == "done":
+                    payload = job["result"]
+                else:
+                    payload = client.result(job["id"],
+                                            timeout=fleet.timeout)
+                records = payload["records"]
+                # The chunk contract: one record per leased key.
+                missing = [key for key in chunk
+                           if key not in records]
+                if missing:
+                    raise ServiceError(
+                        f"daemon answered {len(records)} record(s),"
+                        f" {len(missing)} leased key(s) missing",
+                        retryable=False)
+            except Exception as error:  # noqa: BLE001 — a lease
+                # lane must NEVER die without re-queuing its chunk
+                # (the sweep would wait on it forever); any failure
+                # shape — ServiceError, reset socket, torn HTTP
+                # frame, open breaker — demotes and re-queues.
+                _demote(fleet, remote, error, chunk_id)
+                return
+            # Durability first: records hit the cache and the
+            # journal records the completion BEFORE the chunk is
+            # marked done — otherwise the coordinator could observe
+            # the sweep finished and close the journal while this
+            # lane's `complete` line is still in flight.  A stolen
+            # chunk landing twice re-writes byte-identical records
+            # (puts are idempotent) and adds a redundant journal
+            # line (completions are a set on load): harmless.
+            _write_back(fleet.cache,
+                        {key: records[key] for key in chunk})
+            if fleet.journal is not None:
+                fleet.journal.complete(chunk_id, chunk)
+            fresh: dict[str, dict] = {}
+            with fleet.cond:
+                if fleet.closed:
+                    return
+                duplicate = chunk_id in fleet.completed
+                if not duplicate:
+                    for key in chunk:
+                        if key not in fleet.merged:
+                            fresh[key] = records[key]
+                        fleet.merged.setdefault(key, records[key])
+                    fleet.completed.add(chunk_id)
+                    fleet.stats.remote_records += len(fresh)
+                    fleet.stats.remote_cached += \
+                        payload.get("stats", {}).get("cached", 0)
+                    done = len(fleet.completed)
+                    total = len(fleet.chunk_keys)
+                    fleet.cond.notify_all()
+            if duplicate:
+                # A slow lane finished a chunk someone already
+                # stole and completed: records are byte-identical
+                # by determinism, so there is nothing to merge and
+                # — deliberately — nothing to count.
+                continue
+            if fleet.progress is not None:
+                fleet.progress({"event": "chunk", "daemon": label,
+                                "done": done, "total": total,
+                                "points": len(chunk)})
+    finally:
+        with fleet.cond:
+            fleet.lanes[remote] = fleet.lanes.get(remote, 1) - 1
+            fleet.cond.notify_all()
+
+
+def _spawn_lanes(fleet: _Fleet, remote: tuple[str, int],
+                 workers: int) -> None:
+    """Start one lease lane per remote worker (capped).  Caller must
+    hold no fleet lock; lane accounting happens inside."""
+    lanes = min(max(1, workers), MAX_LEASES_PER_DAEMON)
+    with fleet.cond:
+        if fleet.closed or fleet.draining:
             return
-        with fleet.lock:
-            for key in chunk:
-                fleet.merged[key] = records[key]
-            fleet.stats.remote_records += len(chunk)
-            fleet.stats.remote_cached += \
-                payload.get("stats", {}).get("cached", 0)
-            fleet.done_chunks += 1
-            done = fleet.done_chunks
-        if done >= total_chunks:
-            chunks.put(None)  # wake waiting lanes: nothing left
-        if progress is not None:
-            progress({"event": "chunk", "daemon": label,
-                      "done": done, "total": total_chunks,
-                      "points": len(chunk)})
+        fleet.breakers[remote] = CircuitBreaker(
+            failure_threshold=BREAKER_THRESHOLD,
+            reset_timeout=BREAKER_RESET,
+            label=f"{remote[0]}:{remote[1]}")
+        fleet.lanes[remote] = fleet.lanes.get(remote, 0) + lanes
+    for __ in range(lanes):
+        thread = threading.Thread(target=_lease_worker,
+                                  args=(fleet, remote), daemon=True)
+        thread.start()
+        fleet.threads.append(thread)
+
+
+def _prober(fleet: _Fleet) -> None:
+    """Re-probe probation daemons on their backoff schedule and
+    readmit the ones that answer ``/healthz`` again."""
+    while True:
+        with fleet.cond:
+            if fleet.closed or fleet.draining \
+                    or fleet.finished_locked():
+                return
+            now = time.monotonic()
+            due = [remote for remote, info
+                   in fleet.probation.items()
+                   if now >= info["next"]]
+        for remote in due:
+            label = f"{remote[0]}:{remote[1]}"
+            resilience_counter("fpfa_probation_probes").inc()
+            trace.count("distributed.probes")
+            healthy = _health_probe(remote, fleet.timeout)
+            with fleet.cond:
+                info = fleet.probation.get(remote)
+                if info is None or fleet.closed or fleet.draining:
+                    continue
+                if not healthy:
+                    info["attempts"] += 1
+                    info["next"] = time.monotonic() + \
+                        PROBE_BACKOFF.delay(
+                            min(info["attempts"] + 1, 16),
+                            key=label)
+                    continue
+                workers = fleet.probation.pop(remote)["workers"]
+                fleet.stats.readmissions += 1
+            resilience_counter(
+                "fpfa_probation_readmissions").inc()
+            trace.count("distributed.readmissions")
+            if trace.enabled():
+                trace.event("distributed.readmit", daemon=label)
+            if fleet.progress is not None:
+                fleet.progress({"event": "readmit",
+                                "daemon": label})
+            _spawn_lanes(fleet, remote, workers)
+        with fleet.cond:
+            if fleet.closed or fleet.draining \
+                    or fleet.finished_locked():
+                return
+            fleet.cond.wait(timeout=0.1)
 
 
 def run_distributed_sweep(
@@ -409,17 +649,23 @@ def run_distributed_sweep(
         verify_seed: int | None = None,
         frontends: Mapping[FrontendSpec, Frontend] | None = None,
         progress: Callable[[dict], None] | None = None,
+        retry: RetryPolicy | None = DEFAULT_RETRY,
+        journal: bool = True,
         ) -> SweepResult:
     """Evaluate *points* against *source* across a daemon fleet.
 
     Drop-in for :func:`run_sweep` (same result shape, bit-identical
     records); *remotes* names the fleet, *chunk_size* the lease
     granularity, *timeout* the per-lease deadline after which a chunk
-    is re-leased.  *progress*, when given, receives one dict per
-    completed chunk (``event: "chunk"``), per peer-store fetch
-    (``event: "peer"``) and per retired daemon (``event: "lost"``) —
-    the smoke harness uses it to kill daemons at deterministic
-    moments.
+    is re-leased.  *retry* is the in-lease policy for transient
+    faults (None restores single-shot calls); *journal* controls the
+    checkpoint journal written beside *cache* (on by default — it is
+    what makes ``--resume`` able to report progress).  *progress*,
+    when given, receives one dict per completed chunk (``event:
+    "chunk"``), per peer-store fetch (``"peer"``), per demoted
+    daemon (``"probation"``), per readmission (``"readmit"``) and
+    per daemon lost outright (``"lost"``) — the smoke harnesses use
+    it to kill daemons at deterministic moments.
     """
     started = time.perf_counter()
     points = list(points)
@@ -457,7 +703,25 @@ def run_distributed_sweep(
     stats.evaluated = len(pending)
 
     fleet = _Fleet(stats=stats)
+    fleet.source = source
+    fleet.key_points = key_points
+    fleet.verify_seed = verify_seed
+    fleet.timeout = timeout
+    fleet.retry = retry
+    fleet.progress = progress
+    fleet.cache = cache
     if pending:
+        journal_path = journal_path_for(cache) if journal else None
+        if journal_path is not None:
+            try:
+                fleet.journal = SweepJournal(
+                    journal_path,
+                    sweep_id(source, key_order, verify_seed))
+                fleet.journal.begin(total=len(key_order),
+                                    pending=pending)
+            except OSError:
+                fleet.journal = None  # journal is best-effort
+
         # Probe the fleet (concurrently — a down daemon costs one
         # connect timeout, not one per fleet member in sequence);
         # unreachable daemons never get a lease.
@@ -511,44 +775,62 @@ def run_distributed_sweep(
                        for index in range(0, len(to_lease),
                                           chunk_size)]
         stats.chunks = len(chunk_lists)
+        fleet.chunk_keys = dict(enumerate(chunk_lists))
+        fleet.queue = deque(fleet.chunk_keys)
 
         if alive and chunk_lists:
-            chunks: queue_module.SimpleQueue = \
-                queue_module.SimpleQueue()
-            for chunk in chunk_lists:
-                chunks.put(chunk)
-            threads = []
             for remote, workers in alive:
-                for __ in range(min(workers,
-                                    MAX_LEASES_PER_DAEMON)):
-                    thread = threading.Thread(
-                        target=_lease_worker,
-                        args=(remote, source, chunks, key_points,
-                              verify_seed, timeout, fleet,
-                              len(chunk_lists), progress),
-                        daemon=True)
-                    thread.start()
-                    threads.append(thread)
-            for thread in threads:
-                thread.join()
-        #: Keys the fleet delivered (before any local fallback) —
-        #: these are the records the coordinator's cache has not
-        #: seen yet and must absorb below.
-        remote_keys = set(fleet.merged)
+                _spawn_lanes(fleet, remote, workers)
+            prober = threading.Thread(target=_prober,
+                                      args=(fleet,), daemon=True)
+            prober.start()
+            # Ride the sweep: done when every chunk completed, or
+            # when no lane is left alive to finish the rest (every
+            # daemon demoted/lost — drain to the local fallback; a
+            # probation daemon only rejoins a *running* sweep, so
+            # readmission needs at least one survivor to keep it
+            # running).
+            with fleet.cond:
+                while True:
+                    if fleet.finished_locked():
+                        break
+                    if fleet.active_lanes_locked() == 0:
+                        fleet.draining = True
+                        break
+                    fleet.cond.wait(timeout=0.2)
+                fleet.cond.notify_all()
+            prober.join(timeout=10.0)
+
+        # Daemons still on probation when the music stops never made
+        # it back: count them lost, exactly like a probe failure.
+        with fleet.cond:
+            for remote in list(fleet.probation):
+                fleet.probation.pop(remote)
+                fleet.lost.add(remote)
+                stats.lost_daemons += 1
+                label = f"{remote[0]}:{remote[1]}"
+                if progress is not None:
+                    progress({"event": "lost", "daemon": label,
+                              "error": "still on probation at "
+                                       "sweep end"})
 
         # Whatever the fleet did not deliver runs locally — the
         # sweep completes no matter how many daemons died.
-        leftover = [key for key in pending
-                    if key not in fleet.merged]
+        with fleet.lock:
+            leftover = [key for key in pending
+                        if key not in fleet.merged]
         if leftover:
             local = run_sweep(
                 source, [key_points[key] for key in leftover],
                 cache=cache, verify_seed=verify_seed,
                 frontends=frontends)
-            for key, record in zip(leftover, local.records):
-                fleet.merged[key] = record
+            with fleet.lock:
+                for key, record in zip(leftover, local.records):
+                    fleet.merged[key] = record
             stats.local_records = len(leftover)
             stats.workers = max(stats.workers, local.stats.workers)
+            if fleet.journal is not None:
+                fleet.journal.complete(-2, leftover)
             trace.count("distributed.fallbacks")
             if trace.enabled():
                 trace.event("distributed.fallback",
@@ -557,18 +839,14 @@ def run_distributed_sweep(
                 progress({"event": "fallback",
                           "points": len(leftover)})
 
-        for key in pending:
-            by_key[key] = fleet.merged[key]
-        if cache is not None:
-            # Remote-sourced records warm the local cache (the
-            # fallback run already wrote its own) — ok-only, the
-            # shared admission rule, and written unconditionally:
-            # like a local run_sweep, a verified record must replace
-            # a stale unverified entry for the same key.
-            for key in remote_keys:
-                record = by_key[key]
-                if record.get("ok"):
-                    cache.put(key, record)
+        with fleet.cond:
+            for key in pending:
+                by_key[key] = fleet.merged[key]
+            fleet.closed = True
+            fleet.cond.notify_all()
+        if fleet.journal is not None:
+            fleet.journal.end()
+            fleet.journal.close()
 
     records = [by_key[key] for key in point_keys]
     stats.failed = sum(1 for key in key_order

@@ -439,25 +439,30 @@ def _run_local_sweep(source: str, points: Iterable[DesignPoint], *,
                               initargs=(source, compiled)) as pool:
                 outcomes = pool.imap_unordered(_worker, jobs,
                                                chunksize=chunksize)
+                # Write-back happens per result, not at sweep end:
+                # a coordinator killed mid-sweep keeps everything it
+                # finished, which is what makes `--resume` recompute
+                # only the missing records.  Only successful records
+                # are memoised: a failure may be transient (resource
+                # exhaustion in a worker), and caching it would
+                # poison the (source, point) key for every later
+                # sweep sharing this cache directory.
                 for key, record in outcomes:
                     by_key[key] = record
+                    if cache is not None and record["ok"]:
+                        cache.put(key, record)
         else:
             for key in pending:
                 spec = specs[key]
                 frontend = compiled.get(spec) \
                     if spec is not None else None
-                by_key[key] = evaluate_point(
+                record = evaluate_point(
                     source, key_points[key], verify_seed,
                     frontend=frontend)
+                by_key[key] = record
+                if cache is not None and record["ok"]:
+                    cache.put(key, record)
         stats.evaluated = len(pending)
-        if cache is not None:
-            # Only successful records are memoised: a failure may be
-            # transient (resource exhaustion in a worker), and caching
-            # it would poison the (source, point) key for every later
-            # sweep sharing this cache directory.
-            for key in pending:
-                if by_key[key]["ok"]:
-                    cache.put(key, by_key[key])
 
     records = [by_key[key] for key in point_keys]
     stats.failed = sum(1 for key in key_order

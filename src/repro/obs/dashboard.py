@@ -38,9 +38,16 @@ from typing import Iterable
 from repro.dse.distributed import parse_remotes
 from repro.obs.metrics import MetricsParseError, parse_prometheus
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.resilience import RetryPolicy, resilience_counter
 
 #: Fleet events kept in the rolling timeline.
 TIMELINE_LIMIT = 256
+#: Reconnect schedule for a broken job-event stream: a daemon restart
+#: mid-tail gets a few backoff-spaced second chances before the tail
+#: is abandoned (``attempts`` counts connections, so 4 = one original
+#: + three reconnects).
+TAIL_RECONNECT = RetryPolicy(attempts=4, base_delay=0.2,
+                             max_delay=2.0, jitter=0.25)
 #: Concurrent job tails across the whole fleet — a sweep can create
 #: hundreds of chunk jobs; tailing a bounded set keeps the collector's
 #: socket use flat while /stats still covers the aggregate.
@@ -105,6 +112,11 @@ class FleetCollector:
         #: not restart when the job lingers in the daemon's history.
         self._tailed: set[tuple[tuple[str, int], str]] = set()
         self._live_tails = 0
+        #: Event-stream reconnects performed (shown in the snapshot
+        #: so the page can surface flapping daemons).
+        self._reconnects = 0
+        #: Consecutive failed polls per daemon — 0 means healthy.
+        self._down_polls: dict[tuple[str, int], int] = {}
 
     # -- lifecycle ----------------------------------------------------
 
@@ -157,6 +169,7 @@ class FleetCollector:
                 "seq": self._snapshot["seq"] + 1,
                 "at": time.time(),
                 "daemons": daemons,
+                "reconnects": self._reconnects,
                 "timeline": list(self._timeline),
             }
             self._updated.notify_all()
@@ -171,8 +184,14 @@ class FleetCollector:
             jobs = client.jobs()
         except (ServiceError, OSError, ValueError) as error:
             entry["error"] = str(error)
+            down = self._down_polls.get(remote, 0) + 1
+            self._down_polls[remote] = down
+            entry["status"] = "down"
+            entry["down_polls"] = down
             return entry
+        self._down_polls[remote] = 0
         entry["ok"] = True
+        entry["status"] = "ok"
         entry["jobs"] = {}
         for job in jobs:
             state = job["state"]
@@ -202,18 +221,43 @@ class FleetCollector:
 
     def _tail_job(self, remote: tuple[str, int], label: str,
                   job_id: str, kind: str) -> None:
-        """Follow one job's NDJSON stream into the shared timeline."""
+        """Follow one job's NDJSON stream into the shared timeline.
+
+        A stream broken mid-flight (the daemon restarted under the
+        tail) is reconnected on :data:`TAIL_RECONNECT`'s backoff
+        schedule instead of silently abandoning the daemon's events;
+        the endpoint replays a job's lifecycle from the start, so
+        already-seen events are skipped by count on replay.
+        """
         client = ServiceClient(*remote, timeout=self.timeout + 300)
+        seen = 0
+        attempt = 0
         try:
-            for event in client.events(job_id):
-                entry = {"daemon": label, "job": job_id,
-                         "kind": kind, **event}
-                with self._lock:
-                    self._timeline.append(entry)
-                if self._stop.is_set():
-                    break
-        except (ServiceError, OSError, ValueError):
-            pass  # daemon died mid-stream; /stats shows it
+            while not self._stop.is_set():
+                try:
+                    for index, event in enumerate(
+                            client.events(job_id)):
+                        if index < seen:
+                            continue  # replayed prefix after reconnect
+                        seen = index + 1
+                        entry = {"daemon": label, "job": job_id,
+                                 "kind": kind, **event}
+                        with self._lock:
+                            self._timeline.append(entry)
+                        if self._stop.is_set():
+                            break
+                    return  # stream ended cleanly: job is terminal
+                except (ServiceError, OSError, ValueError):
+                    attempt += 1
+                    if attempt >= TAIL_RECONNECT.attempts \
+                            or self._stop.is_set():
+                        return  # /stats still shows the daemon down
+                    with self._lock:
+                        self._reconnects += 1
+                    resilience_counter(
+                        "fpfa_dashboard_reconnects").inc()
+                    time.sleep(TAIL_RECONNECT.delay(
+                        attempt, key=f"{label}/{job_id}"))
         finally:
             with self._lock:
                 self._live_tails -= 1

@@ -49,6 +49,7 @@ import tempfile
 import threading
 import time
 from dataclasses import dataclass
+from typing import Mapping
 from urllib.parse import parse_qs, urlsplit
 
 from repro.core.pipeline import Frontend
@@ -57,6 +58,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.service.protocol import (
     DEFAULT_HOST,
     DEFAULT_PORT,
+    RETRY_AFTER_QUEUE_FULL,
     ProtocolError,
     coalesce_key,
     job_key,
@@ -573,7 +575,8 @@ class MappingService:
             await self._route(method, target, body, writer)
         except _HttpError as error:
             await _send_json(writer, error.status,
-                             {"error": str(error)})
+                             {"error": str(error)},
+                             headers=error.headers)
         except (asyncio.IncompleteReadError, ConnectionError):
             pass
         except asyncio.CancelledError:
@@ -652,7 +655,13 @@ class MappingService:
         except ProtocolError as error:
             raise _HttpError(400, str(error))
         except QueueFull as error:
-            raise _HttpError(503, str(error))
+            # Overload is transient by construction (jobs drain);
+            # tell retrying clients when it is worth coming back so
+            # they pace themselves instead of hammering the queue.
+            raise _HttpError(
+                503, str(error),
+                headers={"Retry-After":
+                         f"{RETRY_AFTER_QUEUE_FULL:g}"})
         await _send_json(writer, 200,
                          {"job": job.view(), "coalesced": coalesced})
 
@@ -752,9 +761,11 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str,
+                 headers: Mapping[str, str] | None = None):
         super().__init__(message)
         self.status = status
+        self.headers = dict(headers or {})
 
 
 async def _read_request(reader: asyncio.StreamReader
@@ -788,20 +799,28 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
 
 
 async def _send_body(writer: asyncio.StreamWriter, status: int,
-                     body: bytes, content_type: str) -> None:
+                     body: bytes, content_type: str,
+                     headers: Mapping[str, str] | None = None
+                     ) -> None:
     reason = _REASONS.get(status, "OK")
+    extra = "".join(f"{name}: {value}\r\n"
+                    for name, value in (headers or {}).items())
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n").encode("latin-1")
     writer.write(head + body)
     await writer.drain()
 
 
 async def _send_json(writer: asyncio.StreamWriter, status: int,
-                     payload: dict) -> None:
+                     payload: dict,
+                     headers: Mapping[str, str] | None = None
+                     ) -> None:
     body = json.dumps(payload, sort_keys=True).encode("utf-8")
-    await _send_body(writer, status, body, "application/json")
+    await _send_body(writer, status, body, "application/json",
+                     headers=headers)
 
 
 async def _send_text(writer: asyncio.StreamWriter, status: int,

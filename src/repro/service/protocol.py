@@ -84,6 +84,11 @@ MAX_CHUNK_POINTS = 256
 #: one request pin the daemon in a store walk.
 MAX_STORE_KEYS = 4096
 
+#: ``Retry-After`` hint (seconds) on a queue-full 503: the queue
+#: drains at mapping speed, so "shortly" is the honest answer — the
+#: client's backoff curve takes over from there.
+RETRY_AFTER_QUEUE_FULL = 0.5
+
 #: A store key is a SHA-256 hex digest and nothing else.
 _STORE_KEY_CHARS = frozenset("0123456789abcdef")
 

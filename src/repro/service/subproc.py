@@ -97,6 +97,30 @@ class DaemonProcess:
             self.process.kill()
             self.process.wait(timeout=10)
 
+    def restart(self) -> "DaemonProcess":
+        """Bring the daemon back **on the address it died on** (the
+        probation/readmission scenario: a supervisor restarts a
+        crashed daemon and the coordinator's re-probe finds it at
+        the same ``host:port``).  The first start must have happened
+        — that is where the port was learned.  The store survives
+        the process, so the reborn daemon still holds every record
+        its predecessor computed."""
+        if self.address is None:
+            raise RuntimeError("restart() needs a prior start()")
+        self.kill()
+        self.port = self.address[1]
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        while True:
+            # The dying process may hold the port through TIME_WAIT
+            # teardown for a moment; retry the bind a few times
+            # rather than racing it once.
+            try:
+                return self.start()
+            except RuntimeError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.2)
+
     def stop(self, timeout: float = 15.0) -> None:
         """Graceful stop (POST /shutdown), escalating to kill."""
         if self.process is None or self.process.poll() is not None:

@@ -1,0 +1,361 @@
+#!/usr/bin/env python
+"""Chaos smoke harness — the resilience acceptance check, end to end.
+
+Computes a local ``run_sweep`` ground truth, then drags the
+distributed sweep through three storms built from **real**
+``fpfa-map serve`` subprocesses and the seeded fault-injection proxy
+(:mod:`chaos`):
+
+1. **Fault storm** — every daemon sits behind a :class:`ChaosProxy`
+   injecting latency, connection resets, truncated responses and
+   fake queue-full 503s.  The retrying coordinator must complete the
+   sweep bit-identical to the local ground truth; the proxy counters
+   prove the faults actually fired and the resilience counters prove
+   the retry layer absorbed them.
+2. **Daemon SIGKILL + readmission** — one daemon is SIGKILLed the
+   moment the first chunk completes and restarted *on the same port*
+   moments later: the coordinator must demote it to probation,
+   re-probe, readmit it, and still finish bit-identical — asserted
+   through the stats ledger and the probation counters in the
+   /metrics-format resilience document.
+3. **Coordinator kill + ``--resume``** — an ``fpfa-map explore
+   --remote`` coordinator subprocess is SIGKILLed mid-sweep (after
+   the checkpoint journal shows completed chunks), then re-run with
+   ``--resume``: it must recognise the journal, recompute only the
+   missing records, and produce bit-identical results.
+
+Exit code 0 means every storm held.  This is the CI ``chaos`` job::
+
+    python tools/chaos_smoke.py [--workers 2] [--chunk-size 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from chaos import ChaosProxy, ChaosSchedule                 # noqa: E402
+
+from repro.dse.checkpoint import (                          # noqa: E402
+    JOURNAL_NAME,
+    load_journal,
+)
+from repro.dse.distributed import run_distributed_sweep     # noqa: E402
+from repro.dse.runner import run_sweep                      # noqa: E402
+from repro.dse.space import DesignSpace                     # noqa: E402
+from repro.eval.kernels import get_kernel                   # noqa: E402
+from repro.obs.metrics import parse_prometheus              # noqa: E402
+from repro.service.resilience import (                      # noqa: E402
+    RetryPolicy,
+    render_metrics,
+    reset_metrics,
+)
+from repro.service.subproc import DaemonProcess             # noqa: E402
+
+#: The swept grid: 24 points — enough chunks that kills mid-sweep
+#: always strand leases and the storm sees plenty of connections.
+SPACE = DesignSpace({
+    "n_pps": [1, 2, 3, 4, 6, 8],
+    "n_buses": [2, 4, 6, 10],
+})
+
+#: Grid flags for the ``explore`` subprocess — the same space.
+GRID_FLAGS = ["--pps", "1,2,3,4,6,8", "--buses", "2,4,6,10"]
+
+#: The storm the whole fleet lives behind in phase 1.  ``grace``
+#: exempts the coordinator's probe and peering connections so the
+#: fleet is admitted before the weather starts.
+STORM = dict(faults={"latency": 0.20, "reset": 0.10,
+                     "inject-503": 0.08, "truncate": 0.05},
+             latency=0.05, truncate_after=120, grace=4)
+
+#: The coordinator's storm-riding policy — more attempts than the
+#: coordinator default, tight delays (this is a smoke test).
+STORM_RETRY = RetryPolicy(attempts=5, base_delay=0.05,
+                          max_delay=0.5, jitter=0.25, seed=7)
+
+
+def canon(records) -> str:
+    return json.dumps(records, sort_keys=True)
+
+
+def proxy_url(proxy: ChaosProxy) -> str:
+    host, port = proxy.address
+    return f"{host}:{port}"
+
+
+def phase_storm(source, expected, workdir, workers, chunk_size,
+                failures):
+    reset_metrics()
+    fleet: list[DaemonProcess] = []
+    proxies: list[ChaosProxy] = []
+    try:
+        for index in range(2):
+            daemon = DaemonProcess(workdir / f"storm-store-{index}",
+                                   workers=workers)
+            fleet.append(daemon.start())
+            proxies.append(ChaosProxy(
+                *daemon.address,
+                ChaosSchedule(seed=100 + index, **STORM)).start())
+        result = run_distributed_sweep(
+            source, SPACE.grid(),
+            remotes=[proxy_url(proxy) for proxy in proxies],
+            cache=workdir / "storm-cache", chunk_size=chunk_size,
+            timeout=60, retry=STORM_RETRY)
+    finally:
+        for proxy in proxies:
+            proxy.stop()
+        for daemon in fleet:
+            daemon.kill()
+    stats = result.stats
+    print(f"  {stats.summary()}")
+    injected = {kind: sum(proxy.counts.get(kind, 0)
+                          for proxy in proxies)
+                for kind in ("latency", "reset", "inject-503",
+                             "truncate")}
+    print(f"  injected faults: {injected}")
+    if canon(result.records) != canon(expected.records):
+        failures.append("storm records differ from local run_sweep")
+    if len(result.records) != stats.total:
+        failures.append("storm sweep lost records")
+    if not any(injected.values()):
+        failures.append("the chaos proxies injected no faults — "
+                        "the storm tested nothing")
+    parsed = parse_prometheus(render_metrics())
+    retries = sum(value for __, value in
+                  parsed.values("fpfa_client_retries_total"))
+    print(f"  client retries absorbed: {retries:g}")
+    if injected["reset"] + injected["inject-503"] \
+            + injected["truncate"] > 0 and retries == 0:
+        failures.append("faults fired but the retry layer never "
+                        "engaged")
+
+
+def phase_kill_and_readmit(source, expected, workdir, workers,
+                           failures):
+    reset_metrics()
+    victim = DaemonProcess(workdir / "readmit-store-a",
+                           workers=workers).start()
+    slow = DaemonProcess(workdir / "readmit-store-b",
+                         workers=workers).start()
+    # The survivor answers through a latency proxy so the sweep
+    # outlives the victim's death-and-rebirth window.
+    proxy = ChaosProxy(*slow.address,
+                       ChaosSchedule(seed=9, faults={"latency": 1.0},
+                                     latency=0.3)).start()
+    killed = threading.Event()
+    timer = threading.Timer(0.6, victim.restart)
+
+    def progress(event):
+        if event["event"] == "chunk" and not killed.is_set():
+            killed.set()
+            victim.kill()   # SIGKILL, sockets torn down
+            timer.start()   # ... and a supervisor restarts it
+
+    try:
+        result = run_distributed_sweep(
+            source, SPACE.grid(),
+            remotes=[victim.url, proxy_url(proxy)],
+            cache=workdir / "readmit-cache", chunk_size=1,
+            timeout=30, progress=progress)
+    finally:
+        timer.cancel()
+        proxy.stop()
+        victim.kill()
+        slow.kill()
+    stats = result.stats
+    print(f"  {stats.summary()}")
+    if not killed.is_set():
+        failures.append("kill hook never fired (no chunk completed?)")
+    if canon(result.records) != canon(expected.records):
+        failures.append("records differ after kill + readmission")
+    if stats.probations < 1:
+        failures.append("the killed daemon was never demoted to "
+                        "probation")
+    if stats.readmissions < 1:
+        failures.append("the restarted daemon was never readmitted")
+    if stats.remote_records + stats.peer_records \
+            + stats.local_records != stats.evaluated:
+        failures.append("provenance counters double-count records")
+    parsed = parse_prometheus(render_metrics())
+    for counter in ("fpfa_probation_demotions_total",
+                    "fpfa_probation_probes_total",
+                    "fpfa_probation_readmissions_total"):
+        total = sum(value for __, value in parsed.values(counter))
+        if total < 1:
+            failures.append(f"{counter} is zero after a "
+                            f"demote/readmit cycle")
+    print(f"  killed {victim.url} mid-sweep; probations="
+          f"{stats.probations} readmissions={stats.readmissions} "
+          f"stolen={stats.stolen}")
+
+
+def _explore_command(cache: pathlib.Path, remote: str,
+                     json_path: pathlib.Path | None,
+                     resume: bool) -> list[str]:
+    command = [sys.executable, "-m", "repro.cli", "explore",
+               "--kernel", "fir5", *GRID_FLAGS,
+               "--strategy", "exhaustive",
+               "--cache", str(cache), "--remote", remote,
+               "--chunk-size", "2"]
+    if json_path is not None:
+        command += ["--json", str(json_path)]
+    if resume:
+        command.append("--resume")
+    return command
+
+
+def phase_coordinator_resume(source, expected, workdir, workers,
+                             failures):
+    cache = workdir / "resume-cache"
+    daemon = DaemonProcess(workdir / "resume-store",
+                           workers=workers).start()
+    # The coordinator talks through a latency proxy so the sweep is
+    # slow enough to kill with completed chunks in the journal.
+    proxy = ChaosProxy(*daemon.address,
+                       ChaosSchedule(seed=21, faults={"latency": 1.0},
+                                     latency=0.25)).start()
+    journal = cache / JOURNAL_NAME
+    environment = dict(PYTHONPATH=str(REPO_ROOT / "src"),
+                       PATH="/usr/bin:/bin:/usr/local/bin")
+    try:
+        coordinator = subprocess.Popen(
+            _explore_command(cache, proxy_url(proxy), None, False),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            env=environment)
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if coordinator.poll() is not None:
+                    break
+                try:
+                    completed = sum(
+                        1 for line in journal.read_text().splitlines()
+                        if '"complete"' in line)
+                except OSError:
+                    completed = 0
+                if completed >= 2:
+                    break
+                time.sleep(0.05)
+            if coordinator.poll() is not None:
+                failures.append("coordinator finished before the "
+                                "kill window — sweep too fast")
+                return
+            coordinator.send_signal(signal.SIGKILL)
+            coordinator.wait(timeout=30)
+        finally:
+            if coordinator.poll() is None:
+                coordinator.kill()
+                coordinator.wait(timeout=30)
+        state = load_journal(journal)
+        if state is None:
+            failures.append("no loadable journal after the "
+                            "coordinator kill")
+            return
+        if state.ended:
+            failures.append("journal claims a clean end after "
+                            "SIGKILL")
+        recovered = len(state.completed & set(state.pending))
+        print(f"  coordinator SIGKILLed with {recovered} of "
+              f"{len(state.pending)} point(s) completed in the "
+              f"journal")
+        if recovered == 0:
+            failures.append("kill window closed with zero completed "
+                            "points — nothing to resume")
+
+        json_path = workdir / "resume.json"
+        resumed = subprocess.run(
+            _explore_command(cache, daemon.url.removeprefix(
+                "http://"), json_path, True),
+            capture_output=True, text=True, timeout=300,
+            env=environment)
+        if resumed.returncode != 0:
+            failures.append(f"explore --resume exited "
+                            f"{resumed.returncode}: "
+                            f"{resumed.stderr[-400:]}")
+            return
+        narration = resumed.stdout + resumed.stderr
+        if "resume: journal matches" not in narration:
+            failures.append("--resume did not recognise the journal")
+        payload = json.loads(json_path.read_text())
+        stats = payload["stats"]
+        print(f"  resumed: cached={stats['cached']} "
+              f"evaluated={stats['evaluated']} of "
+              f"{stats['unique']} unique")
+        if canon(payload["records"]) != canon(expected.records):
+            failures.append("resumed records differ from local "
+                            "ground truth")
+        if stats["cached"] < recovered:
+            failures.append(
+                f"resume re-evaluated journal-completed points "
+                f"(cached {stats['cached']} < recovered {recovered})")
+        if stats["evaluated"] != stats["unique"] - stats["cached"]:
+            failures.append("resume evaluated more than the missing "
+                            "records")
+    finally:
+        proxy.stop()
+        daemon.kill()
+
+
+def run(workers: int, chunk_size: int) -> int:
+    source = get_kernel("fir5").source
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="fpfa-chaos-") as work:
+        workdir = pathlib.Path(work)
+        print(f"ground truth: local run_sweep over "
+              f"{SPACE.size} points...")
+        expected = run_sweep(source, SPACE.grid(), workers=1)
+        if expected.stats.failed:
+            raise SystemExit(f"{expected.stats.failed} ground-truth "
+                             f"point(s) failed; bad grid")
+
+        print("\nphase 1 — sweep through the fault storm:")
+        phase_storm(source, expected, workdir, workers, chunk_size,
+                    failures)
+
+        print("\nphase 2 — daemon SIGKILL, restart, readmission:")
+        phase_kill_and_readmit(source, expected, workdir, workers,
+                               failures)
+
+        print("\nphase 3 — coordinator SIGKILL + explore --resume:")
+        phase_coordinator_resume(source, expected, workdir, workers,
+                                 failures)
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall storms held: fault-storm sweep bit-identical, "
+          "restarted daemon readmitted, killed coordinator resumed "
+          "without recomputing finished work")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Drag distributed sweeps through injected "
+                    "faults, daemon kills and coordinator kills, "
+                    "and verify bit-identical completion.")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker pool size per daemon "
+                             "(default 2)")
+    parser.add_argument("--chunk-size", type=int, default=2,
+                        help="points per lease (default 2)")
+    args = parser.parse_args(argv)
+    return run(args.workers, args.chunk_size)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
