@@ -1,6 +1,6 @@
 """Command-line driver: map C onto an FPFA tile, or explore tiles.
 
-Seven subcommands::
+Eight subcommands::
 
     fpfa-map map program.c [--listing] [--schedule] [--cdfg]
              [--profile] [--dot out.dot] [--pps N] [--buses N]
@@ -35,9 +35,15 @@ Seven subcommands::
     fpfa-map dashboard --remote URL[,URL...] [--host H] [--port P]
              [--interval S]
 
+    fpfa-map trace  record <explore flags> [--trace-log PATH]
+             | export --log PATH [--out PATH] [--remote URL[,..]]
+             | report --log PATH
+             | critical-path --log PATH [--trace ID] [--json]
+
 (See ``docs/cli.md`` for the full flag reference,
 ``docs/service.md`` for the daemon protocol and
-``docs/observability.md`` for the dashboard.)
+``docs/observability.md`` for the dashboard and distributed
+tracing.)
 
 ``map`` preserves the original single-point behaviour (and plain
 ``fpfa-map program.c`` still works — a missing subcommand defaults to
@@ -83,7 +89,7 @@ from repro.core.pipeline import (
 from repro.eval.metrics import mapping_metrics
 
 SUBCOMMANDS = ("map", "explore", "serve", "submit", "jobs",
-               "dashboard", "cache")
+               "dashboard", "cache", "trace")
 
 
 # ---------------------------------------------------------------------------
@@ -349,6 +355,58 @@ def _add_explore_arguments(parser: argparse.ArgumentParser) -> None:
                              "as JSON ('-' for stdout)")
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="trace_command", required=True)
+    record = sub.add_parser(
+        "record",
+        help="run `explore` with the flight recorder on: every span "
+             "streams to an NDJSON log, and remote daemons' rings "
+             "are harvested into it when the sweep ends")
+    _add_explore_arguments(record)
+    record.add_argument("--trace-log", metavar="PATH", default=None,
+                        help="where to write the NDJSON trace log "
+                             "(default: trace-log.ndjson beside "
+                             "--cache, or in the working directory)")
+    export = sub.add_parser(
+        "export",
+        help="render a trace log as Chrome trace_event JSON "
+             "(loadable in Perfetto / chrome://tracing)")
+    export.add_argument("--log", required=True, metavar="PATH",
+                        help="the NDJSON trace log to export")
+    export.add_argument("--out", default="-", metavar="PATH",
+                        help="output path for the trace_event JSON "
+                             "(default '-': stdout)")
+    export.add_argument("--remote", action="append", default=[],
+                        metavar="URL[,URL...]",
+                        help="harvest these daemons' /trace rings "
+                             "into the log first (entries of traces "
+                             "already in the log)")
+    report = sub.add_parser(
+        "report",
+        help="per-span-name rollup (count/total/mean/min/max) of a "
+             "trace log")
+    report.add_argument("--log", required=True, metavar="PATH",
+                        help="the NDJSON trace log to summarise")
+    report.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="dump the rollup table as JSON "
+                             "('-' for stdout)")
+    critical = sub.add_parser(
+        "critical-path",
+        help="attribute a recorded sweep's wall time across phases "
+             "(queue wait, frontend compile, point evaluation, "
+             "transfers, retries, probation stalls)")
+    critical.add_argument("--log", required=True, metavar="PATH",
+                          help="the NDJSON trace log to analyse")
+    critical.add_argument("--trace", default=None, metavar="ID",
+                          help="pin the analysis to one trace id "
+                               "(default: the longest recorded "
+                               "sweep)")
+    critical.add_argument("--json", dest="json_out",
+                          action="store_true",
+                          help="print the attribution report as "
+                               "JSON instead of the table")
+
+
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("action",
                         choices=("stats", "fsck", "gc", "clear"),
@@ -393,6 +451,9 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_cache_arguments(subparsers.add_parser(
         "cache", help="inspect or maintain a result-cache / "
                       "artifact-store directory"))
+    _add_trace_arguments(subparsers.add_parser(
+        "trace", help="record, export and analyse distributed "
+                      "traces (repro.obs)"))
     return parser
 
 
@@ -960,6 +1021,106 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# fpfa-map trace  (the distributed-tracing surface)
+# ---------------------------------------------------------------------------
+
+def _trace_fleet(specs: list) -> list[str]:
+    """``--remote`` values as ``host:port`` harvest targets."""
+    from repro.dse.distributed import DistributedError, parse_remotes
+    try:
+        return [f"{host}:{port}"
+                for host, port in parse_remotes(specs)]
+    except DistributedError as error:
+        raise SystemExit(str(error))
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    """`explore` under the flight recorder: spans stream to an
+    NDJSON log while the sweep runs, and when it finishes the
+    remote daemons' ``/trace`` rings are harvested into the same
+    log — one file holding the whole stitched tree.  Daemons record
+    their side because the coordinator's trace context rides every
+    lease (`request["trace"]`), not because of anything this
+    command sets remotely."""
+    from repro.obs.export import (
+        TRACE_LOG_NAME,
+        harvest_daemons,
+        recording,
+    )
+
+    log_path = args.trace_log
+    if log_path is None:
+        log_path = os.path.join(args.cache, TRACE_LOG_NAME) \
+            if args.cache else TRACE_LOG_NAME
+    echo = functools.partial(print, file=sys.stderr) \
+        if args.json_path == "-" else print
+    with recording(log_path) as recorder:
+        code = _cmd_explore(args)
+        harvested = 0
+        if args.remote:
+            harvested = harvest_daemons(
+                _trace_fleet(args.remote), recorder,
+                trace_ids=recorder.seen_traces)
+    echo(f"trace: {recorder.written} entries "
+         f"({harvested} harvested from "
+         f"{len(args.remote)} remote(s)) -> {log_path}")
+    return code
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        return _cmd_trace_record(args)
+
+    from repro.obs.export import load_trace
+
+    if args.trace_command == "export":
+        from repro.obs.export import harvest_daemons, to_chrome_trace
+        entries = load_trace(args.log)
+        if args.remote:
+            known = {entry.get("trace") for entry in entries
+                     if isinstance(entry.get("trace"), str)}
+            if harvest_daemons(_trace_fleet(args.remote), args.log,
+                               trace_ids=known or None):
+                entries = load_trace(args.log)
+        if not entries:
+            raise SystemExit(f"no trace entries in {args.log}")
+        _dump_json(to_chrome_trace(entries), args.out)
+        return 0
+
+    if args.trace_command == "report":
+        from repro.obs.export import rollup
+        table = rollup(load_trace(args.log))
+        if not table:
+            raise SystemExit(f"no span entries in {args.log}")
+        if args.json_path:
+            _dump_json(table, args.json_path)
+            return 0
+        print(f"{'span':<30} {'count':>6} {'total':>10} "
+              f"{'mean':>10} {'min':>10} {'max':>10}")
+        for name, stats in sorted(table.items(),
+                                  key=lambda item: -item[1]["total"]):
+            mean = stats["total"] / stats["count"]
+            print(f"{name:<30} {stats['count']:>6.0f} "
+                  f"{stats['total'] * 1e3:>8.1f}ms "
+                  f"{mean * 1e3:>8.2f}ms "
+                  f"{stats['min'] * 1e3:>8.2f}ms "
+                  f"{stats['max'] * 1e3:>8.2f}ms")
+        return 0
+
+    # critical-path
+    from repro.obs.critical import critical_path, render_critical
+    entries = load_trace(args.log)
+    if not entries:
+        raise SystemExit(f"no trace entries in {args.log}")
+    report = critical_path(entries, trace_id=args.trace)
+    if args.json_out:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_critical(report))
+    return 0 if report["total"] > 0 else 1
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -978,7 +1139,7 @@ def main(argv: list[str] | None = None) -> int:
     commands = {"map": _cmd_map, "explore": _cmd_explore,
                 "serve": _cmd_serve, "submit": _cmd_submit,
                 "jobs": _cmd_jobs, "dashboard": _cmd_dashboard,
-                "cache": _cmd_cache}
+                "cache": _cmd_cache, "trace": _cmd_trace}
     return commands[args.command](args)
 
 

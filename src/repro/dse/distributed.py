@@ -259,6 +259,11 @@ class _Fleet:
         self.progress: Callable[[dict], None] | None = None
         self.cache: ResultCache | None = None
         self.journal: SweepJournal | None = None
+        #: Coordinator trace context (the ``dse.sweep`` span), set
+        #: once before any lane starts; lease lanes, peer fetches and
+        #: the prober attach it so their spans — and, through the
+        #: wire, every daemon-side span — join the sweep's trace.
+        self.trace_ctx: dict | None = None
 
     def finished_locked(self) -> bool:
         return len(self.completed) >= len(self.chunk_keys)
@@ -334,14 +339,19 @@ def _peer_prefetch(remotes: Sequence[tuple[str, int]],
     def inventory(remote: tuple[str, int]) -> None:
         client = ServiceClient(*remote, timeout=min(timeout, 30.0))
         found: set[str] = set()
-        try:
-            for start in range(0, len(pending), PEER_QUERY_BATCH):
-                found.update(client.store_has(
-                    pending[start:start + PEER_QUERY_BATCH],
-                    verified=want_verified))
-        except Exception:  # noqa: BLE001 — peering is best-effort
-            inventories[remote] = None
-            return
+        with trace.attach(fleet.trace_ctx), \
+                trace.span("distributed.peer.inventory",
+                           daemon=f"{remote[0]}:{remote[1]}",
+                           keys=len(pending)):
+            try:
+                for start in range(0, len(pending),
+                                   PEER_QUERY_BATCH):
+                    found.update(client.store_has(
+                        pending[start:start + PEER_QUERY_BATCH],
+                        verified=want_verified))
+            except Exception:  # noqa: BLE001 — best-effort peering
+                inventories[remote] = None
+                return
         inventories[remote] = found
 
     threads = []
@@ -378,13 +388,16 @@ def _peer_prefetch(remotes: Sequence[tuple[str, int]],
               keys: list[str]) -> None:
         client = ServiceClient(*remote, timeout=min(timeout, 30.0))
         got: dict[str, dict] = {}
-        try:
-            for start in range(0, len(keys), PEER_FETCH_BATCH):
-                got.update(client.store_fetch(
-                    keys[start:start + PEER_FETCH_BATCH],
-                    verified=want_verified))
-        except Exception:  # noqa: BLE001 — best-effort: partial
-            pass  # batches still count; the rest is leased
+        with trace.attach(fleet.trace_ctx), \
+                trace.span("distributed.peer.fetch", daemon=label,
+                           keys=len(keys)):
+            try:
+                for start in range(0, len(keys), PEER_FETCH_BATCH):
+                    got.update(client.store_fetch(
+                        keys[start:start + PEER_FETCH_BATCH],
+                        verified=want_verified))
+            except Exception:  # noqa: BLE001 — best-effort: partial
+                pass  # batches still count; the rest is leased
         wanted = set(keys)
         valid = {key: record for key, record in got.items()
                  if key in wanted and isinstance(record, dict)}
@@ -396,8 +409,8 @@ def _peer_prefetch(remotes: Sequence[tuple[str, int]],
         _write_back(fleet.cache, valid)
         if fleet.journal is not None and valid:
             fleet.journal.complete(-1, list(valid))
-        trace.count("distributed.peer_records", len(valid))
         if trace.enabled():
+            trace.count("distributed.peer_records", len(valid))
             trace.event("distributed.peer", daemon=label,
                         records=len(valid))
         if progress is not None:
@@ -463,6 +476,11 @@ def _lease_worker(fleet: _Fleet, remote: tuple[str, int]) -> None:
     lanes may serve one daemon (one per remote worker); the first
     failure demotes them all via ``fleet.probation``.
     """
+    with trace.attach(fleet.trace_ctx):
+        _lease_loop(fleet, remote)
+
+
+def _lease_loop(fleet: _Fleet, remote: tuple[str, int]) -> None:
     from repro.service.client import ServiceClient, ServiceError
 
     client = ServiceClient(*remote,
@@ -507,12 +525,20 @@ def _lease_worker(fleet: _Fleet, remote: tuple[str, int]) -> None:
                 trace.event("distributed.lease", daemon=label,
                             chunk=chunk_id, points=len(chunk))
             try:
-                job = client.submit(request)["job"]
-                if job["state"] == "done":
-                    payload = job["result"]
-                else:
-                    payload = client.result(job["id"],
-                                            timeout=fleet.timeout)
+                # The lease span covers the full round trip (submit
+                # plus long-poll); its context rides the request so
+                # the daemon's queue/worker spans stitch in as its
+                # children.  Untraced runs add nothing to the wire.
+                with trace.span("distributed.lease", daemon=label,
+                                chunk=chunk_id, points=len(chunk)):
+                    if trace.enabled():
+                        request["trace"] = trace.context()
+                    job = client.submit(request)["job"]
+                    if job["state"] == "done":
+                        payload = job["result"]
+                    else:
+                        payload = client.result(
+                            job["id"], timeout=fleet.timeout)
                 records = payload["records"]
                 # The chunk contract: one record per leased key.
                 missing = [key for key in chunk
@@ -597,6 +623,11 @@ def _spawn_lanes(fleet: _Fleet, remote: tuple[str, int],
 def _prober(fleet: _Fleet) -> None:
     """Re-probe probation daemons on their backoff schedule and
     readmit the ones that answer ``/healthz`` again."""
+    with trace.attach(fleet.trace_ctx):
+        _probe_loop(fleet)
+
+
+def _probe_loop(fleet: _Fleet) -> None:
     while True:
         with fleet.cond:
             if fleet.closed or fleet.draining \
@@ -610,7 +641,8 @@ def _prober(fleet: _Fleet) -> None:
             label = f"{remote[0]}:{remote[1]}"
             resilience_counter("fpfa_probation_probes").inc()
             trace.count("distributed.probes")
-            healthy = _health_probe(remote, fleet.timeout)
+            with trace.span("distributed.probe", daemon=label):
+                healthy = _health_probe(remote, fleet.timeout)
             with fleet.cond:
                 info = fleet.probation.get(remote)
                 if info is None or fleet.closed or fleet.draining:
@@ -667,6 +699,32 @@ def run_distributed_sweep(
     per daemon lost outright (``"lost"``) — the smoke harnesses use
     it to kill daemons at deterministic moments.
     """
+    with trace.span("dse.sweep", mode="distributed") as sweep_span:
+        result = _run_fleet_sweep(
+            source, points, remotes=remotes, cache=cache,
+            chunk_size=chunk_size, timeout=timeout,
+            verify_seed=verify_seed, frontends=frontends,
+            progress=progress, retry=retry, journal=journal)
+        sweep_span.note(points=result.stats.total,
+                        cached=result.stats.cached,
+                        evaluated=result.stats.evaluated,
+                        failed=result.stats.failed,
+                        daemons=result.stats.daemons)
+    return result
+
+
+def _run_fleet_sweep(
+        source: str, points: Iterable[DesignPoint], *,
+        remotes: str | Sequence[str],
+        cache=None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        timeout: float = DEFAULT_LEASE_TIMEOUT,
+        verify_seed: int | None = None,
+        frontends: Mapping[FrontendSpec, Frontend] | None = None,
+        progress: Callable[[dict], None] | None = None,
+        retry: RetryPolicy | None = DEFAULT_RETRY,
+        journal: bool = True,
+        ) -> SweepResult:
     started = time.perf_counter()
     points = list(points)
     cache = _resolve_cache(cache)
@@ -710,6 +768,9 @@ def run_distributed_sweep(
     fleet.retry = retry
     fleet.progress = progress
     fleet.cache = cache
+    # Inside the caller's dse.sweep span, so every lane and peer
+    # thread (and, via the wire, every daemon) parents to the sweep.
+    fleet.trace_ctx = trace.context()
     if pending:
         journal_path = journal_path_for(cache) if journal else None
         if journal_path is not None:

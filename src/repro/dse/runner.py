@@ -144,9 +144,15 @@ _WORKER_CONTEXT: dict = {}
 
 
 def _init_worker(source: str,
-                 frontends: dict[FrontendSpec, Frontend]) -> None:
+                 frontends: dict[FrontendSpec, Frontend],
+                 trace_ctx: dict | None = None) -> None:
     _WORKER_CONTEXT["source"] = source
     _WORKER_CONTEXT["frontends"] = dict(frontends)
+    # The parent sweep's trace context: pool workers attach it so
+    # their dse.point spans parent to the coordinating dse.sweep
+    # span.  None when tracing is off (fork children inherit the
+    # parent's enabled flag; spawn children read FPFA_TRACE).
+    _WORKER_CONTEXT["trace"] = trace_ctx
 
 
 def _worker(payload: tuple) -> tuple:
@@ -173,8 +179,9 @@ def _worker(payload: tuple) -> tuple:
             except Exception:  # noqa: BLE001 — surfaces per record
                 frontend = None
             memo[spec] = frontend
-    return key, evaluate_point(_WORKER_CONTEXT["source"], point,
-                               verify_seed, frontend=frontend)
+    with trace.attach(_WORKER_CONTEXT.get("trace")):
+        return key, evaluate_point(_WORKER_CONTEXT["source"], point,
+                                   verify_seed, frontend=frontend)
 
 
 @dataclass
@@ -436,7 +443,8 @@ def _run_local_sweep(source: str, points: Iterable[DesignPoint], *,
                 multiprocessing.get_all_start_methods() else None)
             with context.Pool(processes=workers,
                               initializer=_init_worker,
-                              initargs=(source, compiled)) as pool:
+                              initargs=(source, compiled,
+                                        trace.context())) as pool:
                 outcomes = pool.imap_unordered(_worker, jobs,
                                                chunksize=chunksize)
                 # Write-back happens per result, not at sweep end:

@@ -21,6 +21,15 @@ own:
   HTTP + SSE server that polls ``/stats`` and ``/metrics`` across a
   daemon fleet, tails job NDJSON event streams, and serves a live
   single-page ops view.
+* :mod:`repro.obs.export` — the sweep flight recorder: spans carry
+  W3C-style trace/span/parent ids, stream to an NDJSON log beside
+  the cache, stitch across processes (``fpfa-map trace record``)
+  and export as Chrome ``trace_event``/Perfetto JSON.
+* :mod:`repro.obs.critical` — critical-path analysis over a
+  recorded trace: attributes a sweep's wall time across queue wait,
+  frontend compile, point evaluation, transfers/peering,
+  retries/backoff and steal/probation stalls
+  (``fpfa-map trace critical-path``).
 
 Invariant: **observation never mutates**.  Nothing in this package is
 allowed to change a mapped artifact, a record, or a payload — with
@@ -31,11 +40,18 @@ See ``docs/observability.md`` for span names, metric families and a
 dashboard walkthrough.
 """
 
+from repro.obs.critical import critical_path, render_critical
+from repro.obs.export import FlightRecorder, load_trace, to_chrome_trace
 from repro.obs.metrics import MetricsRegistry, parse_prometheus
 from repro.obs.trace import Tracer
 
 __all__ = [
+    "FlightRecorder",
     "MetricsRegistry",
     "Tracer",
+    "critical_path",
+    "load_trace",
     "parse_prometheus",
+    "render_critical",
+    "to_chrome_trace",
 ]

@@ -104,7 +104,8 @@ class FleetCollector:
         self._lock = threading.Lock()
         self._updated = threading.Condition(self._lock)
         self._timeline: deque[dict] = deque(maxlen=timeline)
-        self._snapshot: dict = {"seq": 0, "at": None, "daemons": [],
+        self._snapshot: dict = {"seq": 0, "at": None,
+                                "at_mono": None, "daemons": [],
                                 "timeline": []}
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -167,7 +168,11 @@ class FleetCollector:
         with self._updated:
             self._snapshot = {
                 "seq": self._snapshot["seq"] + 1,
+                # The PR 5 queue.py convention: the wall stamp is
+                # presentation-only; staleness/interval math uses
+                # the paired monotonic reading.
                 "at": time.time(),
+                "at_mono": time.monotonic(),
                 "daemons": daemons,
                 "reconnects": self._reconnects,
                 "timeline": list(self._timeline),

@@ -21,7 +21,8 @@ Design constraints, in priority order:
    context manager — no allocation, no clock read, no lock.
    ``event()``/``count()`` are a single attribute check.  Call sites
    that would *build* expensive attributes guard on
-   ``trace.enabled()`` first.
+   ``trace.enabled()`` first (enforced by the call-site audit in
+   ``tests/test_trace.py``).
 2. **Observation never mutates.**  Span bodies return whatever the
    traced code returns; the tracer holds its own copies of
    everything it records.  Mapped artifacts stay bit-identical with
@@ -39,6 +40,20 @@ tracer without bound.  Nesting depth is tracked per thread so the
 ring shows call structure even when the worker pool interleaves
 spans from many threads.
 
+Distributed tracing (PR 9): every finished span carries W3C-style
+identifiers — a 32-hex ``trace`` id shared by a whole request tree, a
+16-hex ``span`` id, and the ``parent`` span id (None for roots).
+Parentage follows the per-thread span stack; a remote parent is
+grafted in with :func:`attach`, whose context dict
+(``{"trace": ..., "span": ...}``) travels the wire inside job
+requests (see :mod:`repro.service.protocol`).  Cross-process
+collection uses :func:`capture` (gather the spans one job finished on
+this thread) and :meth:`Tracer.adopt` (fold entries recorded in a
+worker back into a host tracer).  Sinks registered with
+:meth:`Tracer.add_sink` observe every finished entry — the flight
+recorder in :mod:`repro.obs.export` streams them to an NDJSON log.
+IDs are only generated on the enabled path, so constraint 1 holds.
+
 Enable globally with the ``FPFA_TRACE=1`` environment variable, or
 programmatically with :func:`enable`.  The daemon enables its own
 tracer when serving ``/metrics`` consumers that want span rollups.
@@ -46,6 +61,7 @@ tracer when serving ``/metrics`` consumers that want span rollups.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
@@ -63,10 +79,42 @@ __all__ = [
     "disable",
     "snapshot",
     "reset",
+    "context",
+    "attach",
+    "capture",
+    "adopt",
+    "record_span",
 ]
 
 #: Default capacity of the recent-event ring.
 DEFAULT_RING = 1024
+
+#: Hard cap on entries one :func:`capture` collects — a runaway job
+#: must not grow the worker's return payload without bound.
+CAPTURE_LIMIT = 4096
+
+
+# ---------------------------------------------------------------- #
+# Identifiers.                                                      #
+# ---------------------------------------------------------------- #
+
+#: Per-process random prefix + pid + counter keeps span ids unique
+#: across a forked worker pool without an os.urandom syscall per
+#: span: children inherit the prefix and counter, but not the pid.
+_ID_PREFIX = os.urandom(2).hex()
+_IDS = itertools.count(1)
+
+
+def _new_span_id() -> str:
+    """A 16-hex span id (8 bytes, W3C trace-context sized)."""
+    return (f"{_ID_PREFIX}{os.getpid() & 0xFFFF:04x}"
+            f"{next(_IDS) & 0xFFFFFFFF:08x}")
+
+
+def _new_trace_id() -> str:
+    """A 32-hex trace id (16 bytes).  Roots are rare (one per sweep
+    or job), so the urandom syscall is off the hot path."""
+    return f"{os.urandom(12).hex()}{next(_IDS) & 0xFFFFFFFF:08x}"
 
 
 class _NoopSpan:
@@ -94,7 +142,8 @@ _NOOP_SPAN = _NoopSpan()
 class _Span:
     """A live span: times itself and reports back to its tracer."""
 
-    __slots__ = ("tracer", "name", "attrs", "depth", "started")
+    __slots__ = ("tracer", "name", "attrs", "depth", "started",
+                 "trace_id", "span_id", "parent_id")
 
     def __init__(self, tracer: "Tracer", name: str,
                  attrs: dict[str, Any]) -> None:
@@ -103,11 +152,28 @@ class _Span:
         self.attrs = attrs
         self.depth = 0
         self.started = 0.0
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_id: str | None = None
 
     def __enter__(self) -> "_Span":
-        stack = self.tracer._local
-        self.depth = getattr(stack, "depth", 0)
-        stack.depth = self.depth + 1
+        local = self.tracer._local
+        self.depth = getattr(local, "depth", 0)
+        local.depth = self.depth + 1
+        stack = getattr(local, "stack", None)
+        if stack is None:
+            stack = local.stack = []
+        if stack:
+            self.trace_id, self.parent_id = stack[-1]
+        else:
+            remote = getattr(local, "remote", None)
+            if remote is not None:
+                self.trace_id, self.parent_id = remote
+            else:
+                self.trace_id = _new_trace_id()
+                self.parent_id = None
+        self.span_id = _new_span_id()
+        stack.append((self.trace_id, self.span_id))
         # Read the clock last so nesting bookkeeping is outside the
         # measured window.
         self.started = time.perf_counter()
@@ -115,12 +181,17 @@ class _Span:
 
     def __exit__(self, exc_type: object, *exc_info: object) -> None:
         duration = time.perf_counter() - self.started
-        self.tracer._local.depth = self.depth
+        local = self.tracer._local
+        local.depth = self.depth
+        stack = getattr(local, "stack", None)
+        if stack:
+            stack.pop()
         if exc_type is not None:
             self.attrs["error"] = getattr(exc_type, "__name__",
                                           str(exc_type))
         self.tracer._finish(self.name, duration, self.depth,
-                            self.attrs)
+                            self.attrs, self.trace_id, self.span_id,
+                            self.parent_id)
 
     def note(self, **attrs: Any) -> None:
         """Attach attributes discovered mid-span (e.g. a result
@@ -128,13 +199,83 @@ class _Span:
         self.attrs.update(attrs)
 
 
+class _NoopAttach:
+    """Shared no-op for :func:`attach` while disabled/contextless."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopAttach":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP_ATTACH = _NoopAttach()
+
+
+class _Attach:
+    """Sets a remote parent for root spans on the current thread."""
+
+    __slots__ = ("tracer", "ctx", "_prior")
+
+    def __init__(self, tracer: "Tracer",
+                 ctx: tuple[str, str]) -> None:
+        self.tracer = tracer
+        self.ctx = ctx
+
+    def __enter__(self) -> "_Attach":
+        local = self.tracer._local
+        self._prior = getattr(local, "remote", None)
+        local.remote = self.ctx
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.tracer._local.remote = self._prior
+
+
+class _Capture:
+    """Sink collecting entries finished on the registering thread.
+
+    Used around one job's execution in a worker: the captured span
+    entries ride back to the daemon in the job's ``info`` side
+    channel and are :meth:`Tracer.adopt`-ed there.  Bounded by
+    ``CAPTURE_LIMIT``; inert when the tracer is disabled.
+    """
+
+    __slots__ = ("tracer", "entries", "_ident", "_active")
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self.tracer = tracer
+        self.entries: list[dict[str, Any]] = []
+        self._ident = 0
+        self._active = False
+
+    def __call__(self, entry: dict[str, Any]) -> None:
+        if (threading.get_ident() == self._ident
+                and len(self.entries) < CAPTURE_LIMIT):
+            self.entries.append(entry)
+
+    def __enter__(self) -> "_Capture":
+        if self.tracer._enabled:
+            self._ident = threading.get_ident()
+            self._active = True
+            self.tracer.add_sink(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._active:
+            self._active = False
+            self.tracer.remove_sink(self)
+
+
 class Tracer:
     """Span/event/counter recorder with bounded memory.
 
     Thread-safe: span rollups, counters and the ring share one lock,
-    taken only on the *enabled* paths.  Nesting depth is tracked in
-    ``threading.local`` so concurrent worker threads do not corrupt
-    each other's stacks.
+    taken only on the *enabled* paths.  Nesting depth and the span
+    stack are tracked in ``threading.local`` so concurrent worker
+    threads do not corrupt each other's parentage.
     """
 
     def __init__(self, enabled: bool = False,
@@ -146,6 +287,7 @@ class Tracer:
         self._spans: dict[str, dict[str, float]] = {}
         self._counters: dict[str, int] = {}
         self._seq = 0
+        self._sinks: tuple = ()
 
     # -- switches ---------------------------------------------------
 
@@ -158,6 +300,29 @@ class Tracer:
 
     def disable(self) -> None:
         self._enabled = False
+
+    # -- sinks ------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Register *sink* (a callable taking one finished entry
+        dict).  Sinks run on the finishing thread, outside the
+        tracer lock; they must not mutate the entry."""
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks = self._sinks + (sink,)
+
+    def remove_sink(self, sink) -> None:
+        with self._lock:
+            self._sinks = tuple(s for s in self._sinks
+                                if s is not sink)
+
+    def _emit(self, entries) -> None:
+        sinks = self._sinks
+        if not sinks:
+            return
+        for sink in sinks:
+            for entry in entries:
+                sink(entry)
 
     # -- recording --------------------------------------------------
 
@@ -176,13 +341,19 @@ class Tracer:
         """Record a point-in-time event into the ring."""
         if not self._enabled:
             return
+        current = self._current()
         with self._lock:
             self._seq += 1
             entry = {"seq": self._seq, "kind": "event",
                      "name": name, "at": time.time()}
-            if attrs:
-                entry.update(attrs)
+            if current is not None:
+                entry["trace"], entry["span"] = current
+            for key, value in attrs.items():
+                # Reserved entry fields (kind, trace, at, ...) win
+                # over caller attributes of the same name.
+                entry.setdefault(key, value)
             self._ring.append(entry)
+        self._emit((entry,))
 
     def count(self, name: str, value: int = 1) -> None:
         """Bump a named monotonic counter."""
@@ -191,8 +362,11 @@ class Tracer:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + value
 
-    def _finish(self, name: str, duration: float, depth: int,
-                attrs: dict[str, Any]) -> None:
+    def _record(self, name: str, duration: float, depth: int,
+                attrs: dict[str, Any], trace_id: str, span_id: str,
+                parent_id: str | None) -> dict[str, Any]:
+        """Rollup + ring entry for one finished span (lock held by
+        caller's discretion — this takes it)."""
         with self._lock:
             rollup = self._spans.get(name)
             if rollup is None:
@@ -208,10 +382,136 @@ class Tracer:
             self._seq += 1
             entry = {"seq": self._seq, "kind": "span", "name": name,
                      "at": time.time(), "depth": depth,
-                     "duration": duration}
-            if attrs:
-                entry.update(attrs)
+                     "duration": duration, "trace": trace_id,
+                     "span": span_id, "parent": parent_id}
+            for key, value in attrs.items():
+                # Reserved entry fields win over same-named attrs.
+                entry.setdefault(key, value)
             self._ring.append(entry)
+        return entry
+
+    def _finish(self, name: str, duration: float, depth: int,
+                attrs: dict[str, Any], trace_id: str, span_id: str,
+                parent_id: str | None) -> None:
+        entry = self._record(name, duration, depth, attrs,
+                             trace_id, span_id, parent_id)
+        self._emit((entry,))
+
+    def record_span(self, name: str, duration: float, *,
+                    context: dict | None = None,
+                    **attrs: Any) -> None:
+        """Record a span whose duration was measured elsewhere.
+
+        For timings that exist as monotonic pairs rather than a code
+        region — e.g. a job's queue wait, known only when it starts
+        running.  *context* (an :func:`attach`-style dict) makes the
+        recorded span a child of a remote parent; without one it
+        parents to the thread's current span, or starts a new trace.
+        """
+        if not self._enabled:
+            return
+        duration = max(0.0, float(duration))
+        trace_id: str | None = None
+        parent_id: str | None = None
+        if isinstance(context, dict):
+            ctx_trace = context.get("trace")
+            ctx_span = context.get("span")
+            if isinstance(ctx_trace, str) and isinstance(ctx_span, str):
+                trace_id, parent_id = ctx_trace, ctx_span
+        if trace_id is None:
+            current = self._current()
+            if current is not None:
+                trace_id, parent_id = current
+            else:
+                trace_id = _new_trace_id()
+        entry = self._record(name, duration, 0, dict(attrs),
+                             trace_id, _new_span_id(), parent_id)
+        self._emit((entry,))
+
+    def adopt(self, entries) -> int:
+        """Fold entries recorded in another process into this tracer.
+
+        Worker captures and harvested daemon rings re-enter here:
+        each entry keeps its ids, name, attrs and duration (so
+        parent linkage survives the hop) but is re-sequenced into
+        this tracer's ring and counted into its rollups.  Adopted
+        entries flow to sinks, so an installed flight recorder logs
+        them too.  Returns the number adopted; no-op when disabled.
+        """
+        if not self._enabled or not entries:
+            return 0
+        adopted: list[dict[str, Any]] = []
+        with self._lock:
+            for entry in entries:
+                if not isinstance(entry, dict) or "name" not in entry:
+                    continue
+                copied = dict(entry)
+                self._seq += 1
+                copied["seq"] = self._seq
+                duration = copied.get("duration")
+                if (copied.get("kind") == "span"
+                        and isinstance(duration, (int, float))):
+                    name = copied["name"]
+                    rollup = self._spans.get(name)
+                    if rollup is None:
+                        self._spans[name] = {
+                            "count": 1, "total": duration,
+                            "min": duration, "max": duration}
+                    else:
+                        rollup["count"] += 1
+                        rollup["total"] += duration
+                        if duration < rollup["min"]:
+                            rollup["min"] = duration
+                        if duration > rollup["max"]:
+                            rollup["max"] = duration
+                self._ring.append(copied)
+                adopted.append(copied)
+        self._emit(adopted)
+        return len(adopted)
+
+    # -- context ----------------------------------------------------
+
+    def _current(self) -> tuple[str, str] | None:
+        """The active ``(trace_id, span_id)`` on this thread — the
+        innermost open span, else an attached remote parent."""
+        local = self._local
+        stack = getattr(local, "stack", None)
+        if stack:
+            return stack[-1]
+        return getattr(local, "remote", None)
+
+    def context(self) -> dict[str, str] | None:
+        """The current trace context as a wire-ready dict
+        (``{"trace": ..., "span": ...}``), or None when disabled or
+        no span is active.  This is what job submissions carry."""
+        if not self._enabled:
+            return None
+        current = self._current()
+        if current is None:
+            return None
+        return {"trace": current[0], "span": current[1]}
+
+    def attach(self, ctx: dict | None):
+        """Context manager grafting a remote parent onto this thread.
+
+        Root spans opened inside the ``with`` join *ctx*'s trace as
+        children of its span — how a daemon worker's spans become
+        children of the coordinator's lease span.  No-op (shared
+        instance) when disabled or *ctx* is absent/malformed.
+        """
+        if not self._enabled or not isinstance(ctx, dict):
+            return _NOOP_ATTACH
+        trace_id = ctx.get("trace")
+        span_id = ctx.get("span")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return _NOOP_ATTACH
+        return _Attach(self, (trace_id, span_id))
+
+    def capture(self):
+        """Context manager collecting entries this thread finishes —
+        see :class:`_Capture`.  Inert while disabled (``.entries``
+        stays empty)."""
+        return _Capture(self)
 
     # -- reading ----------------------------------------------------
 
@@ -238,7 +538,8 @@ class Tracer:
         return entries
 
     def reset(self) -> None:
-        """Drop all recorded data; the enabled flag is untouched."""
+        """Drop all recorded data; the enabled flag and registered
+        sinks are untouched."""
         with self._lock:
             self._ring.clear()
             self._spans.clear()
@@ -280,6 +581,27 @@ def snapshot() -> dict[str, Any]:
 
 def reset() -> None:
     TRACER.reset()
+
+
+def context() -> dict[str, str] | None:
+    return TRACER.context()
+
+
+def attach(ctx: dict | None):
+    return TRACER.attach(ctx)
+
+
+def capture():
+    return TRACER.capture()
+
+
+def adopt(entries) -> int:
+    return TRACER.adopt(entries)
+
+
+def record_span(name: str, duration: float, *,
+                context: dict | None = None, **attrs: Any) -> None:
+    TRACER.record_span(name, duration, context=context, **attrs)
 
 
 class scoped_tracing:

@@ -192,6 +192,14 @@ class ServiceClient:
         return self._with_retries(
             once, key=f"{self.host}:{self.port}/metrics")
 
+    def trace(self) -> dict:
+        """The daemon's tracer snapshot from ``GET /trace`` —
+        rollups, counters and the recent-entry ring, each span
+        carrying its trace/span/parent ids, plus the daemon's
+        ``pid``.  What :func:`repro.obs.export.harvest_daemons`
+        stitches distributed traces from."""
+        return self._request("GET", "/trace")
+
     def submit(self, request: Mapping) -> dict:
         """POST one raw job request; returns ``{"job": ...,
         "coalesced": ...}``.  Submission is idempotent on the daemon

@@ -23,6 +23,7 @@ Endpoints (see ``docs/service.md`` for the full reference)::
     GET  /jobs               list jobs (?state= filter)
     GET  /jobs/<id>          one job (?wait=SECONDS long-polls)
     GET  /jobs/<id>/events   NDJSON progress stream until terminal
+    GET  /trace              tracer snapshot (spans carry trace ids)
     POST /store/has          which of these store keys are held here
     POST /store/fetch        the stored records for these keys
     POST /shutdown           graceful stop
@@ -45,6 +46,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import tempfile
 import threading
 import time
@@ -54,6 +56,8 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.pipeline import Frontend
 from repro.dse.runner import FrontendSpec, _compile_spec, frontend_spec
+from repro.obs import trace
+from repro.obs.export import FlightRecorder, trace_log_path_for
 from repro.obs.metrics import MetricsRegistry
 from repro.service.protocol import (
     DEFAULT_HOST,
@@ -151,6 +155,16 @@ class MappingService:
         self._slots: asyncio.Semaphore | None = None
         self._shutdown: asyncio.Event | None = None
         self._dispatcher: asyncio.Task | None = None
+        #: Flight recorder streaming finished spans to an NDJSON log
+        #: beside the store — only when the daemon starts with
+        #: tracing enabled (FPFA_TRACE=1); otherwise no file, no
+        #: sink, no cost.
+        self._recorder: FlightRecorder | None = None
+        if trace.enabled():
+            log_path = trace_log_path_for(self.store)
+            if log_path is not None:
+                self._recorder = FlightRecorder(log_path)
+                trace.TRACER.add_sink(self._recorder)
 
     # -- lifecycle ----------------------------------------------------
 
@@ -185,6 +199,9 @@ class MappingService:
             self._server.close()
             await self._server.wait_closed()
         self.pool.shutdown()
+        if self._recorder is not None:
+            trace.TRACER.remove_sink(self._recorder)
+            self._recorder.close()
         if self._own_store is not None:
             self._own_store.cleanup()
 
@@ -273,6 +290,7 @@ class MappingService:
                       reused=reused, shipped=frontend is not None)
         record, info = await self._execute(run_map_job, request,
                                            frontend)
+        self._adopt_spans(info)
         self.stats.computed += 1
         meta = {"cache": "miss", "frontend_reused": reused,
                 "timings": info.get("timings"),
@@ -292,6 +310,7 @@ class MappingService:
         frontends = self._compiled_frontends(request["source"])
         payload, info = await self._execute(
             run_explore_job, request, str(self.store.root), frontends)
+        self._adopt_spans(info)
         self.stats.computed += 1
         # The sweep wrote records through its own cache handle on our
         # store directory; drop the stale incremental entry count.
@@ -312,6 +331,7 @@ class MappingService:
         frontends = self._compiled_frontends(request["source"])
         payload, info = await self._execute(
             run_chunk_job, request, str(self.store.root), frontends)
+        self._adopt_spans(info)
         self.stats.computed += 1
         self.store.invalidate_count()  # records written by the worker
         await self._trim_store()
@@ -337,6 +357,27 @@ class MappingService:
         """Run one executor function on the pool without blocking the
         event loop."""
         return await asyncio.wrap_future(self.pool.submit(fn, *args))
+
+    def _adopt_spans(self, info: dict) -> None:
+        """Fold a worker's captured spans into this daemon's tracer.
+
+        A process-mode worker's tracer ring is invisible from here;
+        the executor rides its finished spans home in the ``info``
+        side channel (see ``workers._stash_spans``).  Adoption puts
+        them in the ring ``GET /trace`` serves and forwards them to
+        the flight recorder.  The key is *popped* so job meta and
+        result payloads never grow a tracing field.  A thread-mode
+        worker already recorded straight into this process's tracer —
+        only spans stamped with a foreign pid are adopted, so nothing
+        is double-counted.
+        """
+        spans = info.pop("trace_spans", None)
+        if spans:
+            pid = os.getpid()
+            foreign = [entry for entry in spans
+                       if entry.get("pid") != pid]
+            if foreign:
+                trace.adopt(foreign)
 
     # -- frontend memo ------------------------------------------------
 
@@ -634,6 +675,15 @@ class MappingService:
                          for job in self.queue.list_jobs(state)]})
         elif method == "GET" and path.startswith("/jobs/"):
             await self._handle_job_get(path, query, writer)
+        elif method == "GET" and path == "/trace":
+            # Debug view of the tracer: rollups plus the recent-entry
+            # ring, every span carrying its trace/span/parent ids —
+            # what `fpfa-map trace export` harvests to stitch a
+            # distributed sweep's tree.  Cheap enough to serve inline
+            # (one lock, bounded copies).
+            snap = trace.snapshot()
+            snap["pid"] = os.getpid()
+            await _send_json(writer, 200, snap)
         elif method == "POST" and path == "/store/has":
             await self._handle_store(body, writer, fetch=False)
         elif method == "POST" and path == "/store/fetch":

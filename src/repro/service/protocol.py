@@ -120,6 +120,30 @@ def _optional_int(raw: Mapping, name: str,
     return value
 
 
+def _optional_trace(raw: Mapping) -> dict | None:
+    """The submitter's trace context, if it sent one.
+
+    A ``trace`` field is pure observability passthrough:
+    ``{"trace": <32-hex trace id>, "span": <16-hex parent span id>}``
+    minted by :func:`repro.obs.trace.context` on the client side.  It
+    never enters :func:`job_key`/:func:`coalesce_key` (identity
+    envelopes enumerate their fields explicitly) and never reaches a
+    stored record — observation must not change what is computed or
+    cached.  Malformed contexts are rejected at the door like every
+    other field.
+    """
+    ctx = raw.get("trace")
+    if ctx is None:
+        return None
+    if not isinstance(ctx, Mapping) or \
+            not isinstance(ctx.get("trace"), str) or \
+            not isinstance(ctx.get("span"), str):
+        raise ProtocolError(
+            "'trace' must be {'trace': hex-id, 'span': hex-id} "
+            f"(a trace context), got {ctx!r}")
+    return {"trace": ctx["trace"], "span": ctx["span"]}
+
+
 def normalise_map_request(raw: Mapping) -> dict:
     """Validate one map request; returns the canonical form.
 
@@ -173,6 +197,7 @@ def normalise_map_request(raw: Mapping) -> dict:
         "point": point.to_dict(),
         "verify_seed": _optional_int(raw, "verify_seed"),
         "priority": _optional_int(raw, "priority", 0),
+        "trace": _optional_trace(raw),
     }
 
 
@@ -220,6 +245,7 @@ def normalise_explore_request(raw: Mapping) -> dict:
         "seed": _optional_int(raw, "seed", 0),
         "verify_seed": _optional_int(raw, "verify_seed"),
         "priority": _optional_int(raw, "priority", 0),
+        "trace": _optional_trace(raw),
     }
 
 
@@ -257,6 +283,7 @@ def normalise_sweep_chunk_request(raw: Mapping) -> dict:
         "points": canonical,
         "verify_seed": _optional_int(raw, "verify_seed"),
         "priority": _optional_int(raw, "priority", 0),
+        "trace": _optional_trace(raw),
     }
 
 

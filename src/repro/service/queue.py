@@ -93,8 +93,22 @@ class Job:
     def add_event(self, event: str, **detail) -> dict:
         entry = {"seq": len(self.events), "event": event,
                  "at": round(time.time(), 6), **detail}
+        trace_id = self.trace_id
+        if trace_id is not None:
+            # Every streamed event names its trace, so a follower
+            # (``fpfa-map jobs --follow``, the dashboard timeline)
+            # links straight to the exported trace.
+            entry.setdefault("trace", trace_id)
         self.events.append(entry)
         return entry
+
+    @property
+    def trace_id(self) -> str | None:
+        """The submitter's trace id, when the request carried a
+        trace context (pure observability passthrough — see
+        ``protocol._optional_trace``)."""
+        ctx = self.request.get("trace")
+        return ctx.get("trace") if isinstance(ctx, dict) else None
 
     @property
     def terminal(self) -> bool:
@@ -145,6 +159,9 @@ class Job:
             "file": self.request.get("file"),
             "meta": self.meta,
         }
+        trace_id = self.trace_id
+        if trace_id is not None:
+            view["trace"] = trace_id
         if self.error is not None:
             view["error"] = self.error
         if with_result and self.result is not None:
@@ -189,9 +206,16 @@ class JobQueue:
         tracer.  The queue's own state is already consistent when
         this runs, so an observer reading ``stats()`` sees the
         post-transition picture."""
-        trace.count(f"queue.{event}")
         if trace.enabled():
-            trace.event(f"queue.{event}", job=job.id, kind=job.kind)
+            # Both calls sit behind one guard: the f-string name is
+            # an attribute built at the call site, and the zero-cost
+            # -while-disabled contract says those never run when
+            # tracing is off (audited by tests/test_trace.py).
+            trace.count(f"queue.{event}")
+            # job_kind, not kind: "kind" is the tracer's reserved
+            # span/event discriminator and must not be shadowed.
+            trace.event(f"queue.{event}", job=job.id,
+                        job_kind=job.kind)
         if self.observer is not None:
             self.observer(event, job)
 
@@ -295,6 +319,15 @@ class JobQueue:
         job.started = time.time()
         job.started_mono = time.monotonic()
         job.add_event("running")
+        if trace.enabled():
+            # The wait is a real phase of the job's life but not a
+            # code region, so it is recorded as a ready-made span:
+            # duration from the monotonic pair, parented under the
+            # submitter's span so the critical-path analysis sees
+            # queue time inside the lease that paid it.
+            trace.record_span("queue.wait", job.waited, job=job.id,
+                              job_kind=job.kind,
+                              context=job.request.get("trace"))
         self._notify("running", job)
 
     def finish(self, job: Job, result: dict, **meta) -> None:

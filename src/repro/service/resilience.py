@@ -347,6 +347,11 @@ def call_with_retries(fn: Callable[[], object], *,
                             error=str(error))
             if delay > 0:
                 sleep(delay)
+                if trace.enabled():
+                    # Backoff stalls get their own span so critical-
+                    # path analysis can attribute retry wait time.
+                    trace.record_span("retry.backoff", delay,
+                                      key=key, attempt=attempt)
             slept += delay
             continue
         if breaker is not None:

@@ -45,6 +45,22 @@ def source_digest(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
+def _stash_spans(info: dict, spans) -> None:
+    """Ride this job's captured span entries back to the daemon.
+
+    The worker may run in a forked process whose tracer ring dies
+    with it; the ``info`` side channel (never the result payload —
+    payloads stay bit-identical under tracing) carries the entries
+    home, where the daemon :func:`repro.obs.trace.adopt`-s them.
+    Each entry is stamped with the worker's pid so the exported
+    timeline keeps one swimlane per process.  Untraced jobs add
+    nothing — the info dict stays byte-identical to PR 6.
+    """
+    if spans.entries:
+        info["trace_spans"] = [dict(entry, pid=os.getpid())
+                               for entry in spans.entries]
+
+
 # ---------------------------------------------------------------------------
 # Job executors (module-level: they must pickle into worker processes)
 # ---------------------------------------------------------------------------
@@ -59,13 +75,16 @@ def run_map_job(request: Mapping,
     record.
     """
     sink: dict = {}
-    with trace.span("worker.map", warm=frontend is not None):
-        record = evaluate_point(request["source"],
-                                request_point(request),
-                                request.get("verify_seed"),
-                                frontend=frontend, sink=sink)
-    return record, {"timings": sink.get("timings"),
-                    "worker": os.getpid()}
+    with trace.attach(request.get("trace")), \
+            trace.capture() as spans:
+        with trace.span("worker.map", warm=frontend is not None):
+            record = evaluate_point(request["source"],
+                                    request_point(request),
+                                    request.get("verify_seed"),
+                                    frontend=frontend, sink=sink)
+    info = {"timings": sink.get("timings"), "worker": os.getpid()}
+    _stash_spans(info, spans)
+    return record, info
 
 
 def run_explore_job(request: Mapping, store_root: str | None = None,
@@ -99,10 +118,12 @@ def run_explore_job(request: Mapping, store_root: str | None = None,
                      seed=request["seed"])
     else:
         extra = {}
-    with trace.span("worker.explore", strategy=strategy):
-        result = STRATEGIES[strategy](request["source"], space,
-                                      objectives=objectives,
-                                      **extra, **run_kwargs)
+    with trace.attach(request.get("trace")), \
+            trace.capture() as spans:
+        with trace.span("worker.explore", strategy=strategy):
+            result = STRATEGIES[strategy](request["source"], space,
+                                          objectives=objectives,
+                                          **extra, **run_kwargs)
     stats = result.stats.as_dict()
     payload = {
         "workload": request.get("file") or "<submitted source>",
@@ -113,7 +134,9 @@ def run_explore_job(request: Mapping, store_root: str | None = None,
         "frontier": pareto_front(result.records, objectives),
         "records": result.records,
     }
-    return payload, {"stats": stats, "worker": os.getpid()}
+    info = {"stats": stats, "worker": os.getpid()}
+    _stash_spans(info, spans)
+    return payload, info
 
 
 def run_chunk_job(request: Mapping, store_root: str | None = None,
@@ -134,11 +157,13 @@ def run_chunk_job(request: Mapping, store_root: str | None = None,
 
     points = [DesignPoint.from_dict(entry)
               for entry in request["points"]]
-    with trace.span("worker.chunk", points=len(points)):
-        records, stats = evaluate_chunk(
-            request["source"], points,
-            verify_seed=request.get("verify_seed"),
-            cache=store_root, frontends=frontends)
+    with trace.attach(request.get("trace")), \
+            trace.capture() as spans:
+        with trace.span("worker.chunk", points=len(points)):
+            records, stats = evaluate_chunk(
+                request["source"], points,
+                verify_seed=request.get("verify_seed"),
+                cache=store_root, frontends=frontends)
     payload = {
         "kind": "sweep-chunk",
         "points": len(points),
@@ -147,8 +172,9 @@ def run_chunk_job(request: Mapping, store_root: str | None = None,
                   "evaluated": stats.evaluated,
                   "failed": stats.failed},
     }
-    return payload, {"stats": payload["stats"],
-                     "worker": os.getpid()}
+    info = {"stats": payload["stats"], "worker": os.getpid()}
+    _stash_spans(info, spans)
+    return payload, info
 
 
 # ---------------------------------------------------------------------------

@@ -319,15 +319,20 @@ def _workload_store(quick: bool):
 
 
 def _workload_obs(quick: bool):
-    """The ``sweep`` workload under an enabled tracer, plus a one-shot
-    overhead gate in setup: tracing must cost < 3% when enabled and
-    must be a plain attribute check when disabled.  Uses best-of-N
-    over alternating enabled/disabled runs so a background hiccup
-    hits both sides equally instead of deciding the verdict."""
+    """The ``sweep`` workload under an enabled tracer **with the
+    flight recorder streaming every span to an NDJSON log**, plus a
+    one-shot overhead gate in setup: recording must cost < 3% over
+    the untraced sweep, and disabled tracing must stay a plain
+    attribute check.  Uses best-of-N over alternating
+    enabled/disabled runs so a background hiccup hits both sides
+    equally instead of deciding the verdict."""
+    import tempfile
+
     from repro.dse.runner import run_sweep
     from repro.dse.space import DesignSpace
     from repro.eval.kernels import fir_source
     from repro.obs import trace
+    from repro.obs.export import recording
 
     space = DesignSpace({"n_pps": [1, 2, 3, 4, 6, 8],
                          "n_buses": [2, 6, 10, 14]})
@@ -349,29 +354,36 @@ def _workload_obs(quick: bool):
     sweep()  # warm imports/caches before any timing
     pairs = 4 if quick else 6
     plain = traced = float("inf")
+    scratch = tempfile.mkdtemp(prefix="bench-obs-")
+    log = pathlib.Path(scratch) / "trace-log.ndjson"
+
+    def timed_recording(index: int) -> float:
+        # A fresh log per run: appending to a growing file would
+        # charge later runs for earlier runs' data.
+        with recording(log.with_suffix(f".{index}.ndjson")):
+            return timed()
+
     # Interleaved pairs, alternating which side goes first: clock
     # drift and the second-in-pair cache penalty hit both sides
     # equally instead of deciding the verdict.
     for index in range(pairs):
         if index % 2:
-            with trace.scoped_tracing():
-                traced = min(traced, timed())
+            traced = min(traced, timed_recording(index))
             plain = min(plain, timed())
         else:
             plain = min(plain, timed())
-            with trace.scoped_tracing():
-                traced = min(traced, timed())
+            traced = min(traced, timed_recording(index))
     trace.reset()
     overhead = traced / plain - 1.0
-    print(f"  [obs] tracing overhead on sweep: {overhead:+.2%} "
-          f"(enabled {traced * 1e3:.1f} ms, "
+    print(f"  [obs] recording overhead on sweep: {overhead:+.2%} "
+          f"(recording {traced * 1e3:.1f} ms, "
           f"disabled {plain * 1e3:.1f} ms)")
     # 3% relative with a small absolute floor so a sub-second sweep
     # on a noisy runner cannot fail on microseconds.
     if traced > plain * 1.03 + 0.010:
         raise RuntimeError(
-            f"tracing overhead {overhead:+.2%} exceeds the 3% "
-            f"budget (enabled {traced:.4f}s vs disabled "
+            f"recording overhead {overhead:+.2%} exceeds the 3% "
+            f"budget (recording {traced:.4f}s vs disabled "
             f"{plain:.4f}s)")
     # Disabled tracing is one attribute check per span: the no-op
     # span must be shared (no allocation) and nothing recorded.
@@ -380,7 +392,7 @@ def _workload_obs(quick: bool):
     assert trace.snapshot()["spans"] == {}
 
     def run():
-        with trace.scoped_tracing():
+        with recording(log):
             return sweep()
 
     return run, {"points": len(points), "pairs": pairs,

@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""Tracing smoke harness — the cross-process stitch, end to end.
+
+Runs a sharded sweep over a fleet of **real** ``fpfa-map serve``
+subprocesses with the flight recorder on (daemons inherit
+``FPFA_TRACE`` through their environment), harvests the daemon-side
+rings over ``GET /trace``, and checks the whole tracing surface the
+way an operator would:
+
+1. **Stitching** — the merged NDJSON log holds exactly one sweep
+   trace; every coordinator ``distributed.lease`` span parents the
+   sweep root, and every daemon-side ``worker.chunk`` /
+   ``queue.wait`` span parents a lease span — verified by parent-ID
+   linkage, across the process boundary (the daemon entries carry a
+   foreign pid).
+2. **Export** — :func:`repro.obs.export.to_chrome_trace` produces
+   ``trace_event`` JSON that survives a strict round trip: a
+   ``traceEvents`` list, complete ``X`` spans with non-negative
+   ``ts``/``dur``, process-name metadata for every lane.
+3. **Critical path** — :func:`repro.obs.critical.critical_path`
+   attributes at least 95% of the sweep's wall time to named phases.
+4. **Bit identity** — the artifacts produced with recording on are
+   byte-for-byte the records an untraced run produces; observation
+   never mutates.
+
+Exit code 0 means every phase held.  This is part of the CI
+``observability`` job::
+
+    python tools/trace_smoke.py [--daemons 2] [--chunk-size 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.dse.distributed import run_distributed_sweep  # noqa: E402
+from repro.dse.runner import run_sweep                   # noqa: E402
+from repro.dse.space import DesignSpace                  # noqa: E402
+from repro.eval.kernels import get_kernel                # noqa: E402
+from repro.obs.critical import (                         # noqa: E402
+    critical_path,
+    render_critical,
+)
+from repro.obs.export import (                           # noqa: E402
+    TRACE_LOG_NAME,
+    harvest_daemons,
+    load_trace,
+    recording,
+    to_chrome_trace,
+)
+from repro.service.subproc import DaemonProcess          # noqa: E402
+
+#: 12 points over two axes — enough chunks that both daemons lease
+#: several times, small enough that the job stays a smoke test.
+SPACE = DesignSpace({
+    "n_pps": [1, 2, 3, 4],
+    "n_buses": [2, 4, 6],
+})
+
+
+def canon(records) -> str:
+    return json.dumps(records, sort_keys=True)
+
+
+def start_fleet(workdir: pathlib.Path, n: int,
+                workers: int) -> list[DaemonProcess]:
+    fleet = []
+    try:
+        for index in range(n):
+            daemon = DaemonProcess(
+                workdir / f"store-{index}", workers=workers)
+            fleet.append(daemon.start())
+    except BaseException:
+        for daemon in fleet:
+            daemon.kill()
+        raise
+    return fleet
+
+
+def check_stitching(entries, failures):
+    spans = [e for e in entries if e.get("kind") == "span"]
+    sweeps = [e for e in spans if e["name"] == "dse.sweep"]
+    if len(sweeps) != 1:
+        failures.append(f"expected 1 dse.sweep span, "
+                        f"found {len(sweeps)}")
+        return
+    root = sweeps[0]
+    traces = {e.get("trace") for e in spans}
+    if traces != {root["trace"]}:
+        failures.append(f"log spans span {len(traces)} trace id(s), "
+                        f"expected exactly the sweep's")
+    leases = [e for e in spans if e["name"] == "distributed.lease"]
+    if not leases:
+        failures.append("no distributed.lease spans recorded")
+    bad = [e for e in leases if e.get("parent") != root["span"]]
+    if bad:
+        failures.append(f"{len(bad)} lease span(s) do not parent "
+                        f"the sweep root")
+    lease_ids = {e["span"] for e in leases}
+    local_pid = os.getpid()
+    for name in ("worker.chunk", "queue.wait"):
+        daemon_side = [e for e in spans if e["name"] == name]
+        if not daemon_side:
+            failures.append(f"no {name} spans harvested "
+                            f"from the daemons")
+            continue
+        foreign = [e for e in daemon_side
+                   if e.get("pid") not in (None, local_pid)]
+        if not foreign:
+            failures.append(f"{name} spans all carry the "
+                            f"coordinator pid — nothing crossed "
+                            f"the process boundary")
+        orphans = [e for e in daemon_side
+                   if e.get("parent") not in lease_ids]
+        if orphans:
+            failures.append(f"{len(orphans)}/{len(daemon_side)} "
+                            f"{name} span(s) do not parent a "
+                            f"lease span")
+    print(f"  stitched: 1 trace, {len(leases)} lease span(s), "
+          f"{sum(1 for e in spans if e['name'] == 'worker.chunk')} "
+          f"worker.chunk span(s) across "
+          f"{len({e.get('pid') for e in spans})} process(es)")
+
+
+def check_export(entries, workdir, failures):
+    payload = to_chrome_trace(entries)
+    out = workdir / "trace.json"
+    out.write_text(json.dumps(payload), encoding="utf-8")
+    decoded = json.loads(out.read_text(encoding="utf-8"))
+    events = decoded.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        failures.append("export has no traceEvents list")
+        return
+    spans = [e for e in events if e.get("ph") == "X"]
+    metas = [e for e in events if e.get("ph") == "M"]
+    broken = [e for e in spans
+              if not {"name", "ts", "dur", "pid", "tid"} <= e.keys()
+              or e["ts"] < 0 or e["dur"] < 0]
+    if broken:
+        failures.append(f"{len(broken)} complete event(s) "
+                        f"malformed in export")
+    lanes = {e["pid"] for e in spans}
+    named = {e["pid"] for e in metas
+             if e.get("name") == "process_name"}
+    if not lanes <= named:
+        failures.append("export lanes missing process_name "
+                        "metadata")
+    print(f"  export: {len(spans)} span(s), {len(metas)} metadata "
+          f"record(s), {len(lanes)} lane(s) -> {out.name}")
+
+
+def check_critical_path(entries, failures):
+    report = critical_path(entries)
+    if report["total"] <= 0:
+        failures.append("critical path found no sweep window")
+        return
+    if report["attributed"] < 0.95:
+        failures.append(f"critical path attributed only "
+                        f"{report['attributed']:.1%} of wall time")
+    print("  " + render_critical(report).replace("\n", "\n  "))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--daemons", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--chunk-size", type=int, default=3)
+    parser.add_argument("--kernel", default="fir5")
+    args = parser.parse_args(argv)
+
+    source = get_kernel(args.kernel).source
+    points = SPACE.grid()
+    failures: list[str] = []
+
+    print(f"[trace-smoke] local ground truth: {len(points)} points")
+    expected = run_sweep(source, points, workers=1)
+
+    with tempfile.TemporaryDirectory(prefix="trace-smoke-") as raw:
+        workdir = pathlib.Path(raw)
+        # Daemons inherit the coordinator environment; flip tracing
+        # on before the fleet spawns so every process records.
+        os.environ["FPFA_TRACE"] = "1"
+        print(f"[trace-smoke] starting {args.daemons} daemon(s), "
+              f"{args.workers} worker(s) each, tracing on")
+        fleet = start_fleet(workdir, args.daemons, args.workers)
+        log = workdir / TRACE_LOG_NAME
+        try:
+            with recording(log) as recorder:
+                result = run_distributed_sweep(
+                    source, points,
+                    remotes=[d.url for d in fleet],
+                    cache=workdir / "cache",
+                    chunk_size=args.chunk_size)
+                harvested = harvest_daemons(
+                    [d.url for d in fleet], recorder,
+                    trace_ids=recorder.seen_traces)
+            print(f"[trace-smoke] {result.stats.summary()}")
+            print(f"[trace-smoke] harvested {harvested} daemon "
+                  f"entr(ies) into {log.name}")
+        finally:
+            for daemon in fleet:
+                daemon.kill()
+            os.environ.pop("FPFA_TRACE", None)
+
+        if canon(result.records) != canon(expected.records):
+            failures.append("traced sweep records differ from the "
+                            "untraced local run — observation "
+                            "mutated the artifacts")
+        else:
+            print("[trace-smoke] artifacts bit-identical to the "
+                  "untraced run")
+
+        entries = load_trace(log)
+        print(f"[trace-smoke] log holds {len(entries)} entr(ies)")
+        check_stitching(entries, failures)
+        check_export(entries, workdir, failures)
+        check_critical_path(entries, failures)
+
+    if failures:
+        print(f"[trace-smoke] FAILED ({len(failures)}):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("[trace-smoke] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
