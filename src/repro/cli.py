@@ -89,7 +89,7 @@ from repro.core.pipeline import (
 from repro.eval.metrics import mapping_metrics
 
 SUBCOMMANDS = ("map", "explore", "serve", "submit", "jobs",
-               "dashboard", "cache", "trace")
+               "dashboard", "cache", "trace", "lint")
 
 
 # ---------------------------------------------------------------------------
@@ -454,6 +454,13 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_trace_arguments(subparsers.add_parser(
         "trace", help="record, export and analyse distributed "
                       "traces (repro.obs)"))
+    lint = subparsers.add_parser(
+        "lint", help="run fpfa-lint, the repo-invariant static "
+                     "analysis suite (tools/fpfa_lint)")
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments passed through to "
+                           "`python -m tools.fpfa_lint` "
+                           "(try: --list-checkers)")
     return parser
 
 
@@ -1120,6 +1127,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if report["total"] > 0 else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Passthrough to ``python -m tools.fpfa_lint`` that works from
+    any cwd — the linter lives outside the installed package, so it
+    needs a repository checkout."""
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    if not os.path.isdir(os.path.join(root, "tools", "fpfa_lint")):
+        print(f"fpfa-map lint: no tools/fpfa_lint under {root} — "
+              f"linting needs a repository checkout",
+              file=sys.stderr)
+        return 2
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    from tools.fpfa_lint.__main__ import main as lint_main
+    return lint_main(args.lint_args)
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -1135,11 +1159,18 @@ def main(argv: list[str] | None = None) -> int:
                  or (len(argv) == 1 and os.path.isfile(argv[0]))) \
             and argv[0] not in ("-h", "--help"):
         argv.insert(0, "map")
+    if argv and argv[0] == "lint":
+        # Routed before argparse: REMAINDER cannot start with an
+        # option string on newer Pythons, and fpfa-lint owns its
+        # own --help anyway.
+        return _cmd_lint(argparse.Namespace(command="lint",
+                                            lint_args=argv[1:]))
     args = _build_parser().parse_args(argv)
     commands = {"map": _cmd_map, "explore": _cmd_explore,
                 "serve": _cmd_serve, "submit": _cmd_submit,
                 "jobs": _cmd_jobs, "dashboard": _cmd_dashboard,
-                "cache": _cmd_cache, "trace": _cmd_trace}
+                "cache": _cmd_cache, "trace": _cmd_trace,
+                "lint": _cmd_lint}
     return commands[args.command](args)
 
 

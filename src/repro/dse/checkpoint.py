@@ -95,7 +95,7 @@ class SweepJournal:
 
     def begin(self, *, total: int,
               pending: Iterable[str]) -> None:
-        self._append({"event": "begin", "at": time.time(),
+        self._append({"event": "begin", "at": time.time(),  # fpfa-lint: wall-clock
                       "total": total, "pending": list(pending)})
 
     def lease(self, chunk: int, daemon: str,

@@ -548,12 +548,17 @@ def _lease_loop(fleet: _Fleet, remote: tuple[str, int]) -> None:
                         f"daemon answered {len(records)} record(s),"
                         f" {len(missing)} leased key(s) missing",
                         retryable=False)
-            except Exception as error:  # noqa: BLE001 — a lease
+            except BaseException as error:  # noqa: BLE001 — a lease
                 # lane must NEVER die without re-queuing its chunk
                 # (the sweep would wait on it forever); any failure
                 # shape — ServiceError, reset socket, torn HTTP
-                # frame, open breaker — demotes and re-queues.
+                # frame, open breaker, even a KeyboardInterrupt
+                # landing in this thread — demotes and re-queues.
+                # Non-Exception escapees (interrupts) then propagate
+                # so the process still dies.
                 _demote(fleet, remote, error, chunk_id)
+                if not isinstance(error, Exception):
+                    raise
                 return
             # Durability first: records hit the cache and the
             # journal records the completion BEFORE the chunk is

@@ -171,7 +171,7 @@ class FleetCollector:
                 # The PR 5 queue.py convention: the wall stamp is
                 # presentation-only; staleness/interval math uses
                 # the paired monotonic reading.
-                "at": time.time(),
+                "at": time.time(),  # fpfa-lint: wall-clock
                 "at_mono": time.monotonic(),
                 "daemons": daemons,
                 "reconnects": self._reconnects,

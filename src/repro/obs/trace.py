@@ -345,7 +345,7 @@ class Tracer:
         with self._lock:
             self._seq += 1
             entry = {"seq": self._seq, "kind": "event",
-                     "name": name, "at": time.time()}
+                     "name": name, "at": time.time()}  # fpfa-lint: wall-clock
             if current is not None:
                 entry["trace"], entry["span"] = current
             for key, value in attrs.items():
@@ -381,7 +381,7 @@ class Tracer:
                     rollup["max"] = duration
             self._seq += 1
             entry = {"seq": self._seq, "kind": "span", "name": name,
-                     "at": time.time(), "depth": depth,
+                     "at": time.time(), "depth": depth,  # fpfa-lint: wall-clock
                      "duration": duration, "trace": trace_id,
                      "span": span_id, "parent": parent_id}
             for key, value in attrs.items():

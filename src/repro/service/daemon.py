@@ -139,7 +139,7 @@ class MappingService:
         #: monotonic twin: ``time.time()`` steps under NTP
         #: corrections, so a wall-clock uptime can jump or go
         #: negative (the queue.py convention from PR 5).
-        self.started_at = time.time()
+        self.started_at = time.time()  # fpfa-lint: wall-clock
         self.started_mono = time.monotonic()
         self.address: tuple[str, int] | None = None
         self.metrics = MetricsRegistry()
@@ -225,6 +225,18 @@ class MappingService:
         """
         request = normalise_request(raw)
         key = job_key(request)
+        # The store is sqlite+disk: look up BEFORE queueing, in an
+        # executor, so the event loop never blocks on it — and so no
+        # await sits between queue.submit and queue.finish below
+        # (the dispatcher could pop the job in that window and
+        # double-run it).
+        record = None
+        want_verified = request.get("verify_seed") is not None
+        if request["kind"] == "map":
+            loop = asyncio.get_running_loop()
+            record = await loop.run_in_executor(
+                None, lambda: self.store.lookup(
+                    key, want_verified=want_verified))
         job, coalesced = self.queue.submit(request, key,
                                            coalesce_key(request))
         self.stats.submits += 1
@@ -234,17 +246,14 @@ class MappingService:
             self.stats.coalesced += 1
             await self._notify()
             return job, True
-        if request["kind"] == "map":
-            record = self.store.lookup(
-                key, want_verified=request["verify_seed"] is not None)
-            if record is not None:
-                self.stats.store_hits += 1
-                payload = record_to_map_payload(
-                    record, file=request["file"],
-                    want_verified=request["verify_seed"] is not None)
-                self.queue.finish(job, payload, cache="hit")
-                await self._notify()
-                return job, False
+        if record is not None:
+            self.stats.store_hits += 1
+            payload = record_to_map_payload(
+                record, file=request["file"],
+                want_verified=want_verified)
+            self.queue.finish(job, payload, cache="hit")
+            await self._notify()
+            return job, False
         await self._notify()
         return job, False
 
@@ -275,6 +284,10 @@ class MappingService:
                 await self._run_chunk(job)
             else:
                 await self._run_explore(job)
+        except asyncio.CancelledError:
+            # Daemon shutdown mid-job: propagate so the task reads
+            # as cancelled, not failed.
+            raise
         except Exception as error:  # noqa: BLE001 — fault isolation
             self.stats.failed += 1
             self.queue.fail(job,
@@ -296,7 +309,9 @@ class MappingService:
                 "timings": info.get("timings"),
                 "worker": info.get("worker")}
         if record["ok"]:
-            self.store.admit(job.key, record)
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, self.store.admit, job.key, record)
             payload = record_to_map_payload(
                 record, file=request["file"],
                 want_verified=request["verify_seed"] is not None)
@@ -393,6 +408,8 @@ class MappingService:
         """
         try:
             spec = frontend_spec(request_point(request))
+        except asyncio.CancelledError:
+            raise
         except Exception:  # noqa: BLE001 — surfaces per record
             return None, False
         memo_key = (source_digest(request["source"]), spec)
@@ -410,6 +427,8 @@ class MappingService:
             self.stats.frontends_reused += 1
         try:
             return await task, reused
+        except asyncio.CancelledError:
+            raise
         except Exception:  # noqa: BLE001 — surfaces per record
             self._frontends.pop(memo_key, None)
             return None, False
@@ -622,11 +641,12 @@ class MappingService:
             pass
         except asyncio.CancelledError:
             # Daemon shutdown while this connection long-polls or
-            # streams: finish quietly (the task would otherwise be
-            # logged as "exception never retrieved" by the streams
-            # machinery).  The writer is closed in `finally` either
-            # way; the client sees the connection drop.
-            pass
+            # streams: re-raise so the task finishes *cancelled*
+            # (task.cancelled() is true, nothing is logged as
+            # "exception never retrieved") instead of swallowing
+            # the cancellation.  The writer is closed in `finally`
+            # either way; the client sees the connection drop.
+            raise
         except Exception as error:  # noqa: BLE001 — keep serving
             try:
                 await _send_json(writer, 500,

@@ -67,7 +67,7 @@ class Job:
     #: Durations are NEVER derived from these: ``time.time()`` steps
     #: under NTP corrections, so ``finished - started`` can go
     #: negative.  The ``*_mono`` twins below are the duration source.
-    created: float = field(default_factory=lambda: time.time())
+    created: float = field(default_factory=lambda: time.time())  # fpfa-lint: wall-clock
     started: float | None = None
     finished: float | None = None
     #: ``time.monotonic()`` twins of the timestamps above; immune to
@@ -92,7 +92,7 @@ class Job:
 
     def add_event(self, event: str, **detail) -> dict:
         entry = {"seq": len(self.events), "event": event,
-                 "at": round(time.time(), 6), **detail}
+                 "at": round(time.time(), 6), **detail}  # fpfa-lint: wall-clock
         trace_id = self.trace_id
         if trace_id is not None:
             # Every streamed event names its trace, so a follower
@@ -316,7 +316,7 @@ class JobQueue:
 
     def mark_running(self, job: Job) -> None:
         job.state = RUNNING
-        job.started = time.time()
+        job.started = time.time()  # fpfa-lint: wall-clock
         job.started_mono = time.monotonic()
         job.add_event("running")
         if trace.enabled():
@@ -333,7 +333,7 @@ class JobQueue:
     def finish(self, job: Job, result: dict, **meta) -> None:
         self._leave_queued(job)
         job.state = DONE
-        job.finished = time.time()
+        job.finished = time.time()  # fpfa-lint: wall-clock
         job.finished_mono = time.monotonic()
         job.result = result
         job.meta.update(meta)
@@ -347,7 +347,7 @@ class JobQueue:
     def fail(self, job: Job, error: str, **meta) -> None:
         self._leave_queued(job)
         job.state = FAILED
-        job.finished = time.time()
+        job.finished = time.time()  # fpfa-lint: wall-clock
         job.finished_mono = time.monotonic()
         job.error = error
         job.meta.update(meta)

@@ -1,0 +1,8 @@
+"""Fixture: FPL006 true positives (stdout purity)."""
+
+import sys
+
+
+def report(stats):
+    print("mapped", stats)
+    sys.stdout.write("done\n")

@@ -1,0 +1,11 @@
+"""Fixture: FPL003/FPL004 true positives (lease paths)."""
+
+from repro.obs import trace
+
+
+def lease(chunk, label):
+    trace.event("lease", daemon=label, points=len(chunk))
+    try:
+        chunk.send()
+    except OSError:
+        pass

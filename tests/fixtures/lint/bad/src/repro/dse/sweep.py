@@ -1,0 +1,32 @@
+"""Fixture: FPL001 true positives (determinism)."""
+
+import os
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random()
+
+
+def make_rng():
+    return random.Random()
+
+
+def scan(root):
+    return [path.name for path in root.glob("*.json")]
+
+
+def weights():
+    total = 0
+    for item in {"a", "b", "c"}:
+        total += len(item)
+    return total
+
+
+def listing(path):
+    return os.listdir(path)

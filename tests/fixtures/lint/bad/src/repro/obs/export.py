@@ -1,0 +1,13 @@
+"""Fixture: FPL007 true positives (resource hygiene)."""
+
+import json
+import sqlite3
+
+
+def slurp(path):
+    return json.loads(open(path).read())
+
+
+def count(path):
+    conn = sqlite3.connect(path)
+    return conn.execute("select count(*) from t").fetchone()[0]

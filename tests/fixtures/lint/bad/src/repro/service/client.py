@@ -1,0 +1,8 @@
+"""Fixture: FPL005 true positives (wire-field drift)."""
+
+
+def poll(client, request, job):
+    request["verify-seed"] = 7
+    if job["status"] == "done":
+        return job.get("payload")
+    return request.get("retries")

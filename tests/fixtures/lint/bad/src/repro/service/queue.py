@@ -1,0 +1,16 @@
+"""Fixture queue: ``Job.view()`` mints the view fields FPL005
+checks against."""
+
+
+class Job:
+    def view(self):
+        view = {
+            "id": 1,
+            "state": "done",
+            "runtime": 0.0,
+        }
+        view["result"] = None
+        return view
+
+    def add_event(self, event):
+        return {"seq": 0, "event": event, "at": 0.0}

@@ -1,0 +1,7 @@
+"""Fixture: FPL006 true negatives (diagnostics off stdout)."""
+
+import sys
+
+
+def report(stats):
+    print("mapped", stats, file=sys.stderr)

@@ -1,0 +1,32 @@
+"""Fixture: FPL001 true negatives (determinism done right)."""
+
+import os
+import random
+import time
+
+
+def stamp():
+    return time.time()  # fpfa-lint: wall-clock
+
+
+def elapsed(start):
+    return time.monotonic() - start
+
+
+def jitter(seed):
+    return random.Random(seed).random()
+
+
+def scan(root):
+    return [path.name for path in sorted(root.glob("*.json"))]
+
+
+def weights():
+    total = 0
+    for item in sorted({"a", "b", "c"}):
+        total += len(item)
+    return total
+
+
+def listing(path):
+    return sorted(os.listdir(path))

@@ -1,0 +1,25 @@
+"""Fixture: FPL007 true negatives (owned handles)."""
+
+import sqlite3
+
+
+class Exporter:
+    def __init__(self, path):
+        self._conn = sqlite3.connect(path)
+
+
+def slurp(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def count(path):
+    conn = sqlite3.connect(path)
+    try:
+        return conn.execute("select 1").fetchone()[0]
+    finally:
+        conn.close()
+
+
+def reader(path):
+    return open(path)

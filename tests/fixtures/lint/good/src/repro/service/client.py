@@ -1,0 +1,8 @@
+"""Fixture: FPL005 true negatives (fields the protocol mints)."""
+
+
+def poll(client, request, job):
+    request["trace"] = None
+    if job["state"] == "done":
+        return job.get("result")
+    return request.get("priority")

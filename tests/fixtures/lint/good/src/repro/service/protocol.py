@@ -1,0 +1,14 @@
+"""Fixture protocol: the ``normalise_*`` validators mint the
+request fields FPL005 checks against."""
+
+
+def normalise_map_request(raw):
+    return {
+        "kind": "map",
+        "source": raw["source"],
+        "file": raw.get("file"),
+        "point": raw["point"],
+        "verify_seed": raw.get("verify_seed"),
+        "priority": raw.get("priority"),
+        "trace": raw.get("trace"),
+    }

@@ -472,3 +472,18 @@ def test_explore_cache_bounds_require_cache():
     with pytest.raises(SystemExit, match="--cache"):
         main(["explore", "--kernel", "fir5", "--pps", "1,2",
               "--cache-max-entries", "2"])
+
+
+def test_lint_subcommand_passthrough(capsys):
+    from repro.cli import main as cli_main
+
+    assert cli_main(["lint", "--list-checkers"]) == 0
+    out = capsys.readouterr().out
+    assert "FPL001" in out and "FPL007" in out
+
+
+def test_lint_subcommand_self_check(capsys):
+    from repro.cli import main as cli_main
+
+    assert cli_main(["lint"]) == 0
+    assert "clean" in capsys.readouterr().out

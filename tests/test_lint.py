@@ -1,0 +1,388 @@
+"""Tests for fpfa-lint (tools/fpfa_lint).
+
+The fixture trees under ``tests/fixtures/lint/{bad,good}`` mirror
+the real ``src/repro`` layout so the path-scoped rules (mapping-core
+ordering, wire-field drift, stdout purity, lease-path swallows) see
+the logical paths they scope by — ``lint_paths(root=...)`` remaps
+them.  ``bad`` carries at least one true positive per rule family;
+``good`` is the compliant mirror and must lint clean, which is the
+false-positive regression net.
+"""
+
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+if str(ROOT) not in sys.path:  # `python -m pytest` from elsewhere
+    sys.path.insert(0, str(ROOT))
+
+from tools.fpfa_lint import (  # noqa: E402
+    Baseline,
+    Finding,
+    REGISTRY,
+    lint_paths,
+)
+from tools.fpfa_lint.core import all_checkers  # noqa: E402
+import tools.fpfa_lint.checkers  # noqa: E402,F401 — fill REGISTRY
+from tools.fpfa_lint.reporters import (  # noqa: E402
+    render_json,
+    render_markdown,
+    render_text,
+)
+from tools.fpfa_lint.__main__ import main as lint_main  # noqa: E402
+
+BAD = ROOT / "tests" / "fixtures" / "lint" / "bad"
+GOOD = ROOT / "tests" / "fixtures" / "lint" / "good"
+
+ALL_CODES = sorted(REGISTRY)
+
+
+@pytest.fixture(scope="module")
+def bad_run():
+    return lint_paths([BAD], root=BAD)
+
+
+@pytest.fixture(scope="module")
+def good_run():
+    return lint_paths([GOOD], root=GOOD)
+
+
+def _lint_snippet(tmp_path, source, rel="src/repro/dse/mod.py",
+                  **kwargs):
+    """Lint one snippet at a logical repo path under a tmp root."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([tmp_path], root=tmp_path, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# the catalog
+# ---------------------------------------------------------------------------
+
+def test_registry_has_the_seven_checkers():
+    assert ALL_CODES == [f"FPL00{n}" for n in range(1, 8)]
+
+
+def test_checkers_have_names_and_descriptions():
+    for checker in all_checkers():
+        assert checker.name
+        assert checker.description
+        assert checker.severity in ("error", "warning")
+
+
+# ---------------------------------------------------------------------------
+# fixture-backed true positives / true negatives, per checker
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_bad_tree_trips_checker(bad_run, code):
+    assert code in {f.code for f in bad_run.findings}, (
+        f"{code} has no true-positive fixture under {BAD}")
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_good_tree_passes_checker(good_run, code):
+    hits = [f for f in good_run.findings if f.code == code]
+    assert not hits, (
+        f"{code} false-positives on the compliant mirror: "
+        + "; ".join(f.render() for f in hits))
+
+
+def test_bad_tree_expected_finding_set(bad_run):
+    by_code = {}
+    for finding in bad_run.findings:
+        by_code.setdefault(finding.code, []).append(finding)
+    assert len(by_code["FPL001"]) == 6   # clock, 2×random, glob,
+    assert len(by_code["FPL002"]) == 3   # set-iter, listdir
+    assert len(by_code["FPL003"]) == 1
+    assert len(by_code["FPL004"]) == 4
+    assert len(by_code["FPL005"]) == 4
+    assert len(by_code["FPL006"]) == 2
+    assert len(by_code["FPL007"]) == 2
+
+
+def test_drifted_field_names_are_in_the_messages(bad_run):
+    messages = " ".join(f.message for f in bad_run.findings
+                        if f.code == "FPL005")
+    for field in ("'verify-seed'", "'status'", "'payload'",
+                  "'retries'"):
+        assert field in messages
+
+
+def test_findings_are_sorted_and_stable(bad_run):
+    assert bad_run.findings == sorted(bad_run.findings)
+    again = lint_paths([BAD], root=BAD)
+    assert again.findings == bad_run.findings
+
+
+def test_path_scoped_rules_need_the_logical_root():
+    # Without the root remap the fixture files sit under tests/…,
+    # so mapping-core/wire/stdout scoping does not apply.
+    unmapped = lint_paths([BAD])
+    codes = {f.code for f in unmapped.findings}
+    assert "FPL005" not in codes
+    assert "FPL006" not in codes
+
+
+# ---------------------------------------------------------------------------
+# suppressions and markers
+# ---------------------------------------------------------------------------
+
+SNIPPET = """
+    import time
+
+
+    def stamp():
+        return time.time(){trailer}
+"""
+
+
+def test_finding_without_directive(tmp_path):
+    run = _lint_snippet(tmp_path, SNIPPET.format(trailer=""))
+    assert [f.code for f in run.findings] == ["FPL001"]
+    assert run.suppressed == 0
+
+
+def test_inline_disable_suppresses(tmp_path):
+    run = _lint_snippet(tmp_path, SNIPPET.format(
+        trailer="  # fpfa-lint: disable=FPL001"))
+    assert not run.findings
+    assert run.suppressed == 1
+
+
+def test_standalone_disable_on_line_above(tmp_path):
+    source = """
+        import time
+
+
+        def stamp():
+            # fpfa-lint: disable=FPL001
+            return time.time()
+    """
+    run = _lint_snippet(tmp_path, source)
+    assert not run.findings
+    assert run.suppressed == 1
+
+
+def test_disable_of_other_code_does_not_suppress(tmp_path):
+    run = _lint_snippet(tmp_path, SNIPPET.format(
+        trailer="  # fpfa-lint: disable=FPL006"))
+    assert [f.code for f in run.findings] == ["FPL001"]
+
+
+def test_file_level_disable(tmp_path):
+    source = """
+        # fpfa-lint: disable-file=FPL001
+        import time
+
+
+        def stamp():
+            return time.time()
+
+
+        def other():
+            return time.time()
+    """
+    run = _lint_snippet(tmp_path, source)
+    assert not run.findings
+    assert run.suppressed == 2
+
+
+def test_file_level_disable_only_near_top(tmp_path):
+    filler = "\n".join(f"x{i} = {i}" for i in range(12))
+    source = ("import time\n" + filler +
+              "\n# fpfa-lint: disable-file=FPL001\n"
+              "def stamp():\n    return time.time()\n")
+    run = _lint_snippet(tmp_path, source)
+    assert [f.code for f in run.findings] == ["FPL001"]
+
+
+def test_wall_clock_marker_allowlists_fpl001(tmp_path):
+    run = _lint_snippet(tmp_path, SNIPPET.format(
+        trailer="  # fpfa-lint: wall-clock"))
+    assert not run.findings
+    # A marker is an allowlist annotation, not a suppression.
+    assert run.suppressed == 0
+
+
+def test_comma_separated_disable(tmp_path):
+    source = """
+        import time
+
+
+        def noisy(path):
+            # fpfa-lint: disable=FPL001,FPL007
+            return open(path), time.time()
+    """
+    run = _lint_snippet(tmp_path, source)
+    assert not run.findings
+    assert run.suppressed == 2
+
+
+# ---------------------------------------------------------------------------
+# baseline round trip
+# ---------------------------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path, bad_run):
+    baseline = Baseline.from_findings(bad_run.findings)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    run = lint_paths([BAD], root=BAD, baseline=loaded)
+    assert run.ok
+    assert not run.findings
+    assert len(run.grandfathered) == len(bad_run.findings)
+    assert not run.stale_baseline
+
+
+def test_baseline_goes_stale_when_findings_are_fixed(bad_run):
+    baseline = Baseline.from_findings(bad_run.findings)
+    run = lint_paths([GOOD], root=GOOD, baseline=baseline)
+    assert not run.findings
+    assert len(run.stale_baseline) == len(bad_run.findings)
+    assert not run.ok  # the ledger only ever shrinks
+
+
+def test_baseline_matches_by_message_not_line(tmp_path):
+    finding_run = _lint_snippet(tmp_path,
+                                SNIPPET.format(trailer=""))
+    baseline = Baseline.from_findings(finding_run.findings)
+    # Shift the finding down a few lines: still grandfathered.
+    shifted = "\n\n\n" + textwrap.dedent(
+        SNIPPET.format(trailer=""))
+    (tmp_path / "src/repro/dse/mod.py").write_text(
+        shifted, encoding="utf-8")
+    run = lint_paths([tmp_path], root=tmp_path, baseline=baseline)
+    assert run.ok and len(run.grandfathered) == 1
+
+
+def test_baseline_budget_is_a_multiset(tmp_path):
+    # Two identical findings, one baseline entry: one fresh.
+    source = """
+        import time
+
+
+        def a():
+            return time.time()
+
+
+        def b():
+            return time.time()
+    """
+    run = _lint_snippet(tmp_path, source)
+    assert len(run.findings) == 2
+    baseline = Baseline.from_findings(run.findings[:1])
+    rerun = lint_paths([tmp_path], root=tmp_path,
+                       baseline=baseline)
+    assert len(rerun.grandfathered) == 1
+    assert len(rerun.findings) == 1
+
+
+def test_baseline_rejects_foreign_payload(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 99}', encoding="utf-8")
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "nope.json")
+    assert baseline.entries == []
+
+
+# ---------------------------------------------------------------------------
+# the repo itself
+# ---------------------------------------------------------------------------
+
+def test_repo_lints_clean_against_committed_baseline():
+    """The tree must stay clean: every committed finding is either
+    fixed, suppressed with a reason, or baselined with a reason."""
+    baseline = Baseline.load(
+        ROOT / "tools" / "fpfa_lint" / "baseline.json")
+    run = lint_paths([ROOT / "src", ROOT / "tools"], root=ROOT,
+                     baseline=baseline)
+    problems = [f.render() for f in run.findings]
+    problems += [f"stale baseline: {e['path']} {e['code']}"
+                 for e in run.stale_baseline]
+    problems += run.errors
+    assert run.ok, "\n".join(problems)
+
+
+def test_committed_baseline_entries_carry_reasons():
+    baseline = Baseline.load(
+        ROOT / "tools" / "fpfa_lint" / "baseline.json")
+    for entry in baseline.entries:
+        assert entry.get("reason"), entry
+        assert "justify or fix" not in entry["reason"], (
+            "placeholder reason left by --update-baseline: "
+            + entry["path"])
+
+
+# ---------------------------------------------------------------------------
+# reporters and the CLI
+# ---------------------------------------------------------------------------
+
+def test_json_report_is_machine_readable(bad_run):
+    payload = json.loads(render_json(bad_run))
+    assert payload["ok"] is False
+    assert payload["files"] == 9
+    assert sum(payload["counts"].values()) == \
+        len(payload["findings"])
+    first = payload["findings"][0]
+    assert set(first) == {"path", "line", "column", "code",
+                          "severity", "message"}
+
+
+def test_text_report_lines_are_clickable(bad_run):
+    report = render_text(bad_run)
+    assert "src/repro/dse/sweep.py:9:" in report
+    assert report.rstrip().endswith("file errors)")
+
+
+def test_markdown_report_renders_a_table(bad_run, good_run):
+    table = render_markdown(bad_run)
+    assert "| code | location | message |" in table
+    assert "FPL001" in table
+    assert "clean" in render_markdown(good_run)
+
+
+def test_cli_list_checkers(capsys):
+    assert lint_main(["--list-checkers"]) == 0
+    out = capsys.readouterr().out
+    for code in ALL_CODES:
+        assert code in out
+
+
+def test_cli_self_check_exits_zero(capsys):
+    """`python -m tools.fpfa_lint` on the repo: the CI gate."""
+    assert lint_main([]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_writes_report_file(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = lint_main(["--format", "json", "--out", str(out)])
+    capsys.readouterr()
+    assert code == 0
+    assert json.loads(out.read_text(encoding="utf-8"))["ok"]
+
+
+def test_cli_select_unknown_code_is_a_usage_error(capsys):
+    assert lint_main(["--select", "FPL999"]) == 2
+    assert "FPL999" in capsys.readouterr().err
+
+
+def test_cli_select_runs_subset(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("import time\nnow = time.time()\n",
+                      encoding="utf-8")
+    assert lint_main(["--no-baseline", "--select", "FPL006",
+                      str(target)]) == 0  # FPL001 not selected
+    capsys.readouterr()
+    assert lint_main(["--no-baseline", str(target)]) == 1
+    assert "FPL001" in capsys.readouterr().out

@@ -362,3 +362,43 @@ def test_cli_serve_subprocess_round_trip(tmp_path):
     finally:
         if process.poll() is None:
             process.kill()
+
+
+# ---------------------------------------------------------------------------
+# Cancellation hygiene (FPL004's contract, exercised at runtime)
+# ---------------------------------------------------------------------------
+
+def test_cancelled_connection_reads_as_cancelled(tmp_path):
+    """Cancelling a connection mid-poll (daemon shutdown while a
+    client long-polls) must leave the task *cancelled* — the
+    handler re-raises CancelledError instead of swallowing it, so
+    nothing is logged as a retrieved-too-late exception and the
+    cancellation propagates to whoever gathered the task."""
+    import asyncio
+
+    from repro.service.daemon import MappingService
+
+    class _Writer:
+        """The minimum StreamWriter surface the handler's finally
+        block touches."""
+
+        def close(self):
+            pass
+
+        async def wait_closed(self):
+            return None
+
+    async def scenario():
+        service = MappingService(store=str(tmp_path / "store"),
+                                 workers=1, worker_mode="thread")
+        reader = asyncio.StreamReader()  # never fed: blocks in read
+        task = asyncio.ensure_future(
+            service._handle_connection(reader, _Writer()))
+        await asyncio.sleep(0.05)
+        task.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await task
+        return task
+
+    task = asyncio.run(scenario())
+    assert task.cancelled()

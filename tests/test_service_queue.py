@@ -262,3 +262,28 @@ def test_view_shape_and_stats():
     stats = queue.stats()
     assert stats["jobs"] == 1
     assert stats["states"] == {"done": 1}
+
+
+def test_durations_never_negative_under_stepped_wall_clock(
+        monkeypatch):
+    """The wall clock stepping backwards (NTP correction) between
+    submit, dispatch and finish must never produce negative
+    waited/runtime — durations come from the monotonic twins."""
+    from repro.service import queue as queue_module
+    steps = iter([1000.0, 400.0, 200.0])
+    monkeypatch.setattr(queue_module.time, "time",
+                        lambda: next(steps, 100.0))
+    queue = JobQueue()
+    job, __ = _submit(queue, "stepped")
+    assert queue.pop() is job
+    queue.mark_running(job)
+    queue.finish(job, {"ok": True})
+    view = job.view()
+    # The wall-clock fields faithfully record the (stepped) wall
+    # times -- presentation only...
+    assert view["finished"] < view["created"]
+    # ...while every duration stays non-negative.
+    assert view["waited"] >= 0.0
+    assert view["runtime"] >= 0.0
+    assert job.waited >= 0.0
+    assert job.runtime >= 0.0

@@ -11,16 +11,16 @@ cross-*process* stitch runs in ``tools/trace_smoke.py``):
 * the flight recorder (NDJSON log), the Chrome ``trace_event``
   export and the critical-path attribution;
 * the PR 6 invariants under the new machinery: zero-cost disabled
-  path, bounded ring, ``scoped_tracing`` restore on raise;
-* the call-site audit: ``trace.event``/``trace.count`` calls that
-  build attribute dicts must sit under a ``trace.enabled()`` guard.
+  path, bounded ring, ``scoped_tracing`` restore on raise.
+
+The call-site audit (``trace.event``/``trace.count`` calls that
+build attribute dicts must sit under a ``trace.enabled()`` guard)
+moved to fpfa-lint as FPL003 and now covers every linted file.
 """
 
 from __future__ import annotations
 
-import ast
 import json
-import pathlib
 import threading
 
 import pytest
@@ -36,8 +36,6 @@ from repro.obs.export import (
     to_chrome_trace,
     trace_log_path_for,
 )
-
-SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 
 
 @pytest.fixture
@@ -496,62 +494,10 @@ class TestTracerBounds:
         trace.reset()
 
 
-# ---------------------------------------------------------------------------
-# Satellite 2: the call-site audit
-# ---------------------------------------------------------------------------
-
-#: Modules whose trace.event()/trace.count() call sites must guard
-#: attribute building behind trace.enabled().
-_AUDITED = ("repro/dse/distributed.py", "repro/service/queue.py")
-
-
-def _is_trace_call(node: ast.Call, names) -> bool:
-    func = node.func
-    return (isinstance(func, ast.Attribute)
-            and func.attr in names
-            and isinstance(func.value, ast.Name)
-            and func.value.id == "trace")
-
-
-def _is_enabled_guard(test: ast.expr) -> bool:
-    """``trace.enabled()`` (possibly inside a BoolOp)."""
-    if isinstance(test, ast.BoolOp):
-        return any(_is_enabled_guard(value) for value in test.values)
-    return (isinstance(test, ast.Call)
-            and _is_trace_call(test, {"enabled"}))
-
-
-def _unguarded_sites(path: pathlib.Path) -> list[str]:
-    tree = ast.parse(path.read_text(encoding="utf-8"))
-    guarded_lines: set[int] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.If) and _is_enabled_guard(node.test):
-            for child in ast.walk(node):
-                if hasattr(child, "lineno"):
-                    guarded_lines.add(child.lineno)
-    offenders = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call) \
-                or not _is_trace_call(node, {"event", "count"}):
-            continue
-        # Constant-only calls (a name string, a literal bump) are
-        # free; building f-strings or keyword attribute dicts is
-        # what must hide behind the guard.
-        builds = any(not isinstance(arg, ast.Constant)
-                     for arg in node.args) or bool(node.keywords)
-        if builds and node.lineno not in guarded_lines:
-            offenders.append(f"{path.name}:{node.lineno}")
-    return offenders
-
-
-class TestCallSiteAudit:
-    @pytest.mark.parametrize("relative", _AUDITED)
-    def test_attribute_building_sites_are_guarded(self, relative):
-        offenders = _unguarded_sites(SRC / relative)
-        assert not offenders, (
-            "trace.event/trace.count call sites building attributes "
-            "outside an `if trace.enabled():` guard: "
-            + ", ".join(offenders))
+# The call-site audit that lived here (two hard-coded modules)
+# graduated into fpfa-lint's FPL003 checker, which covers every
+# linted file — see tools/fpfa_lint/checkers/trace_guard.py and the
+# repo self-check in tests/test_lint.py.
 
 
 # ---------------------------------------------------------------------------
@@ -605,3 +551,29 @@ class TestEndToEndStitch:
         assert report["trace"] == trace_id
         assert report["attributed"] >= 0.95
         trace.reset()
+
+
+# ---------------------------------------------------------------------------
+# Wall-clock immunity (FPL001's contract, exercised at runtime)
+# ---------------------------------------------------------------------------
+
+class TestSteppedWallClock:
+    def test_span_duration_immune_to_wall_steps(self, tracer,
+                                                monkeypatch):
+        """Span durations come from perf_counter pairs; a wall
+        clock stepping backwards mid-span must never yield a
+        negative duration."""
+        steps = iter([1000.0, 400.0, 200.0, 50.0])
+        monkeypatch.setattr(trace.time, "time",
+                            lambda: next(steps, 10.0))
+        with tracer.span("stepped"):
+            pass
+        entry = tracer.recent()[0]
+        assert entry["duration"] >= 0.0
+
+    def test_event_at_field_records_the_wall(self, tracer,
+                                             monkeypatch):
+        """`at` is presentation-only and faithfully wall-clock."""
+        monkeypatch.setattr(trace.time, "time", lambda: 123.5)
+        tracer.event("queue.queued")
+        assert tracer.recent()[0]["at"] == 123.5

@@ -1,0 +1,1 @@
+"""Repo tooling (``python -m tools.fpfa_lint`` needs a package)."""

@@ -9,6 +9,12 @@ Markdown link and image, and verifies:
   punctuation dropped);
 * no link target is an absolute filesystem path.
 
+Also keeps ``docs/lint.md`` in lockstep with the fpfa-lint checker
+registry: every ``FPLnnn`` code mentioned in the page prose must
+exist in ``tools/fpfa_lint``, and every registered checker must be
+documented on the page.  Codes inside fenced code blocks are
+ignored (they may be hypothetical examples).
+
 External links (``http://``, ``https://``, ``mailto:``) are not
 fetched — this checker is for the internal graph only.  Exits 1 and
 prints one line per broken link, so it can gate CI.
@@ -71,6 +77,38 @@ def check_file(path: pathlib.Path) -> list[str]:
     return problems
 
 
+LINT_CODE_PATTERN = re.compile(r"\bFPL\d{3}\b")
+
+
+def registered_lint_codes() -> set[str]:
+    """The fpfa-lint registry's code set, via a real import."""
+    if str(REPO_ROOT) not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT))
+    import tools.fpfa_lint.checkers  # noqa: F401 — fills REGISTRY
+    from tools.fpfa_lint import REGISTRY
+    return set(REGISTRY)
+
+
+def check_lint_codes(path: pathlib.Path) -> list[str]:
+    """docs/lint.md and the checker registry must agree on codes."""
+    if not path.exists():
+        return [f"{path}: missing (fpfa-lint checker catalog)"]
+    documented = set(
+        LINT_CODE_PATTERN.findall(
+            _strip_code_blocks(path.read_text(encoding="utf-8"))))
+    registered = registered_lint_codes()
+    problems = []
+    for code in sorted(documented - registered):
+        problems.append(
+            f"{path}: documents {code}, which is not in the "
+            f"fpfa-lint checker registry")
+    for code in sorted(registered - documented):
+        problems.append(
+            f"{path}: registered checker {code} is undocumented "
+            f"(add a catalog row)")
+    return problems
+
+
 def main() -> int:
     docs = sorted((REPO_ROOT / "docs").glob("*.md"))
     readme = REPO_ROOT / "README.md"
@@ -81,6 +119,7 @@ def main() -> int:
     problems = []
     for path in files:
         problems.extend(check_file(path))
+    problems.extend(check_lint_codes(REPO_ROOT / "docs" / "lint.md"))
     for problem in problems:
         print(problem, file=sys.stderr)
     checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in files)

@@ -1,0 +1,64 @@
+"""FPL006 — no-print.
+
+``fpfa-map map - --json | jq`` is a supported pipeline: stdout
+carries machine-readable artifacts, stderr and the logging module
+carry diagnostics.  A stray ``print()`` deep in the mapper corrupts
+the stream.  Only ``cli.py`` (the presentation layer, via its
+``echo`` helper) may write to stdout; everything else under
+``src/repro/`` is flagged.  ``tools/`` and tests are out of scope —
+reporters print by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.fpfa_lint.core import (
+    Checker,
+    Finding,
+    LintFile,
+    Project,
+    call_name,
+    register,
+)
+
+#: The one module allowed to own stdout.
+ALLOWED = frozenset({"src/repro/cli.py"})
+
+
+@register
+class NoPrintChecker(Checker):
+    code = "FPL006"
+    name = "no-print"
+    severity = "error"
+    description = ("stdout purity: print()/sys.stdout.write() "
+                   "outside cli.py")
+
+    def applies_to(self, file: LintFile) -> bool:
+        return file.rel.startswith("src/repro/") \
+            and file.rel not in ALLOWED
+
+    def check(self, file: LintFile,
+              project: Project) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "print":
+                # print(..., file=sys.stderr) is a diagnostic,
+                # not a stdout write.
+                to_stderr = any(
+                    keyword.arg == "file" for keyword in
+                    node.keywords)
+                if not to_stderr:
+                    yield self.finding(
+                        file, node,
+                        "print() outside cli.py corrupts piped "
+                        "JSON output — use logging, or return the "
+                        "data and let cli.py echo it")
+            elif name == "sys.stdout.write":
+                yield self.finding(
+                    file, node,
+                    "sys.stdout.write() outside cli.py corrupts "
+                    "piped JSON output — use logging or stderr")

@@ -1,0 +1,576 @@
+"""The fpfa-lint framework: files, findings, registry, baseline.
+
+Design:
+
+* **Single parse per file** — :class:`LintFile` parses the AST and
+  tokenizes the comments once; every checker runs over the shared
+  tree.  Parent links and comment/directive maps are built lazily so
+  checkers that never need them cost nothing.
+* **Checker registry** — checkers subclass :class:`Checker` and
+  register under a stable ``FPLxxx`` code via :func:`register`;
+  ``docs/lint.md`` and ``tools/check_docs.py`` keep the catalog and
+  the registry in lockstep.
+* **Suppressions** — ``# fpfa-lint: disable=FPL001[,FPL004]`` on the
+  finding's line (or alone on the line above) silences one site;
+  ``# fpfa-lint: disable-file=CODE`` near the top of a file silences
+  a whole file; ``# fpfa-lint: wall-clock`` is FPL001's allowlist
+  marker for deliberate wall-timestamp reads.
+* **Baseline** — a committed JSON file of grandfathered findings,
+  matched by (path, code, message) so line drift never resurrects
+  them.  Stale entries (baselined findings that no longer occur)
+  fail the run: the baseline only ever shrinks.
+
+Nothing here imports the repo's ``src`` tree — the linter must run
+on a checkout whose code does not import.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import pathlib
+import re
+import tokenize
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+#: Directive comments: ``# fpfa-lint: <directive>``.
+DIRECTIVE_PATTERN = re.compile(r"#\s*fpfa-lint:\s*(?P<body>.+?)\s*$")
+
+#: The FPL001 allowlist marker for deliberate wall-clock reads.
+WALL_CLOCK_MARKER = "wall-clock"
+
+#: Lines from the top of a file in which ``disable-file`` applies.
+FILE_DIRECTIVE_WINDOW = 10
+
+BASELINE_VERSION = 1
+
+
+def repo_root() -> pathlib.Path:
+    """The repository root (this file lives at tools/fpfa_lint/)."""
+    return pathlib.Path(__file__).resolve().parents[2]
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, ordered for stable reports."""
+
+    path: str       #: repo-relative posix path
+    line: int
+    column: int
+    code: str       #: the checker's FPLxxx code
+    message: str
+    severity: str   #: "error" or "warning"
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: line numbers drift, messages do not."""
+        return (self.path, self.code, self.message)
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.column}: "
+                f"{self.code} [{self.severity}] {self.message}")
+
+
+# ---------------------------------------------------------------------------
+# Parsed files
+# ---------------------------------------------------------------------------
+
+class LintFile:
+    """One parsed source file shared by every checker.
+
+    *rel* is the logical repo-relative path checkers scope their
+    rules by; tests remap it to lint fixture trees as if they were
+    the real layout (``lint_paths(root=...)``).
+    """
+
+    def __init__(self, path: pathlib.Path, rel: str, text: str):
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.tree = ast.parse(text)
+        self._parents: dict[int, ast.AST] | None = None
+        self._comment_lines: dict[int, str] | None = None
+        self._line_directives: dict[int, set[str]] | None = None
+        self._standalone: set[int] | None = None
+        self._file_disabled: set[str] | None = None
+        self._markers: dict[int, set[str]] | None = None
+
+    # -- structure ----------------------------------------------------
+
+    def parents(self) -> dict[int, ast.AST]:
+        """``id(node) -> parent`` for every node in the tree."""
+        if self._parents is None:
+            self._parents = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    self._parents[id(child)] = node
+        return self._parents
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents().get(id(node))
+
+    # -- comments and directives --------------------------------------
+
+    def comment_lines(self) -> dict[int, str]:
+        """``line -> comment text`` for every comment token."""
+        if self._comment_lines is None:
+            comments: dict[int, str] = {}
+            try:
+                tokens = tokenize.generate_tokens(
+                    io.StringIO(self.text).readline)
+                for token in tokens:
+                    if token.type == tokenize.COMMENT:
+                        comments[token.start[0]] = token.string
+            except (tokenize.TokenError, IndentationError):
+                # Already parsed fine, so this is a tokenizer corner
+                # case; fall back to a per-line scan.
+                for number, line in enumerate(
+                        self.text.splitlines(), start=1):
+                    if "#" in line:
+                        comments[number] = \
+                            line[line.index("#"):]
+            self._comment_lines = comments
+        return self._comment_lines
+
+    def has_comment_between(self, first: int, last: int) -> bool:
+        comments = self.comment_lines()
+        return any(first <= line <= last for line in comments)
+
+    def _scan_directives(self) -> None:
+        line_directives: dict[int, set[str]] = {}
+        standalone: set[int] = set()
+        file_disabled: set[str] = set()
+        markers: dict[int, set[str]] = {}
+        for number, comment in self.comment_lines().items():
+            match = DIRECTIVE_PATTERN.search(comment)
+            if match is None:
+                continue
+            body = match.group("body")
+            source_line = self.text.splitlines()[number - 1] \
+                if number <= len(self.text.splitlines()) else ""
+            if source_line.lstrip().startswith("#"):
+                standalone.add(number)
+            for part in body.split():
+                name, __, value = part.partition("=")
+                if name == "disable" and value:
+                    line_directives.setdefault(number, set()) \
+                        .update(code.strip()
+                                for code in value.split(",")
+                                if code.strip())
+                elif name == "disable-file" and value \
+                        and number <= FILE_DIRECTIVE_WINDOW:
+                    file_disabled.update(
+                        code.strip() for code in value.split(",")
+                        if code.strip())
+                elif not value:
+                    markers.setdefault(number, set()).add(name)
+        self._line_directives = line_directives
+        self._standalone = standalone
+        self._file_disabled = file_disabled
+        self._markers = markers
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """Whether *code* is disabled at *line* (same line, or a
+        standalone directive comment on the line above, or a
+        file-level directive)."""
+        if self._line_directives is None:
+            self._scan_directives()
+        if code in self._file_disabled:
+            return True
+        directives = self._line_directives
+        if code in directives.get(line, ()):
+            return True
+        return line - 1 in self._standalone \
+            and code in directives.get(line - 1, ())
+
+    def marked(self, line: int, marker: str) -> bool:
+        """Whether *marker* (e.g. ``wall-clock``) annotates *line*
+        (same rules as :meth:`suppressed`)."""
+        if self._markers is None:
+            self._scan_directives()
+        markers = self._markers
+        if marker in markers.get(line, ()):
+            return True
+        return line - 1 in self._standalone \
+            and marker in markers.get(line - 1, ())
+
+
+# ---------------------------------------------------------------------------
+# AST helpers shared by checkers
+# ---------------------------------------------------------------------------
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call target: ``time.time``, ``open``,
+    ``os.path.join`` — None for anything not a plain name chain."""
+    return dotted_name(node.func)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last identifier of a name chain: ``self.store`` ->
+    ``store``, ``cache`` -> ``cache``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk *node*'s body without entering nested function, lambda
+    or class scopes — what "inside this function" means for rules
+    about async bodies (a sync closure handed to an executor runs
+    elsewhere)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def exception_names(handler: ast.ExceptHandler) -> list[str]:
+    """Terminal names of the exceptions a handler catches
+    (``asyncio.CancelledError`` -> ``CancelledError``); empty for a
+    bare ``except:``."""
+    node = handler.type
+    if node is None:
+        return []
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for item in nodes:
+        name = terminal_name(item)
+        if name is not None:
+            names.append(name)
+    return names
+
+
+def contains_raise(node: ast.AST) -> bool:
+    return any(isinstance(child, ast.Raise)
+               for child in walk_scope(node))
+
+
+# ---------------------------------------------------------------------------
+# Cross-file project context
+# ---------------------------------------------------------------------------
+
+class Project:
+    """Lazily computed cross-file facts (the FPL005 field sets).
+
+    Rooted at the tree being linted, so fixture trees carry their
+    own miniature ``protocol.py``/``queue.py`` and exercise the same
+    machinery as the real repo.
+    """
+
+    PROTOCOL = "src/repro/service/protocol.py"
+    QUEUE = "src/repro/service/queue.py"
+
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self._request_fields: frozenset[str] | None = None
+        self._view_fields: frozenset[str] | None = None
+
+    def _parse(self, rel: str) -> ast.AST | None:
+        path = self.root / rel
+        try:
+            return ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            return None
+
+    @staticmethod
+    def _dict_keys(node: ast.AST) -> Iterator[str]:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Dict):
+                for key in child.keys:
+                    if isinstance(key, ast.Constant) \
+                            and isinstance(key.value, str):
+                        yield key.value
+            elif isinstance(child, ast.Subscript) and \
+                    isinstance(child.slice, ast.Constant) and \
+                    isinstance(child.slice.value, str) and \
+                    isinstance(child.ctx, ast.Store):
+                yield child.slice.value
+
+    @property
+    def request_fields(self) -> frozenset[str] | None:
+        """Field names the protocol validators mint: the union of
+        string keys in every ``normalise_*`` function's dict
+        literals.  None when no protocol module exists under this
+        root (FPL005 then skips)."""
+        if self._request_fields is None:
+            tree = self._parse(self.PROTOCOL)
+            if tree is None:
+                return None
+            fields: set[str] = set()
+            for node in ast.walk(tree):
+                if isinstance(node, ast.FunctionDef) and \
+                        node.name.startswith("normalise_"):
+                    fields.update(self._dict_keys(node))
+            self._request_fields = frozenset(fields)
+        return self._request_fields
+
+    @property
+    def view_fields(self) -> frozenset[str] | None:
+        """Field names a job view/event may carry: the string keys
+        of ``Job.view``/``Job.add_event`` dict literals plus
+        subscript stores (``view["trace"] = ...``)."""
+        if self._view_fields is None:
+            tree = self._parse(self.QUEUE)
+            if tree is None:
+                return None
+            fields: set[str] = set()
+            for node in ast.walk(tree):
+                if isinstance(node, ast.FunctionDef) and \
+                        node.name in ("view", "add_event"):
+                    fields.update(self._dict_keys(node))
+            self._view_fields = frozenset(fields)
+        return self._view_fields
+
+
+# ---------------------------------------------------------------------------
+# Checker registry
+# ---------------------------------------------------------------------------
+
+REGISTRY: dict[str, type["Checker"]] = {}
+
+
+def register(cls: type["Checker"]) -> type["Checker"]:
+    if not re.fullmatch(r"FPL\d{3}", cls.code):
+        raise ValueError(f"checker code {cls.code!r} is not FPLnnn")
+    if cls.code in REGISTRY:
+        raise ValueError(f"duplicate checker code {cls.code}")
+    REGISTRY[cls.code] = cls
+    return cls
+
+
+class Checker:
+    """One invariant with a stable code.
+
+    Subclasses set the class attributes, implement :meth:`check`
+    (yield :class:`Finding`; the framework applies suppressions and
+    the baseline afterwards) and optionally narrow
+    :meth:`applies_to`.
+    """
+
+    code = "FPL000"
+    name = "base"
+    severity = "error"
+    description = ""
+
+    def applies_to(self, file: LintFile) -> bool:
+        return True
+
+    def check(self, file: LintFile,
+              project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, file: LintFile, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(path=file.rel,
+                       line=getattr(node, "lineno", 1),
+                       column=getattr(node, "col_offset", 0) + 1,
+                       code=self.code, message=message,
+                       severity=self.severity)
+
+
+def all_checkers() -> list[Checker]:
+    """One instance per registered checker, in code order."""
+    import tools.fpfa_lint.checkers  # noqa: F401 — registration
+    return [REGISTRY[code]() for code in sorted(REGISTRY)]
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+class Baseline:
+    """The committed ledger of grandfathered findings.
+
+    Entries match findings by (path, code, message) — never by line
+    — and every entry carries a ``reason``.  ``stale`` entries (no
+    longer matching any finding) fail the run so the ledger only
+    shrinks.
+    """
+
+    def __init__(self, entries: Iterable[Mapping] = ()):
+        self.entries = [dict(entry) for entry in entries]
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        if not isinstance(payload, dict) or \
+                payload.get("version") != BASELINE_VERSION or \
+                not isinstance(payload.get("entries"), list):
+            raise ValueError(
+                f"{path}: not a fpfa-lint baseline "
+                f"(expected {{'version': {BASELINE_VERSION}, "
+                f"'entries': [...]}})")
+        return cls(payload["entries"])
+
+    def save(self, path: pathlib.Path) -> None:
+        payload = {"version": BASELINE_VERSION,
+                   "entries": sorted(
+                       self.entries,
+                       key=lambda e: (e["path"], e["code"],
+                                      e["message"]))}
+        path.write_text(json.dumps(payload, indent=2,
+                                   sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    def split(self, findings: list[Finding]
+              ) -> tuple[list[Finding], list[Finding], list[dict]]:
+        """(fresh, grandfathered, stale-entries)."""
+        budget = Counter(
+            (entry["path"], entry["code"], entry["message"])
+            for entry in self.entries)
+        fresh: list[Finding] = []
+        matched: list[Finding] = []
+        used: Counter = Counter()
+        for finding in findings:
+            if budget[finding.key] > used[finding.key]:
+                used[finding.key] += 1
+                matched.append(finding)
+            else:
+                fresh.append(finding)
+        stale = []
+        seen: Counter = Counter()
+        for entry in self.entries:
+            key = (entry["path"], entry["code"], entry["message"])
+            seen[key] += 1
+            if seen[key] > used[key]:
+                stale.append(entry)
+        return fresh, matched, stale
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      reasons: Mapping[tuple, str] | None = None
+                      ) -> "Baseline":
+        reasons = dict(reasons or {})
+        entries = []
+        for finding in findings:
+            entries.append({
+                "path": finding.path,
+                "code": finding.code,
+                "message": finding.message,
+                "reason": reasons.get(
+                    finding.key,
+                    "grandfathered by --update-baseline; justify "
+                    "or fix"),
+            })
+        return cls(entries)
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LintRun:
+    """The outcome of one lint pass."""
+
+    findings: list[Finding] = field(default_factory=list)
+    grandfathered: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.stale_baseline \
+            and not self.errors
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return counts
+
+
+def iter_python_files(paths: Iterable[pathlib.Path]
+                      ) -> Iterator[pathlib.Path]:
+    for path in paths:
+        if path.is_dir():
+            for item in sorted(path.rglob("*.py")):
+                if "__pycache__" not in item.parts:
+                    yield item
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[pathlib.Path | str], *,
+               root: pathlib.Path | None = None,
+               baseline: Baseline | None = None,
+               checkers: Iterable[Checker] | None = None,
+               select: Iterable[str] | None = None) -> LintRun:
+    """Lint *paths* (files or directories).
+
+    *root* anchors the logical repo-relative paths checkers scope
+    by (default: the real repo root).  *baseline* grandfathers known
+    findings; *select* restricts to the given checker codes.
+    """
+    root = (root or repo_root()).resolve()
+    active = list(checkers) if checkers is not None \
+        else all_checkers()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {checker.code for checker in active}
+        if unknown:
+            raise ValueError(
+                f"unknown checker code(s): {', '.join(sorted(unknown))}")
+        active = [checker for checker in active
+                  if checker.code in wanted]
+    project = Project(root)
+    run = LintRun()
+    collected: list[Finding] = []
+    for path in iter_python_files(
+            pathlib.Path(p) for p in paths):
+        path = path.resolve()
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            text = path.read_text(encoding="utf-8")
+            file = LintFile(path, rel, text)
+        except (OSError, SyntaxError, ValueError) as error:
+            run.errors.append(f"{rel}: {error}")
+            continue
+        run.files += 1
+        for checker in active:
+            if not checker.applies_to(file):
+                continue
+            for finding in checker.check(file, project):
+                if file.suppressed(finding.line, finding.code):
+                    run.suppressed += 1
+                else:
+                    collected.append(finding)
+    collected.sort()
+    if baseline is None:
+        run.findings = collected
+    else:
+        run.findings, run.grandfathered, run.stale_baseline = \
+            baseline.split(collected)
+    return run

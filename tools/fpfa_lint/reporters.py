@@ -1,0 +1,103 @@
+"""Report renderers: text for terminals, JSON for machines,
+Markdown for the CI step summary."""
+
+from __future__ import annotations
+
+import json
+
+from tools.fpfa_lint.core import LintRun, all_checkers
+
+
+def render_text(run: LintRun) -> str:
+    lines: list[str] = []
+    for error in run.errors:
+        lines.append(f"error: {error}")
+    for finding in run.findings:
+        lines.append(finding.render())
+    for entry in run.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry['path']}: "
+            f"{entry['code']} {entry['message']!r} no longer "
+            f"occurs — remove it from the baseline")
+    summary = (f"{run.files} files, {len(run.findings)} findings, "
+               f"{len(run.grandfathered)} baselined, "
+               f"{run.suppressed} suppressed")
+    if run.ok:
+        lines.append(f"fpfa-lint: clean ({summary})")
+    else:
+        lines.append(f"fpfa-lint: FAILED ({summary}, "
+                     f"{len(run.stale_baseline)} stale baseline "
+                     f"entries, {len(run.errors)} file errors)")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(run: LintRun) -> str:
+    payload = {
+        "version": 1,
+        "ok": run.ok,
+        "files": run.files,
+        "suppressed": run.suppressed,
+        "counts": run.counts(),
+        "findings": [
+            {"path": finding.path, "line": finding.line,
+             "column": finding.column, "code": finding.code,
+             "severity": finding.severity,
+             "message": finding.message}
+            for finding in run.findings],
+        "grandfathered": [
+            {"path": finding.path, "line": finding.line,
+             "code": finding.code, "message": finding.message}
+            for finding in run.grandfathered],
+        "stale_baseline": run.stale_baseline,
+        "errors": run.errors,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_markdown(run: LintRun) -> str:
+    lines = ["### fpfa-lint", ""]
+    status = "clean ✓" if run.ok else "**FAILED**"
+    lines.append(f"{status} — {run.files} files, "
+                 f"{len(run.findings)} findings, "
+                 f"{len(run.grandfathered)} baselined, "
+                 f"{run.suppressed} suppressed")
+    lines.append("")
+    if run.findings:
+        lines.append("| code | location | message |")
+        lines.append("| --- | --- | --- |")
+        for finding in run.findings:
+            message = finding.message.replace("|", "\\|")
+            lines.append(f"| {finding.code} | "
+                         f"`{finding.path}:{finding.line}` | "
+                         f"{message} |")
+        lines.append("")
+    if run.stale_baseline:
+        lines.append("Stale baseline entries (remove them):")
+        lines.append("")
+        for entry in run.stale_baseline:
+            lines.append(f"- `{entry['path']}`: {entry['code']} "
+                         f"{entry['message']}")
+        lines.append("")
+    if run.errors:
+        lines.append("File errors:")
+        lines.append("")
+        for error in run.errors:
+            lines.append(f"- {error}")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def render_checker_list() -> str:
+    lines = []
+    for checker in all_checkers():
+        lines.append(f"{checker.code} {checker.name} "
+                     f"[{checker.severity}] — "
+                     f"{checker.description}")
+    return "\n".join(lines) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "markdown": render_markdown,
+}
